@@ -1,0 +1,124 @@
+"""T7/T8 — the §4.2 security-processing architecture ladder.
+
+T7: accelerators / ISA extensions / protocol engines trade flexibility
+for efficiency (speedup and energy ladder on a common workload).
+T8: for *full protocol* workloads the ordering is protocol engine >
+crypto accelerator > ISA extensions > software, because only the
+engine offloads the protocol-processing component.
+
+Includes the parameter-perturbation ablation DESIGN.md calls out: the
+ladder's shape must survive halving/doubling the hardware parameters.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.hardware.accelerators import (
+    CryptoAccelerator,
+    SoftwareEngine,
+    architecture_ladder,
+)
+from repro.hardware.isa_extensions import ISAExtensionEngine
+from repro.hardware.processors import ARM7, STRONGARM_SA1100
+from repro.hardware.protocol_engine import ProtocolEngine
+from repro.hardware.workloads import (
+    BulkWorkload,
+    HandshakeWorkload,
+    SessionWorkload,
+)
+
+SESSION = SessionWorkload(
+    handshake=HandshakeWorkload(),
+    bulk=BulkWorkload(kilobytes=256.0, packets=200),
+)
+
+
+def test_t7_efficiency_ladder(benchmark):
+    def run_ladder():
+        return [(engine.name, engine.execute(SESSION))
+                for engine in architecture_ladder(STRONGARM_SA1100)]
+
+    reports = benchmark(run_ladder)
+    times = [report.time_s for _, report in reports]
+    energies = [report.energy_mj for _, report in reports]
+    assert times == sorted(times, reverse=True)
+    assert energies == sorted(energies, reverse=True)
+    rows = [(name, r.time_s * 1000.0, r.energy_mj,
+             times[0] / r.time_s) for name, r in reports]
+    print("\n" + format_table(
+        ("architecture", "time_ms", "energy_mJ", "speedup_vs_sw"), rows))
+
+
+def test_t7_flexibility_inverts(benchmark):
+    def flexibilities():
+        software, isa, accel, engine = architecture_ladder(ARM7)
+        return (software.flexibility, isa.flexibility,
+                engine.flexibility, accel.flexibility)
+
+    values = benchmark(flexibilities)
+    assert values == tuple(sorted(values, reverse=True))
+
+
+def test_t8_protocol_heavy_ordering(benchmark):
+    """With protocol processing dominating, the engine's host offload
+    is the differentiator."""
+    protocol_heavy = BulkWorkload(kilobytes=32.0, packets=5000)
+
+    def host_burden():
+        accel = CryptoAccelerator(ARM7)
+        engine = ProtocolEngine(ARM7)
+        isa = ISAExtensionEngine(ARM7)
+        software = SoftwareEngine(ARM7)
+        return {
+            "software": software.execute(protocol_heavy).time_s,
+            "isa-extensions": isa.execute(protocol_heavy).time_s,
+            "crypto-accelerator": accel.execute(protocol_heavy).time_s,
+            "protocol-engine": engine.execute(protocol_heavy).time_s,
+        }
+
+    times = benchmark(host_burden)
+    assert times["protocol-engine"] < times["crypto-accelerator"] \
+        < times["isa-extensions"] < times["software"]
+
+
+@pytest.mark.parametrize("scale", [0.5, 2.0])
+def test_t7_ablation_parameter_robustness(benchmark, scale):
+    """Halve or double the hardware ratings: the ladder's *ordering*
+    (the paper's argument) must not depend on exact constants."""
+
+    def perturbed_ladder():
+        accel = CryptoAccelerator(STRONGARM_SA1100)
+        accel.bulk_mbps = {k: v * scale for k, v in accel.bulk_mbps.items()}
+        accel.rsa_ops_per_s *= scale
+        engine = ProtocolEngine(
+            STRONGARM_SA1100,
+            bulk_mbps=100.0 * scale,
+            rsa_ops_per_s=400.0 * scale,
+        )
+        ladder = [SoftwareEngine(STRONGARM_SA1100),
+                  ISAExtensionEngine(STRONGARM_SA1100), accel, engine]
+        return [option.execute(SESSION).time_s for option in ladder]
+
+    times = benchmark(perturbed_ladder)
+    assert times == sorted(times, reverse=True)
+
+
+def test_t8_crt_vs_verification_tradeoff(benchmark):
+    """Ablation: CRT quarters handshake time; the fault-attack
+    countermeasure (re-encrypt) gives a little of it back but keeps
+    most of the win — quantifying §3.4's performance/security bargain."""
+    from repro.hardware.cycles import (
+        rsa_private_instructions,
+        rsa_public_instructions,
+    )
+
+    def costs():
+        plain = rsa_private_instructions(1024, use_crt=False)
+        crt = rsa_private_instructions(1024, use_crt=True)
+        verified_crt = crt + rsa_public_instructions(1024)
+        return plain, crt, verified_crt
+
+    plain, crt, verified_crt = benchmark(costs)
+    assert crt == pytest.approx(plain / 4)
+    assert verified_crt < 1.2 * crt       # verification is cheap
+    assert verified_crt < plain / 3       # still far better than no CRT

@@ -1,0 +1,163 @@
+"""T3-T6 — the §3.4 attack/countermeasure benches.
+
+Each bench *performs* the attack against our instrumented substrate
+and asserts the paper's qualitative claim: the naive implementation
+falls, the countermeasure stands.
+"""
+
+import pytest
+
+from repro.attacks.countermeasures import BlindedRSA, verified_crt_sign
+from repro.attacks.fault import FaultInjector, bellcore_attack
+from repro.attacks.power import (
+    MaskedAES,
+    acquire_aes_traces,
+    cpa_attack_aes,
+)
+from repro.attacks.timing import TimingAttack, measure_sqm, rsa_verifier
+from repro.attacks.wep_attacks import KeystreamHarvester, bitflip_forgery
+from repro.crypto.errors import SignatureError
+from repro.crypto.primes import generate_prime
+from repro.crypto.rng import DeterministicDRBG
+from repro.protocols.wep import WEPStation
+
+AES_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+class TestT3TimingAttack:
+    @pytest.fixture(scope="class")
+    def victim(self):
+        rng = DeterministicDRBG(77)
+        p = generate_prime(32, rng)
+        q = generate_prime(32, rng)
+        n = p * q
+        d = rng.randrange(1 << 47, 1 << 48)
+        return n, d
+
+    def test_leaky_implementation_falls(self, benchmark, victim):
+        n, d = victim
+        probe = (12345 % n, pow(12345, d, n))
+
+        def attack():
+            return TimingAttack(
+                n, lambda base: measure_sqm(base, d, n),
+                rsa_verifier(n, 65537, probe),
+            ).run(exponent_bits=48, samples=800)
+
+        result = benchmark.pedantic(attack, rounds=1, iterations=1)
+        assert result.succeeded and result.recovered_exponent == d
+
+    def test_blinding_stands(self, benchmark, victim):
+        from repro.crypto.modmath import OperationTimer
+        from repro.crypto.rsa import RSAPrivateKey
+
+        n, d = victim
+        rng = DeterministicDRBG(77)
+        p = generate_prime(32, rng)
+        q = generate_prime(32, rng)
+        key = RSAPrivateKey(n=p * q, e=65537, d=d, p=p, q=q)
+        blinded = BlindedRSA(key, DeterministicDRBG("bench-blind"))
+        probe = (12345 % key.n, pow(12345, d, key.n))
+
+        def oracle(base):
+            timer = OperationTimer()
+            blinded.decrypt_raw(base, timer=timer)
+            return float(timer.total)
+
+        def attack():
+            return TimingAttack(
+                key.n, oracle, rsa_verifier(key.n, 65537, probe)
+            ).run(exponent_bits=48, samples=800, max_retries=4)
+
+        result = benchmark.pedantic(attack, rounds=1, iterations=1)
+        assert not result.succeeded
+
+
+class TestT4PowerAnalysis:
+    def test_unprotected_aes_falls(self, benchmark):
+        def attack():
+            traces = acquire_aes_traces(AES_KEY, 150, seed=3)
+            return cpa_attack_aes(traces)
+
+        result = benchmark.pedantic(attack, rounds=1, iterations=1)
+        assert result.key == AES_KEY
+
+    def test_masked_aes_stands(self, benchmark):
+        def attack():
+            traces = acquire_aes_traces(AES_KEY, 150, seed=3,
+                                        cipher_factory=MaskedAES)
+            return cpa_attack_aes(traces)
+
+        result = benchmark.pedantic(attack, rounds=1, iterations=1)
+        assert result.key != AES_KEY
+
+
+class TestT5FaultAttack:
+    MESSAGE = b"sign this purchase order"
+
+    def test_unprotected_crt_falls(self, benchmark, rsa_512):
+        def attack():
+            faulty = rsa_512.sign(
+                self.MESSAGE, use_crt=True,
+                fault_hook=FaultInjector(target="p", seed=1))
+            return bellcore_attack(rsa_512.public, self.MESSAGE, faulty)
+
+        factors = benchmark.pedantic(attack, rounds=1, iterations=1)
+        assert factors is not None
+        assert factors[0] * factors[1] == rsa_512.n
+
+    def test_verified_crt_stands(self, benchmark, rsa_512):
+        def attempt():
+            try:
+                verified_crt_sign(rsa_512, self.MESSAGE,
+                                  fault_hook=FaultInjector(seed=2))
+                return "leaked"
+            except SignatureError:
+                return "withheld"
+
+        outcome = benchmark.pedantic(attempt, rounds=1, iterations=1)
+        assert outcome == "withheld"
+
+
+class TestT6WEPAttacks:
+    KEY = b"abcde"
+
+    def test_keystream_reuse_decrypts(self, benchmark):
+        def attack():
+            victim = WEPStation(self.KEY)
+            harvester = KeystreamHarvester()
+            known = b"SNAP-HEADER!" + bytes(20)
+            harvester.observe(
+                victim.encrypt(known, iv=b"\x00\x00\x01"),
+                known_plaintext=known)
+            secret = victim.encrypt(b"credit card 4111-1111",
+                                    iv=b"\x00\x00\x01")
+            return harvester.decrypt(secret)
+
+        plaintext = benchmark(attack)
+        assert plaintext == b"credit card 4111-1111"
+
+    def test_bitflip_forgery_verifies(self, benchmark):
+        def attack():
+            victim = WEPStation(self.KEY)
+            receiver = WEPStation(self.KEY)
+            frame = victim.encrypt(b"AMOUNT=0010")
+            delta = bytes(7) + bytes(
+                a ^ b for a, b in zip(b"0010", b"9999"))
+            return receiver.decrypt(bitflip_forgery(frame, delta))
+
+        forged = benchmark(attack)
+        assert forged == b"AMOUNT=9999"
+
+    def test_iv_space_exhaustion(self, benchmark):
+        """The 24-bit IV guarantees reuse: after wrap, frame IVs repeat
+        exactly."""
+
+        def wrap():
+            station = WEPStation(self.KEY)
+            station._iv_counter = (1 << 24) - 2
+            ivs = [station.encrypt(b"x").iv for _ in range(4)]
+            return ivs
+
+        ivs = benchmark(wrap)
+        assert ivs[2] == b"\x00\x00\x00"  # wrapped to the start

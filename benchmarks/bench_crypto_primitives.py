@@ -1,0 +1,93 @@
+"""Wall-clock throughput of the pure-Python reference primitives.
+
+These are honest microbenchmarks of *this library's* implementations
+(CPython wall-clock, not the embedded cycle model): they document the
+simulator's own performance envelope and catch regressions in the hot
+loops the whole reproduction rides on.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.des import DES
+from repro.crypto.hmac import hmac
+from repro.crypto.md5 import md5
+from repro.crypto.modes import CBC
+from repro.crypto.rc2 import RC2
+from repro.crypto.rc4 import RC4
+from repro.crypto.rng import DeterministicDRBG
+from repro.crypto.sha1 import sha1
+from repro.crypto.tdes import TripleDES
+
+PAYLOAD_1K = bytes(range(256)) * 4
+BLOCK8 = bytes(8)
+BLOCK16 = bytes(16)
+
+
+def test_des_block(benchmark):
+    cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+    assert len(benchmark(cipher.encrypt_block, BLOCK8)) == 8
+
+
+def test_3des_block(benchmark):
+    cipher = TripleDES(bytes(range(24)))
+    assert len(benchmark(cipher.encrypt_block, BLOCK8)) == 8
+
+
+def test_aes_block(benchmark):
+    cipher = AES(bytes(range(16)))
+    assert len(benchmark(cipher.encrypt_block, BLOCK16)) == 16
+
+
+def test_rc2_block(benchmark):
+    cipher = RC2(bytes(range(16)))
+    assert len(benchmark(cipher.encrypt_block, BLOCK8)) == 8
+
+
+def test_rc4_kilobyte(benchmark):
+    def stream():
+        return RC4(b"benchmark key").process(PAYLOAD_1K)
+
+    assert len(benchmark(stream)) == 1024
+
+
+def test_sha1_kilobyte(benchmark):
+    assert len(benchmark(sha1, PAYLOAD_1K)) == 20
+
+
+def test_md5_kilobyte(benchmark):
+    assert len(benchmark(md5, PAYLOAD_1K)) == 16
+
+
+def test_hmac_sha1_kilobyte(benchmark):
+    assert len(benchmark(hmac, b"mac key", PAYLOAD_1K)) == 20
+
+
+def test_aes_cbc_kilobyte(benchmark):
+    def encrypt():
+        return CBC(AES(bytes(16)), bytes(16)).encrypt(PAYLOAD_1K)
+
+    assert len(benchmark(encrypt)) == 1024 + 16
+
+
+def test_rsa_private_op(benchmark, rsa_512):
+    ciphertext = 0xC0FFEE % rsa_512.n
+    result = benchmark(rsa_512.decrypt_raw, ciphertext)
+    assert result == pow(ciphertext, rsa_512.d, rsa_512.n)
+
+
+def test_rsa_private_op_no_crt(benchmark, rsa_512):
+    ciphertext = 0xC0FFEE % rsa_512.n
+
+    def no_crt():
+        return rsa_512.decrypt_raw(ciphertext, use_crt=False)
+
+    assert benchmark(no_crt) == pow(ciphertext, rsa_512.d, rsa_512.n)
+
+
+def test_rsa_sign(benchmark, rsa_512):
+    signature = benchmark(rsa_512.sign, b"benchmark message")
+    rsa_512.public.verify(b"benchmark message", signature)
+
+
+def test_drbg_kilobyte(benchmark):
+    rng = DeterministicDRBG("bench")
+    assert len(benchmark(rng.random_bytes, 1024)) == 1024

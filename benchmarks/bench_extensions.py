@@ -1,0 +1,192 @@
+"""Benches for the extension systems (optional/forward-looking in the
+paper's 2003 frame, implemented here as the natural next steps):
+
+* session resumption — the protocol-level fix for Figure 3's handshake
+  plane (full vs abbreviated, both cost-model and wall-clock);
+* 3GPP AKA — the §2 "being addressed in newer wireless standards"
+  claim, quantified via the false-base-station attack;
+* the microprogrammable protocol engine — §4.2.3 flexibility measured:
+  interop throughput and field reprogramming;
+* battery-aware adaptation — §3.3's "battery-aware system design
+  techniques", lifetime under three policies;
+* the Vaudenay padding oracle — query complexity against the flawed
+  WTLS decoder.
+"""
+
+import pytest
+
+from repro.core.battery_aware import compare_policies
+from repro.crypto.rng import DeterministicDRBG
+from repro.hardware.cycles import handshake_cost, handshake_mips_demand
+from repro.hardware.engine_program import EngineContext, stock_engine
+from repro.hardware.processors import STRONGARM_SA1100
+from repro.protocols.aka import false_base_station_attack
+from repro.protocols.handshake import ClientConfig, ServerConfig
+from repro.protocols.ipsec import make_tunnel
+from repro.protocols.resumption import (
+    CachedSession,
+    SessionCache,
+    cache_session,
+    resume,
+)
+from repro.protocols.tls import connect
+
+
+class TestResumption:
+    def test_cost_model_collapse(self, benchmark):
+        def ratio():
+            return handshake_cost().total_mi / \
+                handshake_cost(resumed=True).total_mi
+
+        assert benchmark(ratio) > 50.0
+
+    def test_resumed_fits_tight_latency(self, benchmark):
+        """Figure 3's infeasible (0.1 s, SA-1100) corner becomes
+        feasible with resumption."""
+
+        def both():
+            full = handshake_mips_demand(0.1)
+            resumed = handshake_cost(resumed=True).total_mi / 0.1
+            return full, resumed
+
+        full, resumed = benchmark(both)
+        assert full > STRONGARM_SA1100.mips
+        assert resumed < STRONGARM_SA1100.mips
+
+    def test_wall_clock_abbreviated_handshake(self, benchmark, ca,
+                                              server_credentials):
+        key, cert = server_credentials
+        client = ClientConfig(rng=DeterministicDRBG("bres-c"), ca=ca)
+        server = ServerConfig(rng=DeterministicDRBG("bres-s"),
+                              certificate=cert, private_key=key)
+        conn_c, conn_s = connect(client, server)
+        client_cache, server_cache = SessionCache(), SessionCache()
+        session_id = cache_session(client_cache, conn_c.session,
+                                   DeterministicDRBG("bsid"))
+        server_cache.store(CachedSession(
+            session_id=session_id, suite_name=conn_s.session.suite.name,
+            master=conn_s.session.master))
+
+        def abbreviated():
+            return resume(client, server, client_cache, server_cache,
+                          session_id)
+
+        client_session, _ = benchmark(abbreviated)
+        assert client_session.handshake_messages == 4
+
+
+class TestAKA:
+    def test_generation_gap(self, benchmark):
+        outcome = benchmark(false_base_station_attack, 7)
+        assert outcome == {"gsm_compromised": True,
+                           "aka_compromised": False}
+
+
+class TestProgrammableEngine:
+    def test_esp_packet_interop(self, benchmark):
+        sender, receiver = make_tunnel(0xE0E0, seed=9)
+        payload = b"benchmark payload " * 8
+        host_packet = sender.encapsulate(payload)
+        engine = stock_engine()
+
+        def engine_encap():
+            context = EngineContext(
+                payload=payload,
+                fields={"spi": (0xE0E0).to_bytes(4, "big"),
+                        "sequence": (1).to_bytes(4, "big"),
+                        "iv": host_packet[8:16]},
+                keys={"cipher_key": sender.cipher_key,
+                      "mac_key": sender.mac_key})
+            return engine.run("esp-encap", context)
+
+        report = benchmark(engine_encap)
+        assert report.output == host_packet
+        # The modelled engine is far faster than host software.
+        assert report.time_s < 1e-3
+
+    def test_field_reprogramming(self, benchmark):
+        from repro.hardware.engine_program import Instruction, Microprogram
+
+        new_standard = Microprogram(
+            name="post-2003-standard",
+            instructions=(Instruction("crc_append"), Instruction("emit")),
+        )
+
+        def upgrade_and_run():
+            engine = stock_engine()
+            engine.load_program(new_standard)
+            return engine.run("post-2003-standard",
+                              EngineContext(payload=b"new protocol"))
+
+        report = benchmark(upgrade_and_run)
+        assert report.output.startswith(b"new protocol")
+
+
+class TestBatteryAware:
+    def test_policy_lifetime_ladder(self, benchmark):
+        outcomes = benchmark.pedantic(
+            compare_policies, args=(0.1,), rounds=1, iterations=1)
+        naive = outcomes["naive (full handshake per transaction)"]
+        adaptive = outcomes[
+            "battery-aware (resumption + suite adaptation)"]
+        assert adaptive > 2 * naive
+
+
+class TestPaddingOracle:
+    def test_query_complexity(self, benchmark):
+        from repro.attacks.padding_oracle import (
+            OracleStats,
+            decrypt_block,
+            make_wtls_oracle,
+        )
+        from repro.protocols.ciphersuites import RSA_WITH_3DES_SHA
+        from repro.protocols.wtls import (
+            WTLSRecordDecoder,
+            WTLSRecordEncoder,
+        )
+
+        key, mac_key, iv = bytes(range(24)), bytes(range(20)), bytes(8)
+        encoder = WTLSRecordEncoder(RSA_WITH_3DES_SHA, key, mac_key, iv)
+        body = encoder.encode(b"attack at dawn, block two")[6:]
+
+        def attack_one_block():
+            decoder = WTLSRecordDecoder(
+                RSA_WITH_3DES_SHA, key, mac_key, iv,
+                distinguishable_errors=True)
+            stats = OracleStats()
+            decrypt_block(make_wtls_oracle(decoder), body[8:16], 8, stats)
+            return stats.queries
+
+        queries = benchmark.pedantic(attack_one_block, rounds=1,
+                                     iterations=1)
+        assert queries < 8 * 300  # ~128/byte expected
+
+
+class TestE11DualSignaturePayments:
+    def test_set_style_purchase(self, benchmark, ca):
+        from repro.protocols.payment import (
+            Merchant,
+            OrderInfo,
+            PaymentGateway,
+            PaymentInfo,
+            create_payment,
+            non_repudiation_evidence,
+        )
+
+        key, cert = ca.issue("bench.cardholder",
+                             DeterministicDRBG("bench-set"))
+
+        def purchase_flow():
+            order = OrderInfo("shop.example", "item", 999, "B-1")
+            payment = PaymentInfo("4111111111111111", "12/05", 999, "B-1")
+            purchase = create_payment(order, payment, key, cert)
+            merchant = Merchant(name="shop.example", ca=ca)
+            gateway = PaymentGateway(ca=ca)
+            subject = merchant.process(purchase.merchant_view())
+            code = gateway.process(purchase.gateway_view())
+            evidence = non_repudiation_evidence(purchase, ca)
+            return subject, code, evidence
+
+        subject, code, evidence = benchmark(purchase_flow)
+        assert subject == "bench.cardholder"
+        assert evidence["binding_holds"]

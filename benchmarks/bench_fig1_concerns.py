@@ -1,0 +1,23 @@
+"""Figure 1 — security concerns in a mobile appliance.
+
+Regenerates the concern taxonomy and verifies every concern is backed
+by an importable mechanism module of this library.
+"""
+
+from repro.analysis.figures import figure1_data
+from repro.core.concerns import (
+    Concern,
+    coverage_table,
+    verify_mechanisms_importable,
+)
+
+
+def test_fig1_concern_coverage(benchmark):
+    rows = benchmark(coverage_table)
+    assert len(rows) == len(Concern) == 7
+    print("\n" + figure1_data())
+
+
+def test_fig1_mechanisms_exist(benchmark):
+    failures = benchmark(verify_mechanisms_importable)
+    assert failures == []

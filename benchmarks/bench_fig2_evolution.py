@@ -1,0 +1,45 @@
+"""Figure 2 — evolution of security protocols.
+
+Regenerates the four protocol timelines (IPSec, SSL/TLS, WTLS, MET)
+and checks the shape claims the paper draws from the figure: constant
+revision churn, the June 2002 TLS/AES event, and faster wireless
+cadence.
+"""
+
+from repro.analysis.figures import figure2_data
+from repro.core.evolution import (
+    algorithm_introduction,
+    cumulative_revisions,
+    domain_cadence,
+    events_for,
+    protocols,
+)
+
+
+def test_fig2_timelines(benchmark):
+    def build():
+        return {name: cumulative_revisions(name) for name in protocols()}
+
+    series = benchmark(build)
+    assert set(series) == {"SSL/TLS", "IPSec", "WTLS", "MET"}
+    for counts in series.values():
+        values = [c for _, c in counts]
+        assert values == sorted(values)
+    print("\n" + figure2_data())
+
+
+def test_fig2_tls_aes_event(benchmark):
+    events = benchmark(events_for, "SSL/TLS")
+    aes_events = [e for e in events if "AES" in e.adds_algorithms]
+    assert aes_events and aes_events[0].year == 2002.5  # June 2002
+
+
+def test_fig2_wireless_churns_faster(benchmark):
+    cadence = benchmark(domain_cadence)
+    assert cadence["wireless"] < cadence["wired"]
+
+
+def test_fig2_aes_exists_before_wireless_adoption(benchmark):
+    event = benchmark(algorithm_introduction, "AES")
+    assert event is not None
+    assert event.year <= 2002.5

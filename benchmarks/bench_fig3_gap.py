@@ -1,0 +1,82 @@
+"""Figure 3 — the wireless security processing gap.
+
+Regenerates the MIPS-demand surface over (connection latency, data
+rate) and slices it with the processor-capability planes.  Shape
+claims verified:
+
+* the [12] anchor: 3DES+SHA at 10 Mbps = 651.3 MIPS of bulk demand;
+* the SA-1100 sustains 0.5 s / 1 s connection setups but not 0.1 s;
+* embedded processors sit below most of the surface (the gap), the
+  desktop plane above most of it;
+* the gap *widens* with data-rate growth and stronger crypto.
+"""
+
+import pytest
+
+from repro.analysis.figures import figure3_data
+from repro.core.gap import (
+    compute_surface,
+    max_sustainable_rate_mbps,
+    stronger_crypto_demand,
+    widening_gap_series,
+)
+from repro.hardware.cycles import bulk_mips_demand, handshake_mips_demand
+from repro.hardware.processors import ARM7, PENTIUM4, STRONGARM_SA1100
+
+
+def test_fig3_surface(benchmark):
+    surface = benchmark(compute_surface)
+    assert len(surface.points) == 27
+    # Demand grows along both axes.
+    assert surface.demand(60.0, 0.1) == max(
+        p.demand_mips for p in surface.points)
+    print("\n" + figure3_data()[0])
+
+
+def test_fig3_bulk_anchor(benchmark):
+    demand = benchmark(bulk_mips_demand, 10.0, "3DES", "SHA1")
+    assert demand == pytest.approx(651.3, abs=0.05)
+
+
+def test_fig3_handshake_plane(benchmark):
+    def feasibility():
+        return {
+            latency: handshake_mips_demand(latency) <= STRONGARM_SA1100.mips
+            for latency in (0.1, 0.5, 1.0)
+        }
+
+    feasible = benchmark(feasibility)
+    assert feasible == {0.1: False, 0.5: True, 1.0: True}
+
+
+def test_fig3_processor_planes(benchmark):
+    surface = compute_surface()
+
+    def fractions():
+        return [surface.feasible_fraction(p)
+                for p in (ARM7, STRONGARM_SA1100, PENTIUM4)]
+
+    arm7, sa1100, p4 = benchmark(fractions)
+    assert arm7 < 0.05          # phones: almost nothing feasible
+    assert 0.2 < sa1100 < 0.5   # PDA: partial
+    assert p4 > 0.8             # desktop: nearly everything
+
+
+def test_fig3_frontier(benchmark):
+    rate = benchmark(max_sustainable_rate_mbps, STRONGARM_SA1100, 1.0)
+    assert 2.0 < rate < 4.0  # well under WLAN's 10+ Mbps -> the gap
+
+
+def test_fig3_gap_widens_over_time(benchmark):
+    series = benchmark(widening_gap_series)
+    factors = [f for _, f in series]
+    assert factors[-1] > 1.4 * factors[0]
+
+
+def test_fig3_stronger_crypto_widens_gap(benchmark):
+    demands = benchmark(stronger_crypto_demand)
+    values = [v for _, v in demands]
+    assert values == sorted(values)
+    # 2048-bit RSA costs ~8x the 1024-bit handshake (cubic law).
+    by_bits = dict(demands)
+    assert by_bits[2048] == pytest.approx(8 * by_bits[1024], rel=0.05)

@@ -1,0 +1,47 @@
+"""Figure 4 — the impact of security processing on battery life.
+
+Regenerates the two Figure 4 bars (1-KB transactions until a 26 KJ
+battery dies, plain vs secure mode) from the paper's measured
+constants, cross-validates the event-driven battery simulation against
+the closed form, and checks the headline: secure-mode count is *less
+than half* the plain count.
+"""
+
+import pytest
+
+from repro.analysis.figures import figure4_data
+from repro.core.battery_life import (
+    figure4_report,
+    simulate_transactions,
+    transactions_until_empty,
+)
+from repro.hardware.energy import EnergyModel
+
+
+def test_fig4_headline(benchmark):
+    report = benchmark(figure4_report)
+    assert report.plain_transactions == 726_256
+    assert report.secure_transactions == 334_190
+    assert report.ratio == pytest.approx(0.46, abs=0.005)
+    assert report.less_than_half
+    print("\n" + figure4_data())
+
+
+def test_fig4_simulation_cross_validates(benchmark):
+    model = EnergyModel()
+
+    def simulate_both():
+        return (simulate_transactions(model, 2.0, secure=False),
+                simulate_transactions(model, 2.0, secure=True))
+
+    plain, secure = benchmark(simulate_both)
+    assert plain == transactions_until_empty(model, 2.0, secure=False)
+    assert secure == transactions_until_empty(model, 2.0, secure=True)
+    assert secure / plain < 0.5
+
+
+def test_fig4_energy_constants(benchmark):
+    model = EnergyModel()
+    per_plain = benchmark(model.transaction_mj, 1.0, False)
+    assert per_plain == pytest.approx(35.8)          # 21.5 + 14.3
+    assert model.transaction_mj(1.0, True) == pytest.approx(77.8)  # +42

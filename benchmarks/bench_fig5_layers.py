@@ -1,0 +1,37 @@
+"""Figure 5 — the layered hierarchical approach to security.
+
+Regenerates the layer stack, resolves every inter-layer dependency,
+and verifies the foundation property ("each layer of security provides
+a foundation for the one above it") — including that breaking a lower
+layer invalidates the stack.
+"""
+
+from repro.analysis.figures import figure5_data
+from repro.core.layers import (
+    default_stack,
+    dependency_edges,
+    validate_stack,
+)
+
+
+def test_fig5_stack_sound(benchmark):
+    violations = benchmark(lambda: validate_stack(default_stack()))
+    assert violations == []
+    print("\n" + figure5_data())
+
+
+def test_fig5_all_dependencies_resolved(benchmark):
+    edges = benchmark(lambda: dependency_edges(default_stack()))
+    assert edges
+    assert all(provider != "<unsatisfied>" for _, _, provider in edges)
+
+
+def test_fig5_foundation_property(benchmark):
+    """Removing the hardware layer (the foundation) breaks everything
+    above it."""
+
+    def broken():
+        return validate_stack(default_stack()[1:])
+
+    violations = benchmark(broken)
+    assert violations  # crypto foundation loses its hardware services

@@ -1,0 +1,137 @@
+"""E6-E9 — platform-level defence benches.
+
+* E6: the on-chip bus firewall vs. the rogue-DMA key snoop (§3.4's
+  on-chip communication threat);
+* E7: sealed storage vs. the theft scenario (dump / forge / rollback);
+* E8: tamper mesh zeroization vs. an invasive probing campaign, and
+  the sub-threshold-glitch residual that keeps the algorithmic
+  countermeasure necessary;
+* E9: leakage metrology — SNR collapse under masking and CPA
+  measurements-to-disclosure.
+"""
+
+from repro.analysis.sidechannel_metrics import (
+    cpa_success_curve,
+    leakage_snr,
+)
+from repro.attacks.power import MaskedAES, acquire_aes_traces, cpa_attack_aes
+from repro.core.keystore import KeyPolicy, KeyUsage, SecureKeyStore
+from repro.core.secure_storage import theft_scenario
+from repro.core.tamper_response import (
+    EnvironmentEvent,
+    ProbingAttacker,
+    TamperMesh,
+    TamperResponder,
+    glitching_is_subthreshold,
+)
+from repro.crypto.aes import SBOX
+from repro.crypto.bitops import hamming_weight
+from repro.hardware.bus import (
+    KEY_REGISTER_BASE,
+    SystemBus,
+    dma_snoop_attack,
+    provision_keys_on_bus,
+)
+
+AES_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+class TestE6BusFirewall:
+    def test_open_fabric_falls(self, benchmark):
+        def snoop_open():
+            bus = SystemBus(firewall_enabled=False)
+            provision_keys_on_bus(bus, bytes(range(16)))
+            return dma_snoop_attack(bus, KEY_REGISTER_BASE, 16)
+
+        assert benchmark(snoop_open) == bytes(range(16))
+
+    def test_firewalled_fabric_stands(self, benchmark):
+        def snoop_firewalled():
+            bus = SystemBus(firewall_enabled=True)
+            provision_keys_on_bus(bus, bytes(range(16)))
+            return dma_snoop_attack(bus, KEY_REGISTER_BASE, 16), bus
+
+        loot, bus = benchmark(snoop_firewalled)
+        assert loot is None
+        assert bus.violations >= 1  # and the attempt is logged
+
+
+class TestE7SealedStorage:
+    def test_theft_scenario(self, benchmark):
+        outcome = benchmark(theft_scenario)
+        assert outcome == {
+            "plaintext_visible": False,
+            "forge_accepted": False,
+            "rollback_accepted": False,
+        }
+
+
+class TestE8TamperResponse:
+    def test_probe_finds_zeroised_keys(self, benchmark):
+        def probe_protected():
+            keystore = SecureKeyStore.provision("bench-tamper")
+            keystore.install(
+                "master", bytes(16),
+                KeyPolicy(usages=frozenset({KeyUsage.MAC})))
+            responder = TamperResponder(mesh=TamperMesh(),
+                                        keystore=keystore)
+            return ProbingAttacker().run(responder, keystore)
+
+        outcome = benchmark(probe_protected)
+        assert outcome["keys_recovered"] == []
+        assert not outcome["root_key_intact"]
+
+    def test_subthreshold_glitch_residual(self, benchmark):
+        """The mesh does NOT catch fine glitches — quantifying why the
+        Bellcore countermeasure stays mandatory (§3.4 layering)."""
+        fine_glitch = EnvironmentEvent("voltage", 0.05)
+        assert benchmark(glitching_is_subthreshold, fine_glitch)
+
+
+class TestE9LeakageMetrology:
+    def _classifier(self, plaintext: bytes) -> int:
+        return hamming_weight(SBOX[plaintext[0] ^ AES_KEY[0]])
+
+    def test_snr_collapse_under_masking(self, benchmark):
+        def snrs():
+            unmasked = acquire_aes_traces(AES_KEY, 250, seed=21,
+                                          noise_sigma=1.0)
+            masked = acquire_aes_traces(AES_KEY, 250, seed=21,
+                                        noise_sigma=1.0,
+                                        cipher_factory=MaskedAES)
+            return (leakage_snr(unmasked, 0, self._classifier),
+                    leakage_snr(masked, 0, self._classifier))
+
+        snr_unmasked, snr_masked = benchmark.pedantic(
+            snrs, rounds=1, iterations=1)
+        assert snr_unmasked > 5 * snr_masked
+
+    def test_measurements_to_disclosure(self, benchmark):
+        def mtd():
+            curve = cpa_success_curve(
+                lambda n: acquire_aes_traces(AES_KEY, n, seed=22,
+                                             noise_sigma=2.0),
+                lambda traces: cpa_attack_aes(traces).key,
+                AES_KEY, trace_counts=[25, 100, 400])
+            return curve.measurements_to_disclosure
+
+        disclosure = benchmark.pedantic(mtd, rounds=1, iterations=1)
+        assert disclosure is not None and disclosure <= 400
+
+
+class TestE10DoSProtection:
+    def test_flood_amplification(self, benchmark):
+        from repro.protocols.dos import flood_experiment
+
+        def both():
+            naive = flood_experiment(flood_size=1000,
+                                     require_cookies=False)
+            protected = flood_experiment(flood_size=1000,
+                                         require_cookies=True)
+            return naive, protected
+
+        naive, protected = benchmark.pedantic(both, rounds=1, iterations=1)
+        # The protected responder still pays for the 5 real handshakes;
+        # the flood's amplification on top of that floor is >100x.
+        assert naive.work_spent_mi > 100 * protected.work_spent_mi
+        assert protected.legitimate_clients_served == 5

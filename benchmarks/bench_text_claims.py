@@ -1,0 +1,109 @@
+"""T1/T2/T9/T10 — quantitative §3 text claims.
+
+* T1: the 651.3-MIPS bulk-demand anchor and its linear scaling;
+* T2: SA-1100 handshake feasibility by latency target;
+* T9: the battery gap (capacity growth 5-8 %/yr loses to workload
+  growth);
+* T10: cipher-suite flexibility vs peer-population interoperability.
+"""
+
+import pytest
+
+from repro.core.battery_life import battery_gap_series
+from repro.crypto.registry import aes_rollout, default_registry
+from repro.hardware.cycles import (
+    bulk_mips_demand,
+    handshake_cost,
+    handshake_mips_demand,
+)
+from repro.hardware.processors import STRONGARM_SA1100, embedded_catalog
+from repro.protocols.ciphersuites import ALL_SUITES, suites_for_registry
+
+
+class TestT1BulkDemand:
+    def test_anchor(self, benchmark):
+        demand = benchmark(bulk_mips_demand, 10.0, "3DES", "SHA1")
+        assert demand == pytest.approx(651.3, abs=0.05)
+
+    def test_wlan_range_sweep(self, benchmark):
+        """'current and emerging data rates ... 2-60 Mbps' all exceed
+        every embedded processor when running 3DES+SHA."""
+
+        def sweep():
+            return {rate: bulk_mips_demand(rate)
+                    for rate in (2.0, 11.0, 54.0, 60.0)}
+
+        demands = benchmark(sweep)
+        strongest_embedded = max(p.mips for p in embedded_catalog())
+        assert all(demand > strongest_embedded
+                   for rate, demand in demands.items() if rate >= 11.0)
+
+    def test_lighter_suite_narrows_demand(self, benchmark):
+        rc4_demand = benchmark(bulk_mips_demand, 10.0, "RC4", "MD5")
+        assert rc4_demand < bulk_mips_demand(10.0, "3DES", "SHA1") / 5
+
+
+class TestT2HandshakeLatency:
+    def test_feasibility_pattern(self, benchmark):
+        def pattern():
+            return [handshake_mips_demand(latency) <= STRONGARM_SA1100.mips
+                    for latency in (0.1, 0.5, 1.0)]
+
+        assert benchmark(pattern) == [False, True, True]
+
+    def test_crt_rescues_tight_latency(self, benchmark):
+        """The CRT speedup makes 0.1 s feasible — which is exactly why
+        implementers adopt it despite the §3.4 fault-attack risk."""
+        demand = benchmark(handshake_mips_demand, 0.1, 1024, True)
+        assert demand <= STRONGARM_SA1100.mips * 1.05
+
+    def test_private_op_dominates(self, benchmark):
+        cost = benchmark(handshake_cost, 1024)
+        assert cost.private_mi > 0.9 * cost.total_mi
+
+
+class TestT9BatteryGap:
+    def test_gap_widens_in_paper_band(self, benchmark):
+        series = benchmark(battery_gap_series)
+        supported = [count for _, count in series]
+        assert supported[-1] < 0.5 * supported[0]
+
+    @pytest.mark.parametrize("growth", [0.05, 0.08])
+    def test_both_ends_of_band_lose(self, benchmark, growth):
+        series = benchmark(battery_gap_series, 26.0, growth, 0.25, 8)
+        supported = [count for _, count in series]
+        assert supported[-1] < supported[0]
+
+
+class TestT10Flexibility:
+    def test_suite_count_tracks_registry(self, benchmark):
+        def counts():
+            registry = default_registry()
+            before = len(suites_for_registry(registry))
+            aes_rollout(registry)
+            after = len(suites_for_registry(registry))
+            return before, after
+
+        before, after = benchmark(counts)
+        assert after == before + 1
+
+    def test_interoperability_fraction(self, benchmark):
+        """Fraction of the §3.1 suite matrix a handset can speak with
+        and without each algorithm family — the cost of inflexibility."""
+
+        def fractions():
+            full = {s.name for s in ALL_SUITES if s.cipher != "NULL"}
+            registry = default_registry()
+            aes_rollout(registry)
+            flexible = {s.name for s in suites_for_registry(registry)}
+            registry2 = default_registry()
+            registry2.deprecate("RC4")
+            rigid = {
+                s.name for s in suites_for_registry(registry2)
+                if not registry2.get(s.cipher).deprecated
+            }
+            return (len(flexible) / len(full), len(rigid) / len(full))
+
+        flexible_fraction, rigid_fraction = benchmark(fractions)
+        assert flexible_fraction == 1.0
+        assert rigid_fraction < flexible_fraction

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import DeterministicDRBG
+from repro.crypto.rsa import generate_keypair
+from repro.protocols.certificates import CertificateAuthority
+
+
+@pytest.fixture(scope="session")
+def ca():
+    """Session-wide CA for protocol benches."""
+    return CertificateAuthority("BenchCA", DeterministicDRBG("bench-ca"))
+
+
+@pytest.fixture(scope="session")
+def server_credentials(ca):
+    """Server key + certificate for protocol benches."""
+    return ca.issue("bench.server", DeterministicDRBG("bench-server"))
+
+
+@pytest.fixture(scope="session")
+def rsa_512():
+    """512-bit RSA pair for attack benches."""
+    return generate_keypair(512, DeterministicDRBG("bench-rsa"))

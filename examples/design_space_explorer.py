@@ -1,0 +1,104 @@
+"""Design-space exploration: the §3.2/§3.3 sweeps a system architect runs.
+
+Uses the calibrated cost models to answer the questions Figure 3 and
+Figure 4 pose: which (data rate, latency) points can each processor
+serve?  How much does each §4.2 architecture option buy?  How many
+secure transactions does a battery fund, and how does that evolve?
+
+Run:  python examples/design_space_explorer.py
+"""
+
+from repro.analysis.report import format_series, format_table
+from repro.analysis.sweep import sweep
+from repro.core.battery_life import battery_gap_series, figure4_report
+from repro.core.gap import compute_surface, max_sustainable_rate_mbps
+from repro.hardware.accelerators import architecture_ladder
+from repro.hardware.processors import (
+    ARM7,
+    DRAGONBALL,
+    PENTIUM4,
+    STRONGARM_SA1100,
+)
+from repro.hardware.workloads import (
+    BulkWorkload,
+    HandshakeWorkload,
+    SessionWorkload,
+)
+
+
+def processing_gap() -> None:
+    print("== the wireless security processing gap (Figure 3) ==")
+    surface = compute_surface()
+    rows = []
+    for processor in (DRAGONBALL, ARM7, STRONGARM_SA1100, PENTIUM4):
+        rows.append((
+            processor.name,
+            processor.mips,
+            f"{surface.feasible_fraction(processor):.0%}",
+            f"{max_sustainable_rate_mbps(processor, 0.5):.2f}",
+        ))
+    print(format_table(
+        ("processor", "MIPS", "feasible fraction",
+         "max Mbps @0.5s setup"), rows))
+
+
+def architecture_options() -> None:
+    print("\n== what each architecture option buys (§4.2) ==")
+    workload = SessionWorkload(
+        handshake=HandshakeWorkload(),
+        bulk=BulkWorkload(kilobytes=128.0, packets=100))
+    baseline = None
+    rows = []
+    for engine in architecture_ladder(STRONGARM_SA1100):
+        report = engine.execute(workload)
+        baseline = baseline or report.time_s
+        rows.append((
+            engine.name,
+            f"{report.time_s * 1000:.2f}",
+            f"{report.energy_mj:.3f}",
+            f"{baseline / report.time_s:.1f}x",
+            f"{engine.flexibility:.1f}",
+        ))
+    print(format_table(
+        ("option", "time_ms", "energy_mJ", "speedup", "flexibility"), rows))
+
+
+def battery_planning() -> None:
+    print("\n== battery planning (Figure 4 and the §3.3 trend) ==")
+    report = figure4_report()
+    print(f"plain transactions on 26 KJ:  {report.plain_transactions:,}")
+    print(f"secure transactions on 26 KJ: {report.secure_transactions:,} "
+          f"(ratio {report.ratio:.2f} -> less than half: "
+          f"{report.less_than_half})")
+    series = [(year, int(count))
+              for year, count in battery_gap_series(years=6)]
+    print(format_series(
+        "secure transactions per charge, 6.5 %/yr battery growth vs "
+        "25 %/yr workload growth", series, "year", "transactions"))
+
+
+def suite_cost_sweep() -> None:
+    print("\n== per-suite compute cost on the SA-1100 ==")
+    from repro.hardware.accelerators import SoftwareEngine
+
+    engine = SoftwareEngine(STRONGARM_SA1100)
+
+    def cost(cipher: str, mac: str) -> float:
+        workload = BulkWorkload(cipher=cipher, mac=mac, kilobytes=64.0)
+        return engine.execute(workload).time_s * 1000.0
+
+    result = sweep(cost, cipher=["RC4", "DES", "AES", "3DES"],
+                   mac=["MD5", "SHA1"])
+    rows = [(c, m, f"{t:.2f}") for c, m, t in result.rows]
+    print(format_table(("cipher", "mac", "time_ms per 64KB"), rows))
+
+
+def main() -> None:
+    processing_gap()
+    architecture_options()
+    battery_planning()
+    suite_cost_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Content security (Figure 1's seventh concern): a DRM content store.
+
+A provider packages a track, issues a 3-play no-copy license bound to
+one handset, and the device's secure-world DRM agent enforces every
+rule: plays are metered, export is refused, a tampered license is
+rejected, and a second handset cannot use the first one's license.
+
+Run:  python examples/drm_content_store.py
+"""
+
+from repro.core.drm import (
+    ContentProvider,
+    DRMAgent,
+    License,
+    LicenseInvalid,
+    RightsViolation,
+    UsageRules,
+)
+from repro.core.keystore import SecureKeyStore
+from repro.crypto.rng import DeterministicDRBG
+from repro.crypto.rsa import generate_keypair
+
+
+def make_device(device_id: str, seed: str, provider_public):
+    keystore = SecureKeyStore.provision(device_id)
+    device_key = generate_keypair(512, DeterministicDRBG(seed))
+    DRMAgent.provision_device_key(keystore, device_key)
+    agent = DRMAgent(device_id=device_id, keystore=keystore,
+                     provider_public=provider_public)
+    return agent, device_key
+
+
+def main() -> None:
+    provider_key = generate_keypair(512, DeterministicDRBG("label-key"))
+    provider = ContentProvider(signing_key=provider_key,
+                               rng=DeterministicDRBG("label-rng"))
+
+    track = provider.package("track-001", b"\x52\x49\x46\x46 fake audio " * 32)
+    print(f"packaged {track.content_id}: "
+          f"{len(track.ciphertext)} encrypted bytes")
+
+    handset, handset_key = make_device("handset-A", "dev-a",
+                                       provider_key.public)
+    license_ = provider.issue_license(
+        "track-001", "handset-A", handset_key.public,
+        UsageRules(max_plays=3, allow_export=False))
+    print(f"license issued to handset-A: 3 plays, no export")
+
+    for play in range(1, 4):
+        audio = handset.play(track, license_)
+        print(f"  play {play}: {len(audio)} bytes decoded, "
+              f"{handset.plays_remaining(license_)} plays left")
+
+    try:
+        handset.play(track, license_)
+    except RightsViolation as exc:
+        print(f"  play 4 refused: {exc}")
+
+    try:
+        handset.export_copy(track, license_)
+    except RightsViolation as exc:
+        print(f"  export refused: {exc}")
+
+    # Attacker tampering: upgrade the play count in the signed license.
+    forged = License(
+        content_id=license_.content_id, device_id=license_.device_id,
+        wrapped_content_key=license_.wrapped_content_key,
+        rules=UsageRules(max_plays=999_999), signature=license_.signature)
+    try:
+        handset.play(track, forged)
+    except LicenseInvalid as exc:
+        print(f"  forged license rejected: {exc}")
+
+    # A second device cannot use handset-A's license.
+    other, _ = make_device("handset-B", "dev-b", provider_key.public)
+    try:
+        other.play(track, license_)
+    except LicenseInvalid as exc:
+        print(f"  handset-B rejected: {exc}")
+
+
+if __name__ == "__main__":
+    main()

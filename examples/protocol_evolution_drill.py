@@ -1,0 +1,112 @@
+"""Protocol-evolution drill: surviving the Figure 2 churn in the field.
+
+Section 3.1's challenge is that security standards change under a
+deployed handset: new algorithms (TLS adds AES, June 2002), new
+protocols, withdrawn ciphers.  This drill walks one device through
+three years of churn using every flexibility mechanism the library
+implements:
+
+1. **registry rollout** — AES arrives by firmware update and becomes
+   negotiable immediately;
+2. **engine reprogramming** — the MOSES-style microcoded engine loads
+   a program for a brand-new packet format, no silicon change;
+3. **session resumption** — the deployed fix when the RSA handshake
+   outgrows a latency budget;
+4. **suite deprecation** — RC2 is retired and negotiation stops
+   offering it.
+
+Run:  python examples/protocol_evolution_drill.py
+"""
+
+from repro.crypto.registry import aes_rollout, default_registry
+from repro.crypto.rng import DeterministicDRBG
+from repro.hardware.cycles import handshake_cost, handshake_mips_demand
+from repro.hardware.engine_program import (
+    EngineContext,
+    Instruction,
+    Microprogram,
+    stock_engine,
+)
+from repro.hardware.processors import STRONGARM_SA1100
+from repro.protocols.certificates import CertificateAuthority
+from repro.protocols.ciphersuites import suites_for_registry
+from repro.protocols.handshake import ClientConfig, ServerConfig
+from repro.protocols.resumption import (
+    CachedSession,
+    SessionCache,
+    cache_session,
+    resume,
+)
+from repro.protocols.tls import connect
+
+
+def main() -> None:
+    registry = default_registry()
+    print("== 2001: device ships ==")
+    names = [suite.name for suite in suites_for_registry(registry)]
+    print(f"negotiable suites ({len(names)}): {', '.join(sorted(names))}")
+
+    print("\n== June 2002: TLS adds AES (Figure 2's event) ==")
+    aes_rollout(registry)
+    after = {suite.name for suite in suites_for_registry(registry)}
+    print(f"firmware update registers AES -> "
+          f"{sorted(after - set(names))} now negotiable")
+
+    ca = CertificateAuthority("DrillCA", DeterministicDRBG("drill-ca"))
+    server_key, server_cert = ca.issue(
+        "service.example", DeterministicDRBG("drill-srv"))
+    aes_suites = [suite for suite in suites_for_registry(registry)
+                  if suite.cipher == "AES"]
+    client = ClientConfig(rng=DeterministicDRBG("drill-c"), ca=ca,
+                          suites=aes_suites)
+    server = ServerConfig(rng=DeterministicDRBG("drill-s"),
+                          certificate=server_cert, private_key=server_key)
+    conn_c, conn_s = connect(client, server)
+    conn_c.send(b"first AES-protected message")
+    conn_s.receive()
+    print(f"negotiated: {conn_c.suite_name}")
+
+    print("\n== 2003: a new packet format needs engine support ==")
+    engine = stock_engine()
+    new_program = Microprogram(
+        name="newfmt-2003",
+        description="hypothetical post-WEP link format: CRC + emit",
+        instructions=(Instruction("crc_append"), Instruction("emit")),
+    )
+    engine.load_program(new_program)
+    report = engine.run("newfmt-2003", EngineContext(payload=b"frame"))
+    print(f"engine reprogrammed in the field: program "
+          f"{report.program!r} runs in {report.cycles:.0f} cycles "
+          f"({report.time_s * 1e6:.2f} us)")
+
+    print("\n== latency budget tightens to 0.1 s ==")
+    full_demand = handshake_mips_demand(0.1)
+    resumed_demand = handshake_cost(resumed=True).total_mi / 0.1
+    print(f"full handshake at 0.1 s: {full_demand:.0f} MIPS "
+          f"(SA-1100 has {STRONGARM_SA1100.mips:.0f}) -> infeasible")
+    print(f"resumed handshake at 0.1 s: {resumed_demand:.0f} MIPS "
+          f"-> feasible")
+    client_cache, server_cache = SessionCache(), SessionCache()
+    session_id = cache_session(client_cache, conn_c.session,
+                               DeterministicDRBG("drill-sid"))
+    server_cache.store(CachedSession(
+        session_id=session_id, suite_name=conn_s.session.suite.name,
+        master=conn_s.session.master))
+    resumed_c, _ = resume(client, server, client_cache, server_cache,
+                          session_id)
+    print(f"abbreviated handshake completed in "
+          f"{resumed_c.handshake_messages} messages (full: "
+          f"{conn_c.session.handshake_messages})")
+
+    print("\n== RC2 is retired ==")
+    registry.deprecate("RC2")
+    remaining = [
+        suite.name for suite in suites_for_registry(registry)
+        if not registry.get(suite.cipher).deprecated
+    ]
+    print(f"negotiable after deprecations: {len(remaining)} suites, "
+          f"RC2 gone: {all('RC2' not in name for name in remaining)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""SET-style dual-signature payment — application-layer security (§2).
+
+A cardholder buys through a merchant and a payment gateway.  The dual
+signature lets each party verify its half of the transaction while
+seeing only what it needs: the merchant never sees the card number,
+the gateway never sees what was bought, and an arbiter can later prove
+exactly what the cardholder authorised (non-repudiation — the §2
+functionality transport-layer security cannot provide).
+
+Run:  python examples/secure_payment.py
+"""
+
+from repro.crypto.rng import DeterministicDRBG
+from repro.protocols.certificates import CertificateAuthority
+from repro.protocols.payment import (
+    Merchant,
+    OrderInfo,
+    PaymentError,
+    PaymentGateway,
+    PaymentInfo,
+    create_payment,
+    non_repudiation_evidence,
+)
+
+
+def main() -> None:
+    ca = CertificateAuthority("PaymentsCA", DeterministicDRBG("pay-ca"))
+    card_key, card_cert = ca.issue("alice.cardholder",
+                                   DeterministicDRBG("pay-alice"))
+
+    order = OrderInfo(merchant="music.example",
+                      description="album: embedded beats",
+                      amount_cents=1299, order_id="ORD-2003-07")
+    payment = PaymentInfo(card_number="4111111111111111", expiry="12/05",
+                          amount_cents=1299, order_id="ORD-2003-07")
+    purchase = create_payment(order, payment, card_key, card_cert)
+    print("cardholder created a dual-signed purchase request")
+
+    merchant = Merchant(name="music.example", ca=ca)
+    subject = merchant.process(purchase.merchant_view())
+    print(f"merchant verified order from {subject} "
+          f"(card number never seen)")
+
+    gateway = PaymentGateway(ca=ca)
+    code = gateway.process(purchase.gateway_view())
+    print(f"gateway authorised payment, code {code} "
+          f"(order contents never seen)")
+
+    evidence = non_repudiation_evidence(purchase, ca)
+    print(f"arbiter evidence: {evidence}")
+
+    # A dishonest merchant inflates the amount and re-presents:
+    inflated = OrderInfo(merchant="music.example",
+                         description="album: embedded beats",
+                         amount_cents=129_900, order_id="ORD-2003-07")
+    try:
+        merchant.process((inflated, purchase.payment_digest,
+                          purchase.dual_signature,
+                          purchase.cardholder_certificate))
+    except PaymentError as exc:
+        print(f"inflated order rejected: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Side-channel laboratory: mount the §3.4 attacks, then defend.
+
+Runs the paper's three headline implementation attacks against this
+library's own instrumented crypto and shows each paired countermeasure
+winning:
+
+1. Kocher/Dhem timing attack on square-and-multiply RSA
+   -> defeated by base blinding;
+2. CPA (correlation power analysis) on AES round 1
+   -> defeated by first-order masking;
+3. Bellcore fault attack on RSA-CRT signatures
+   -> defeated by result verification.
+
+Run:  python examples/side_channel_lab.py   (~15 s, all deterministic)
+"""
+
+from repro.attacks.countermeasures import BlindedRSA, verified_crt_sign
+from repro.attacks.fault import FaultInjector, bellcore_attack
+from repro.attacks.power import MaskedAES, acquire_aes_traces, cpa_attack_aes
+from repro.attacks.timing import TimingAttack, measure_sqm, rsa_verifier
+from repro.crypto.errors import SignatureError
+from repro.crypto.modmath import OperationTimer
+from repro.crypto.primes import generate_prime
+from repro.crypto.rng import DeterministicDRBG
+from repro.crypto.rsa import RSAPrivateKey, generate_keypair
+
+
+def timing_attack_demo() -> None:
+    print("== 1. timing attack on RSA square-and-multiply ==")
+    rng = DeterministicDRBG(77)
+    p, q = generate_prime(32, rng), generate_prime(32, rng)
+    n = p * q
+    d = rng.randrange(1 << 47, 1 << 48)
+    probe = (12345 % n, pow(12345, d, n))
+
+    naive = TimingAttack(n, lambda base: measure_sqm(base, d, n),
+                         rsa_verifier(n, 65537, probe))
+    result = naive.run(exponent_bits=48, samples=800)
+    print(f"  naive implementation: recovered d? {result.succeeded} "
+          f"(retries={result.retries_used})")
+    assert result.recovered_exponent == d
+
+    key = RSAPrivateKey(n=n, e=65537, d=d, p=p, q=q)
+    blinded = BlindedRSA(key, DeterministicDRBG("lab-blind"))
+
+    def blinded_oracle(base: int) -> float:
+        timer = OperationTimer()
+        blinded.decrypt_raw(base, timer=timer)
+        return float(timer.total)
+
+    defended = TimingAttack(n, blinded_oracle,
+                            rsa_verifier(n, 65537, probe))
+    result = defended.run(exponent_bits=48, samples=800, max_retries=4)
+    print(f"  with base blinding:   recovered d? {result.succeeded}")
+    assert not result.succeeded
+
+
+def power_attack_demo() -> None:
+    print("== 2. correlation power analysis on AES ==")
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    naive = cpa_attack_aes(acquire_aes_traces(key, 150, seed=1))
+    print(f"  unprotected AES: key recovered? {naive.key == key} "
+          f"(min |r| = {min(naive.correlations):.2f})")
+    assert naive.key == key
+
+    masked = cpa_attack_aes(
+        acquire_aes_traces(key, 150, seed=1, cipher_factory=MaskedAES))
+    correct_bytes = sum(a == b for a, b in zip(masked.key, key))
+    print(f"  first-order masked: key recovered? {masked.key == key} "
+          f"({correct_bytes}/16 bytes by chance)")
+    assert masked.key != key
+
+
+def fault_attack_demo() -> None:
+    print("== 3. Bellcore fault attack on RSA-CRT ==")
+    key = generate_keypair(512, DeterministicDRBG("lab-rsa"))
+    message = b"sign this purchase order"
+
+    faulty = key.sign(message, use_crt=True,
+                      fault_hook=FaultInjector(target="p", seed=1))
+    factors = bellcore_attack(key.public, message, faulty)
+    print(f"  one glitched signature factors n? {factors is not None}")
+    assert factors is not None and factors[0] * factors[1] == key.n
+
+    try:
+        verified_crt_sign(key, message, fault_hook=FaultInjector(seed=2))
+        outcome = "signature leaked!"
+    except SignatureError:
+        outcome = "faulty signature withheld"
+    print(f"  with CRT verification: {outcome}")
+
+
+def main() -> None:
+    timing_attack_demo()
+    power_attack_demo()
+    fault_attack_demo()
+    print("\nall three attacks succeed naive, all three countermeasures hold.")
+
+
+if __name__ == "__main__":
+    main()

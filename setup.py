@@ -1,0 +1,10 @@
+"""Setuptools entry point (kept for legacy editable installs).
+
+The offline evaluation environment lacks the ``wheel`` package, so
+``pip install -e .`` must take the legacy ``setup.py develop`` path;
+all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the reproduction a front door:
+
+* ``figures``        — regenerate every paper figure's data;
+* ``figure N``       — one figure only;
+* ``attacks``        — run the §3.4 attack/countermeasure suite;
+* ``gap``            — the Figure 3 feasibility explorer;
+* ``battery``        — the Figure 4 report + battery-gap projection;
+* ``appliance``      — provision/boot/unlock/transact walkthrough.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .analysis.figures import all_figures
+
+    wanted = getattr(args, "number", None)
+    for name, data in all_figures():
+        if wanted is not None and name != f"Figure {wanted}":
+            continue
+        print("=" * 24, name, "=" * 24)
+        print(data)
+        print()
+    return 0
+
+
+def _cmd_attacks(args: argparse.Namespace) -> int:
+    from .attacks.countermeasures import verified_crt_sign
+    from .attacks.fault import FaultInjector, bellcore_attack
+    from .attacks.power import (
+        MaskedAES,
+        acquire_aes_traces,
+        cpa_attack_aes,
+    )
+    from .crypto.errors import SignatureError
+    from .crypto.rng import DeterministicDRBG
+    from .crypto.rsa import generate_keypair
+
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    print("CPA vs AES:", end=" ")
+    result = cpa_attack_aes(acquire_aes_traces(key, 150, seed=1))
+    print("key recovered" if result.key == key else "failed")
+    print("CPA vs masked AES:", end=" ")
+    masked = cpa_attack_aes(
+        acquire_aes_traces(key, 150, seed=1, cipher_factory=MaskedAES))
+    print("defeated (masking)" if masked.key != key else "BROKEN")
+
+    rsa = generate_keypair(512, DeterministicDRBG("cli-rsa"))
+    message = b"cli attack demo"
+    faulty = rsa.sign(message, use_crt=True,
+                      fault_hook=FaultInjector(seed=1))
+    factors = bellcore_attack(rsa.public, message, faulty)
+    print("Bellcore fault attack:",
+          "modulus factored" if factors else "failed")
+    try:
+        verified_crt_sign(rsa, message, fault_hook=FaultInjector(seed=2))
+        print("CRT verification: BROKEN (faulty signature released)")
+    except SignatureError:
+        print("CRT verification: faulty signature withheld")
+    return 0
+
+
+def _cmd_gap(args: argparse.Namespace) -> int:
+    from .analysis.report import format_table
+    from .core.gap import compute_surface, max_sustainable_rate_mbps
+    from .hardware.processors import CATALOG
+
+    surface = compute_surface()
+    rows = []
+    for processor in CATALOG.values():
+        rows.append((
+            processor.name, processor.mips,
+            f"{surface.feasible_fraction(processor):.0%}",
+            f"{max_sustainable_rate_mbps(processor, 0.5):.2f}",
+        ))
+    print(format_table(
+        ("processor", "MIPS", "feasible fraction",
+         "max Mbps @0.5s"), rows))
+    return 0
+
+
+def _cmd_battery(args: argparse.Namespace) -> int:
+    from .analysis.figures import figure4_data
+    from .analysis.report import format_series
+    from .core.battery_life import battery_gap_series
+
+    print(figure4_data())
+    series = [(year, int(count))
+              for year, count in battery_gap_series(years=8)]
+    print(format_series("battery gap projection", series,
+                        "year", "secure transactions/charge"))
+    return 0
+
+
+def _cmd_appliance(args: argparse.Namespace) -> int:
+    from .core.appliance import provision_appliance
+
+    device = provision_appliance(seed=args.seed)
+    report = device.boot()
+    print(f"boot: {'ok' if report.succeeded else 'FAILED'} "
+          f"({', '.join(report.stages_verified)})")
+    sample = device._finger_simulator.read("owner")
+    print(f"unlock: {device.unlock('owner', sample)}")
+    execution = device.run_secure_transaction(kilobytes=1.0)
+    print(f"secure transaction: {execution.time_s * 1000:.2f} ms on "
+          f"{execution.engine}, battery at "
+          f"{device.platform.battery.fraction_remaining:.4%}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Securing Mobile Appliances (DATE 2003) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="regenerate all paper figures")
+    figure = sub.add_parser("figure", help="regenerate one figure")
+    figure.add_argument("number", type=int, choices=range(1, 7))
+    sub.add_parser("attacks", help="run the attack/countermeasure demos")
+    sub.add_parser("gap", help="Figure 3 feasibility explorer")
+    sub.add_parser("battery", help="Figure 4 + battery-gap projection")
+    appliance = sub.add_parser("appliance",
+                               help="provision/boot/transact walkthrough")
+    appliance.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "figures": _cmd_figures,
+        "figure": _cmd_figures,
+        "attacks": _cmd_attacks,
+        "gap": _cmd_gap,
+        "battery": _cmd_battery,
+        "appliance": _cmd_appliance,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Side-channel attack evaluation metrology.
+
+Quantifies *how leaky* an implementation is and *how strong* an attack
+is — the measurements a tamper-resistance engineer (§3.4) runs before
+and after adding countermeasures:
+
+* **SNR** of a trace set with respect to a target intermediate — the
+  standard leakage-assessment number (signal variance across classes
+  over noise variance within them);
+* **success rate vs. trace count** — the attack-strength curve: rerun
+  CPA on growing prefixes of a campaign and record when the right key
+  wins;
+* **measurements-to-disclosure (MTD)** — the smallest trace count at
+  which the attack stays successful, the figure of merit hardware
+  vendors quoted for DPA resistance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def leakage_snr(traces: Sequence[Tuple[bytes, List[float]]],
+                sample_index: int,
+                classifier: Callable[[bytes], int]) -> float:
+    """Signal-to-noise ratio of one trace sample for a partitioning.
+
+    ``classifier`` maps each input (plaintext) to a class (e.g. the
+    true S-box output's Hamming weight).  SNR = Var(class means) /
+    mean(within-class variance).  Unmasked implementations show SNR >>
+    0 at the right sample; masked ones collapse towards 0.
+    """
+    classes: Dict[int, List[float]] = {}
+    for data, samples in traces:
+        classes.setdefault(classifier(data), []).append(
+            samples[sample_index])
+    means = []
+    within = []
+    for values in classes.values():
+        if len(values) < 2:
+            continue
+        mean = sum(values) / len(values)
+        means.append(mean)
+        within.append(
+            sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+    if len(means) < 2 or not within:
+        return 0.0
+    grand = sum(means) / len(means)
+    signal = sum((m - grand) ** 2 for m in means) / (len(means) - 1)
+    noise = sum(within) / len(within)
+    return signal / noise if noise else float("inf")
+
+
+@dataclass
+class SuccessCurve:
+    """Attack success as a function of campaign size."""
+
+    trace_counts: List[int]
+    successes: List[bool]
+
+    @property
+    def measurements_to_disclosure(self) -> Optional[int]:
+        """Smallest count from which the attack stays successful."""
+        mtd = None
+        for count, success in zip(self.trace_counts, self.successes):
+            if success and mtd is None:
+                mtd = count
+            elif not success:
+                mtd = None
+        return mtd
+
+
+def cpa_success_curve(acquire: Callable[[int], Sequence],
+                      attack: Callable[[Sequence], bytes],
+                      true_key: bytes,
+                      trace_counts: Sequence[int]) -> SuccessCurve:
+    """Run an attack at increasing trace counts.
+
+    ``acquire(n)`` returns n traces (deterministic prefix property is
+    the caller's responsibility), ``attack(traces)`` returns the
+    recovered key.
+    """
+    successes = []
+    largest = max(trace_counts)
+    full_campaign = acquire(largest)
+    for count in trace_counts:
+        recovered = attack(full_campaign[:count])
+        successes.append(recovered == true_key)
+    return SuccessCurve(trace_counts=list(trace_counts),
+                        successes=successes)
+
+
+def timing_attack_success_curve(run_attack: Callable[[int], bool],
+                                sample_counts: Sequence[int]
+                                ) -> SuccessCurve:
+    """Success-vs-samples curve for the timing attack."""
+    successes = [run_attack(count) for count in sample_counts]
+    return SuccessCurve(trace_counts=list(sample_counts),
+                        successes=successes)

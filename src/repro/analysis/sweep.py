@@ -1,0 +1,53 @@
+"""Generic parameter-sweep helper used by benches and examples.
+
+A tiny experiment harness: cartesian-product sweeps with named axes,
+collecting one result row per point.  Keeps the bench files focused on
+*what* they sweep rather than loop plumbing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All rows of a completed sweep."""
+
+    axes: Tuple[str, ...]
+    rows: Tuple[Tuple, ...]  # (*axis values, result)
+
+    def column(self, axis: str) -> List:
+        """Values of one axis across rows."""
+        index = self.axes.index(axis)
+        return [row[index] for row in self.rows]
+
+    def results(self) -> List:
+        """The result value of every row."""
+        return [row[-1] for row in self.rows]
+
+    def filter(self, **fixed) -> List[Tuple]:
+        """Rows where the given axes take the given values."""
+        indices = {self.axes.index(k): v for k, v in fixed.items()}
+        return [
+            row for row in self.rows
+            if all(row[i] == v for i, v in indices.items())
+        ]
+
+
+def sweep(func: Callable[..., Any],
+          **axes: Sequence) -> SweepResult:
+    """Evaluate ``func`` over the cartesian product of named axes.
+
+    >>> result = sweep(lambda a, b: a * b, a=[1, 2], b=[10, 20])
+    >>> result.rows
+    ((1, 10, 10), (1, 20, 20), (2, 10, 20), (2, 20, 40))
+    """
+    names = tuple(axes)
+    rows = []
+    for values in itertools.product(*(axes[name] for name in names)):
+        kwargs: Dict[str, Any] = dict(zip(names, values))
+        rows.append((*values, func(**kwargs)))
+    return SweepResult(axes=names, rows=tuple(rows))

@@ -1,0 +1,90 @@
+"""Side-channel countermeasures (the defensive half of §3.4).
+
+The paper argues tamper resistance must be *built in*; these are the
+standard algorithm-level defences for the attacks this package mounts:
+
+* **base blinding** for RSA — randomise the input so per-input timing
+  statistics decorrelate (Kocher's own recommendation);
+* **constant-sequence exponentiation** — the Montgomery ladder of
+  :func:`repro.crypto.modmath.modexp_ladder`, removing the
+  key-dependent operation *sequence* (also kills the Hamming-weight
+  SPA leak);
+* **CRT result verification** — re-encrypt before releasing a
+  signature, defeating the Bellcore fault attack
+  (:mod:`repro.attacks.fault`);
+* **first-order masking** for symmetric ciphers — randomise the
+  intermediate values DPA correlates on
+  (:class:`~repro.attacks.power.MaskedAES`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..crypto.modmath import (
+    OperationTimer,
+    invmod,
+    modexp,
+    modexp_ladder,
+    modexp_sqm,
+)
+from ..crypto.rng import DeterministicDRBG
+from ..crypto.rsa import RSAPrivateKey
+
+
+class BlindedRSA:
+    """RSA private operations with Kocher-style base blinding.
+
+    For ciphertext ``c``: pick random ``r``, compute
+    ``(c * r^e)^d * r^{-1} mod n``.  The exponentiation input is then
+    uniformly random and independent of ``c``, so an attacker timing
+    chosen ciphertexts learns nothing about ``d`` — the per-input
+    extra-reduction pattern changes on every call.
+    """
+
+    def __init__(self, key: RSAPrivateKey, rng: DeterministicDRBG) -> None:
+        self._key = key
+        self._rng = rng
+
+    def decrypt_raw(self, ciphertext: int,
+                    timer: Optional[OperationTimer] = None,
+                    leaky: bool = True) -> int:
+        """Blinded c^d mod n (optionally still on the leaky multiplier).
+
+        Even with the *leaky* square-and-multiply underneath, blinding
+        destroys the attacker's ability to predict extra reductions,
+        because the effective base is secret and fresh per call.
+        """
+        n, e, d = self._key.n, self._key.e, self._key.d
+        while True:
+            r = self._rng.randrange(2, n - 1)
+            try:
+                r_inv = invmod(r, n)
+            except Exception:
+                continue  # gcd(r, n) != 1: astronomically rare, retry
+            break
+        blinded = (ciphertext * modexp(r, e, n)) % n
+        if timer is None:
+            result = modexp(blinded, d, n)
+        elif leaky:
+            result = modexp_sqm(blinded, d, n, timer)
+        else:
+            result = modexp_ladder(blinded, d, n, timer)
+        return (result * r_inv) % n
+
+
+def constant_time_decrypt_raw(key: RSAPrivateKey, ciphertext: int,
+                              timer: Optional[OperationTimer] = None) -> int:
+    """RSA private op via the Montgomery ladder (fixed op sequence)."""
+    return modexp_ladder(ciphertext, key.d, key.n, timer)
+
+
+def verified_crt_sign(key: RSAPrivateKey, message: bytes,
+                      fault_hook=None) -> bytes:
+    """CRT signing with the re-encryption self-check.
+
+    Raises :class:`~repro.crypto.errors.SignatureError` instead of
+    releasing a faulty signature — the §3.4 fault-attack countermeasure.
+    """
+    return key.sign(message, use_crt=True, fault_hook=fault_hook,
+                    verify_result=True)

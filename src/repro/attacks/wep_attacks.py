@@ -1,0 +1,140 @@
+"""Attacks on WEP (§2, paper refs. [21]-[23]).
+
+The paper cites the WEP break literature as evidence that bearer-level
+wireless security "can be easily broken or compromised by serious
+hackers".  These attacks run against our own
+:class:`~repro.protocols.wep.WEPStation` implementation and need *no*
+knowledge of the shared key:
+
+* **keystream harvesting / IV reuse** — WEP's per-frame key is
+  ``IV || key`` with a 24-bit public IV; any frame with known
+  plaintext yields that IV's keystream, which decrypts *every* other
+  frame using the same IV (guaranteed recurrence by counter wrap or
+  birthday collision);
+* **bit-flip forgery** — the CRC-32 ICV is linear:
+  ``crc(a xor d) = crc(a) xor crc(d) xor crc(0)``, so an attacker can
+  flip chosen plaintext bits in a captured frame and patch the
+  encrypted ICV so the forgery still verifies;
+* **IV-collision statistics** — quantifies how quickly a busy network
+  reuses IVs in both counter and random modes (the Figure-style
+  series for the T6 bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..crypto.bitops import xor_bytes
+from ..crypto.crc import crc32, crc32_bytes
+from ..protocols.wep import ICV_BYTES, WEPFrame
+
+
+@dataclass
+class KeystreamHarvester:
+    """Passive attacker building an IV -> keystream dictionary."""
+
+    keystreams: Dict[bytes, bytes] = field(default_factory=dict)
+    frames_seen: int = 0
+    collisions_seen: int = 0
+
+    def observe(self, frame: WEPFrame,
+                known_plaintext: Optional[bytes] = None) -> None:
+        """Record a sniffed frame; with known plaintext, learn keystream.
+
+        Known plaintext is realistic: DHCP, ARP and LLC headers give
+        every WLAN frame predictable prefixes.
+        """
+        self.frames_seen += 1
+        if frame.iv in self.keystreams:
+            self.collisions_seen += 1
+        if known_plaintext is not None:
+            body = known_plaintext + crc32_bytes(known_plaintext)
+            if len(body) > len(frame.ciphertext):
+                body = body[: len(frame.ciphertext)]
+            keystream = xor_bytes(frame.ciphertext[: len(body)], body)
+            existing = self.keystreams.get(frame.iv, b"")
+            if len(keystream) > len(existing):
+                self.keystreams[frame.iv] = keystream
+
+    def decrypt(self, frame: WEPFrame) -> Optional[bytes]:
+        """Decrypt a frame whose IV's keystream has been harvested."""
+        keystream = self.keystreams.get(frame.iv)
+        if keystream is None or len(keystream) < len(frame.ciphertext):
+            return None
+        body = xor_bytes(
+            frame.ciphertext, keystream[: len(frame.ciphertext)]
+        )
+        plaintext, icv = body[:-ICV_BYTES], body[-ICV_BYTES:]
+        if crc32_bytes(plaintext) != icv:
+            return None
+        return plaintext
+
+    def xor_of_plaintexts(self, frame_a: WEPFrame,
+                          frame_b: WEPFrame) -> Optional[bytes]:
+        """For two same-IV frames, the XOR of their plaintext bodies.
+
+        Needs no keystream at all: ``c1 xor c2 = p1 xor p2`` when the
+        IV (hence keystream) repeats — the raw confidentiality loss.
+        """
+        if frame_a.iv != frame_b.iv:
+            return None
+        length = min(len(frame_a.ciphertext), len(frame_b.ciphertext))
+        return xor_bytes(
+            frame_a.ciphertext[:length], frame_b.ciphertext[:length]
+        )
+
+
+def bitflip_forgery(frame: WEPFrame, delta: bytes) -> WEPFrame:
+    """Forge a valid frame flipping plaintext bits chosen by ``delta``.
+
+    ``delta`` is XORed into the (unknown) plaintext; the encrypted ICV
+    is patched through CRC linearity so the receiver's check passes.
+    ``delta`` must not be longer than the frame's plaintext body.
+    """
+    body_length = len(frame.ciphertext) - ICV_BYTES
+    if len(delta) > body_length:
+        raise ValueError("delta longer than frame plaintext")
+    delta = delta + bytes(body_length - len(delta))
+    # crc(p ^ delta) = crc(p) ^ crc(delta) ^ crc(0) over equal lengths.
+    icv_patch = (
+        crc32(delta) ^ crc32(bytes(body_length))
+    ).to_bytes(4, "little")
+    new_cipher = bytearray(frame.ciphertext)
+    for i, d in enumerate(delta):
+        new_cipher[i] ^= d
+    for i, patch_byte in enumerate(icv_patch):
+        new_cipher[body_length + i] ^= patch_byte
+    return WEPFrame(iv=frame.iv, key_id=frame.key_id,
+                    ciphertext=bytes(new_cipher))
+
+
+@dataclass
+class IVCollisionExperiment:
+    """Measures IV reuse for the T6 bench: frames until first collision
+    and total collisions over a campaign, per IV mode."""
+
+    frames: int
+    first_collision: Optional[int]
+    total_collisions: int
+    mode: str
+
+
+def run_iv_collision_experiment(station_factory, frames: int,
+                                mode: str) -> IVCollisionExperiment:
+    """Send ``frames`` frames from a fresh station, counting IV reuse."""
+    station = station_factory()
+    seen: set = set()
+    first: Optional[int] = None
+    collisions = 0
+    for index in range(frames):
+        frame = station.encrypt(b"X")
+        if frame.iv in seen:
+            collisions += 1
+            if first is None:
+                first = index + 1
+        seen.add(frame.iv)
+    return IVCollisionExperiment(
+        frames=frames, first_collision=first,
+        total_collisions=collisions, mode=mode,
+    )

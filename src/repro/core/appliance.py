@@ -1,0 +1,206 @@
+"""The complete secure mobile appliance — the paper's subject, composed.
+
+:class:`MobileAppliance` wires every subsystem of this library into
+one device model: the hardware platform (processor, battery, radio,
+crypto engines), the measured boot chain, the two-world secure
+execution environment with its key store, biometric user
+identification, the DRM agent, and the protocol client configuration —
+i.e., the full Figure 1 concern coverage standing on the Figure 5
+layer stack, built over the Figure 6 base architecture.
+
+The lifecycle mirrors a real handset: ``boot()`` must succeed before
+the secure world opens; ``unlock(sample)`` gates user-facing secure
+services; secure sessions charge the battery through the hardware
+model, so examples can watch energy drain exactly as §3.3 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..crypto.rng import DeterministicDRBG
+from ..crypto.rsa import generate_keypair
+from ..hardware.platform_builder import HardwarePlatform, phone_platform
+from ..hardware.workloads import BulkWorkload, HandshakeWorkload, SessionWorkload
+from ..protocols.certificates import Certificate, CertificateAuthority
+from ..protocols.handshake import ClientConfig
+from .base_architecture import ModularBaseArchitecture, reference_architecture
+from .biometrics import BiometricMatcher, FingerSimulator
+from .drm import DRMAgent
+from .keystore import KeyPolicy, KeyUsage, SecureKeyStore
+from .layers import default_stack, validate_stack
+from .secure_boot import BootReport, BootStage, SecureBootROM, VendorSigner
+from .secure_execution import SecureExecutionEnvironment
+from .secure_storage import FlashDevice, SecureStorage
+from .tamper_response import TamperMesh, TamperResponder
+
+
+class ApplianceLocked(Exception):
+    """A secure service was requested before boot/unlock."""
+
+
+@dataclass
+class MobileAppliance:
+    """A secure handset/PDA instance.
+
+    Build with :func:`provision_appliance` for a fully provisioned
+    device (keys, certificates, boot chain, enrolled user).
+    """
+
+    device_id: str
+    platform: HardwarePlatform
+    architecture: ModularBaseArchitecture
+    boot_rom: SecureBootROM
+    boot_chain: List[BootStage]
+    environment: SecureExecutionEnvironment
+    biometrics: BiometricMatcher
+    drm: Optional[DRMAgent] = None
+    storage: Optional[SecureStorage] = None
+    tamper: Optional[TamperResponder] = None
+    certificate: Optional[Certificate] = None
+    client_rng: Optional[DeterministicDRBG] = None
+    booted: bool = False
+    unlocked: bool = False
+    boot_report: Optional[BootReport] = None
+
+    @property
+    def keystore(self) -> SecureKeyStore:
+        """The device key store (inside the architecture boundary)."""
+        return self.environment.keystore
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def boot(self) -> BootReport:
+        """Run the measured boot chain; opens the secure world."""
+        report = self.boot_rom.boot(self.boot_chain)
+        self.boot_report = report
+        self.booted = report.succeeded
+        if not report.succeeded:
+            self.unlocked = False
+        return report
+
+    def unlock(self, subject: str, sample) -> bool:
+        """Biometric user identification gate."""
+        if not self.booted:
+            raise ApplianceLocked("device has not booted successfully")
+        self.unlocked = self.biometrics.verify(subject, sample)
+        return self.unlocked
+
+    def _require_ready(self) -> None:
+        if not self.booted:
+            raise ApplianceLocked("device has not booted successfully")
+        if not self.unlocked:
+            raise ApplianceLocked("no authenticated user present")
+
+    # -- secure services -----------------------------------------------------
+
+    def tls_client_config(self, ca: CertificateAuthority,
+                          expected_server: Optional[str] = None
+                          ) -> ClientConfig:
+        """Protocol client configuration for a secure data session."""
+        self._require_ready()
+        if self.client_rng is None:
+            raise ApplianceLocked("appliance has no provisioned client RNG")
+        return ClientConfig(
+            rng=self.client_rng, ca=ca, expected_server=expected_server,
+        )
+
+    def run_secure_transaction(self, kilobytes: float = 1.0,
+                               packets: int = 1,
+                               cipher: str = "3DES",
+                               mac: str = "SHA1"):
+        """One m-commerce-style transaction: handshake + protected data.
+
+        Executes on the platform's best engine and drains the battery —
+        the §3.3 energy path.
+        """
+        self._require_ready()
+        workload = SessionWorkload(
+            handshake=HandshakeWorkload(),
+            bulk=BulkWorkload(cipher=cipher, mac=mac,
+                              kilobytes=kilobytes, packets=packets),
+        )
+        report = self.platform.run_security_workload(workload)
+        self.platform.transmit(kilobytes)
+        self.platform.receive(kilobytes)
+        return report
+
+    def layer_stack_violations(self) -> List[str]:
+        """Figure 5 self-check: the layered hierarchy must be sound."""
+        return validate_stack(default_stack())
+
+
+def provision_appliance(device_id: str = "handset-0001", seed: int = 0,
+                        ca: Optional[CertificateAuthority] = None,
+                        platform: Optional[HardwarePlatform] = None,
+                        with_engine: bool = True) -> MobileAppliance:
+    """Factory-provision a complete appliance.
+
+    Generates the vendor signing key and boot chain, the device RSA
+    key (installed into the key store), a device certificate when a CA
+    is supplied, the DRM device key, and enrolls the default user
+    ``owner`` on the biometric sensor.
+    """
+    vendor = VendorSigner.create(seed=seed)
+    boot_rom = SecureBootROM(vendor_key=vendor.public_key)
+    from .secure_boot import reference_chain
+
+    chain = reference_chain(vendor)
+
+    architecture = reference_architecture(with_engine=with_engine)
+    keystore = architecture.keystore
+    rng = DeterministicDRBG(("appliance", device_id, seed).__repr__())
+    device_key = generate_keypair(512, rng)
+    keystore.install(
+        "device-identity-key", device_key,
+        KeyPolicy(usages=frozenset({KeyUsage.SIGN, KeyUsage.DECRYPT}),
+                  secure_world_only=True),
+    )
+    drm_key = generate_keypair(512, rng)
+    DRMAgent.provision_device_key(keystore, drm_key)
+
+    environment = SecureExecutionEnvironment(
+        keystore=keystore, installer_key=vendor.public_key,
+    )
+    matcher = architecture.biometrics
+    simulator = FingerSimulator(seed=seed)
+    matcher.enroll("owner", [simulator.read("owner") for _ in range(5)])
+
+    storage = SecureStorage(
+        flash=FlashDevice(), keystore=keystore,
+        rng=DeterministicDRBG(("flash", device_id, seed).__repr__()))
+    tamper = TamperResponder(mesh=TamperMesh(), keystore=keystore)
+
+    certificate = None
+    if ca is not None:
+        certificate = ca.sign_public_key(device_id, device_key.public)
+
+    if platform is None:
+        # Wire the Figure 6 crypto engine into the hardware platform so
+        # secure transactions run on it (software remains the fallback).
+        engines = (
+            [architecture.crypto_engine]
+            if architecture.crypto_engine is not None else []
+        )
+        platform = phone_platform(engines=engines)
+
+    appliance = MobileAppliance(
+        device_id=device_id,
+        platform=platform,
+        architecture=architecture,
+        boot_rom=boot_rom,
+        boot_chain=chain,
+        environment=environment,
+        biometrics=matcher,
+        drm=DRMAgent(device_id=device_id, keystore=keystore,
+                     provider_public=drm_key.public),  # placeholder provider
+        storage=storage,
+        tamper=tamper,
+        certificate=certificate,
+        client_rng=DeterministicDRBG(("client", device_id, seed).__repr__()),
+    )
+    appliance._finger_simulator = simulator
+    appliance._device_key = device_key
+    appliance._vendor = vendor
+    return appliance

@@ -1,0 +1,127 @@
+"""The modular base architecture of Figure 6.
+
+"At the core is a powerful crypto engine surrounded by firmware and an
+application-programming interface (API) which speeds the integration
+of various security applications and peripherals."  Figure 6's blocks
+— crypto engine, firmware API, TRNG, secure RAM/ROM, key storage,
+biometric peripheral — are assembled here into one
+:class:`ModularBaseArchitecture` whose :class:`SecurityFirmwareAPI` is
+the single surface applications program against.
+
+The Figure 6 bench routes an identical secure-transaction workload
+through the architecture with the crypto engine enabled vs. software
+fallback, reporting the speedup/energy gains the figure's design
+argues for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crypto.registry import AlgorithmRegistry, default_registry
+from ..crypto.rng import HardwareTRNG
+from ..hardware.accelerators import CryptoAccelerator, ExecutionReport, SoftwareEngine
+from ..hardware.processors import ARM7, Processor
+from ..hardware.workloads import BulkWorkload, HandshakeWorkload, SessionWorkload
+from .biometrics import BiometricMatcher, FingerprintSample
+from .keystore import SecureKeyStore, World
+
+
+@dataclass
+class SecureMemory:
+    """Secure RAM/ROM regions readable only from the secure world."""
+
+    size_bytes: int = 65536
+    _data: dict = field(default_factory=dict)
+    violations: int = 0
+
+    def write(self, address: int, value: bytes, world: World) -> None:
+        """Write (secure world only)."""
+        if world is not World.SECURE:
+            self.violations += 1
+            raise PermissionError("secure memory write from normal world")
+        if address + len(value) > self.size_bytes:
+            raise ValueError("secure memory write out of range")
+        self._data[address] = value
+
+    def read(self, address: int, world: World) -> bytes:
+        """Read (secure world only)."""
+        if world is not World.SECURE:
+            self.violations += 1
+            raise PermissionError("secure memory read from normal world")
+        return self._data.get(address, b"")
+
+
+@dataclass
+class SecurityFirmwareAPI:
+    """Figure 6's firmware/API ring around the crypto engine.
+
+    Applications request *services* (random bytes, user verification,
+    protected sessions); the firmware decides whether the engine or
+    host software executes the crypto and charges the right model.
+    """
+
+    architecture: "ModularBaseArchitecture"
+
+    def random_bytes(self, count: int) -> bytes:
+        """Conditioned TRNG output."""
+        return self.architecture.trng.random_bytes(count)
+
+    def verify_user(self, subject: str, sample: FingerprintSample) -> bool:
+        """Biometric user identification (Figure 1's first concern)."""
+        return self.architecture.biometrics.verify(subject, sample)
+
+    def run_bulk(self, workload: BulkWorkload) -> ExecutionReport:
+        """Protect bulk data on the best available engine."""
+        return self.architecture.execute(workload)
+
+    def run_handshake(self, workload: HandshakeWorkload) -> ExecutionReport:
+        """Run connection setups on the best available engine."""
+        return self.architecture.execute(workload)
+
+    def run_session(self, workload: SessionWorkload) -> ExecutionReport:
+        """Handshake + bulk as one service call."""
+        return self.architecture.execute(workload)
+
+
+@dataclass
+class ModularBaseArchitecture:
+    """The assembled Figure 6 platform."""
+
+    processor: Processor = ARM7
+    crypto_engine: Optional[CryptoAccelerator] = None
+    registry: AlgorithmRegistry = field(default_factory=default_registry)
+    keystore: SecureKeyStore = field(
+        default_factory=lambda: SecureKeyStore.provision("fig6-device"))
+    trng: HardwareTRNG = field(default_factory=lambda: HardwareTRNG(seed=6))
+    secure_memory: SecureMemory = field(default_factory=SecureMemory)
+    biometrics: BiometricMatcher = field(default_factory=BiometricMatcher)
+    engine_executions: int = 0
+    software_executions: int = 0
+
+    def __post_init__(self) -> None:
+        self._software = SoftwareEngine(self.processor)
+        self.api = SecurityFirmwareAPI(architecture=self)
+
+    def execute(self, workload) -> ExecutionReport:
+        """Engine if present and capable, else host software.
+
+        This fallback rule is the flexibility/efficiency compromise of
+        §3.1/§4.2: fixed-function hardware covers the common suites,
+        software covers everything else.
+        """
+        if self.crypto_engine is not None and self.crypto_engine.supports(
+                workload):
+            self.engine_executions += 1
+            return self.crypto_engine.execute(workload)
+        self.software_executions += 1
+        return self._software.execute(workload)
+
+
+def reference_architecture(with_engine: bool = True,
+                           processor: Processor = ARM7
+                           ) -> ModularBaseArchitecture:
+    """A representative Figure 6 instantiation."""
+    engine = CryptoAccelerator(processor) if with_engine else None
+    return ModularBaseArchitecture(processor=processor, crypto_engine=engine)

@@ -1,0 +1,156 @@
+"""Biometric user authentication (§4.1).
+
+"Biometric technologies such as finger print recognition and voice
+recognition are emerging as important elements in enabling a secure
+wireless environment with minimal actions or understanding required
+from end-users."
+
+The sensor substitution: a fingerprint is a feature vector; enrolment
+averages several noisy samples into a template; verification measures
+Euclidean distance between a fresh sample and the template against a
+threshold.  Genuine samples are the enrollee's ground-truth vector
+plus per-reading noise; impostor samples come from other identities.
+The model yields the standard trade-off machinery — FAR/FRR sweeps,
+the equal error rate, and threshold selection — which is what a system
+designer actually tunes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto.rng import DeterministicDRBG
+
+FEATURES = 16
+
+
+@dataclass(frozen=True)
+class FingerprintSample:
+    """One sensor reading: a feature vector."""
+
+    features: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class Template:
+    """An enrolled reference (mean of enrolment samples)."""
+
+    subject: str
+    features: Tuple[float, ...]
+
+
+def distance(a: Tuple[float, ...], b: Tuple[float, ...]) -> float:
+    """Euclidean distance between feature vectors."""
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+@dataclass
+class FingerSimulator:
+    """Generates readings for a population of synthetic fingers.
+
+    ``noise_sigma`` is per-feature sensor noise; identities are
+    well-separated random points, so genuine/impostor distance
+    distributions overlap realistically as noise grows.
+    """
+
+    seed: int = 0
+    noise_sigma: float = 0.35
+    _identities: Dict[str, Tuple[float, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._rng = DeterministicDRBG(("fingers", self.seed).__repr__())
+
+    def _identity(self, subject: str) -> Tuple[float, ...]:
+        if subject not in self._identities:
+            rng = DeterministicDRBG(("finger-id", self.seed, subject).__repr__())
+            self._identities[subject] = tuple(
+                rng.gauss(0.0, 1.0) for _ in range(FEATURES)
+            )
+        return self._identities[subject]
+
+    def read(self, subject: str) -> FingerprintSample:
+        """One noisy sensor reading of a subject's finger."""
+        truth = self._identity(subject)
+        return FingerprintSample(tuple(
+            value + self._rng.gauss(0.0, self.noise_sigma) for value in truth
+        ))
+
+
+@dataclass
+class BiometricMatcher:
+    """Enrolment + verification with a distance threshold."""
+
+    threshold: float = 2.5
+    templates: Dict[str, Template] = field(default_factory=dict)
+    attempts: int = 0
+    rejections: int = 0
+
+    def enroll(self, subject: str, samples: List[FingerprintSample]) -> Template:
+        """Average enrolment samples into a stored template."""
+        if not samples:
+            raise ValueError("enrolment requires at least one sample")
+        mean = tuple(
+            sum(sample.features[i] for sample in samples) / len(samples)
+            for i in range(len(samples[0].features))
+        )
+        template = Template(subject=subject, features=mean)
+        self.templates[subject] = template
+        return template
+
+    def verify(self, subject: str, sample: FingerprintSample) -> bool:
+        """Accept iff the sample is within threshold of the template."""
+        self.attempts += 1
+        template = self.templates.get(subject)
+        if template is None:
+            self.rejections += 1
+            return False
+        accepted = distance(template.features, sample.features) <= self.threshold
+        if not accepted:
+            self.rejections += 1
+        return accepted
+
+
+@dataclass(frozen=True)
+class ErrorRates:
+    """Operating point on the ROC curve."""
+
+    threshold: float
+    far: float  # false accept rate (impostor accepted)
+    frr: float  # false reject rate (genuine rejected)
+
+
+def evaluate_matcher(simulator: FingerSimulator, threshold: float,
+                     genuine_trials: int = 200,
+                     impostor_trials: int = 200,
+                     subject: str = "alice") -> ErrorRates:
+    """Empirical FAR/FRR for one threshold."""
+    matcher = BiometricMatcher(threshold=threshold)
+    matcher.enroll(subject, [simulator.read(subject) for _ in range(5)])
+    false_rejects = sum(
+        0 if matcher.verify(subject, simulator.read(subject)) else 1
+        for _ in range(genuine_trials)
+    )
+    false_accepts = sum(
+        1 if matcher.verify(subject, simulator.read(f"impostor-{i % 20}"))
+        else 0
+        for i in range(impostor_trials)
+    )
+    return ErrorRates(
+        threshold=threshold,
+        far=false_accepts / impostor_trials,
+        frr=false_rejects / genuine_trials,
+    )
+
+
+def roc_sweep(simulator: FingerSimulator,
+              thresholds: Optional[List[float]] = None) -> List[ErrorRates]:
+    """FAR/FRR across thresholds (the designer's tuning curve)."""
+    thresholds = thresholds or [0.5 + 0.25 * i for i in range(16)]
+    return [evaluate_matcher(simulator, t) for t in thresholds]
+
+
+def equal_error_rate(curve: List[ErrorRates]) -> ErrorRates:
+    """The operating point where FAR and FRR are closest."""
+    return min(curve, key=lambda point: abs(point.far - point.frr))

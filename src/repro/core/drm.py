@@ -1,0 +1,193 @@
+"""Content security / DRM (Figure 1's seventh concern, §3.4 item iii).
+
+"Content security refers to the problem of ensuring that any content
+that is downloaded or stored in the appliance is used in accordance
+with the terms set forth by the content provider (e.g., read only, no
+copying, etc.)" — and §3.4 lists "enforcing that application content
+can remain secret (digital rights management)" among the software
+attack-resistance measures.
+
+The model: a provider encrypts content under a content key and issues
+a *signed license* binding (content id, device id, usage rules).  The
+device's :class:`DRMAgent` — running in the secure world, with the
+device private key in the key store — validates the license, unwraps
+the content key, and enforces the rules (play-count, expiry,
+no-copy/no-export).  Every enforcement path raises
+:class:`RightsViolation` rather than leaking plaintext.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..crypto.aes import AES
+from ..crypto.errors import SignatureError
+from ..crypto.modes import CBC
+from ..crypto.rng import DeterministicDRBG
+from ..crypto.rsa import RSAPrivateKey, RSAPublicKey
+from .keystore import KeyPolicy, KeyUsage, SecureKeyStore, World
+
+
+class RightsViolation(Exception):
+    """A usage request exceeded the license terms."""
+
+
+class LicenseInvalid(Exception):
+    """A license failed authenticity or binding checks."""
+
+
+@dataclass(frozen=True)
+class UsageRules:
+    """The provider's terms."""
+
+    max_plays: Optional[int] = None     # None = unlimited
+    expires_at: Optional[int] = None    # simulation clock
+    allow_export: bool = False
+
+
+@dataclass(frozen=True)
+class License:
+    """A signed grant of rights over one content item to one device."""
+
+    content_id: str
+    device_id: str
+    wrapped_content_key: bytes  # RSA-encrypted to the device public key
+    rules: UsageRules
+    signature: bytes
+
+    def tbs_bytes(self) -> bytes:
+        """Signed payload."""
+        rules_blob = (
+            str(self.rules.max_plays).encode()
+            + b"|" + str(self.rules.expires_at).encode()
+            + b"|" + str(self.rules.allow_export).encode()
+        )
+        return (
+            self.content_id.encode() + b"\x00"
+            + self.device_id.encode() + b"\x00"
+            + self.wrapped_content_key + b"\x00" + rules_blob
+        )
+
+
+@dataclass(frozen=True)
+class ProtectedContent:
+    """Encrypted content as distributed."""
+
+    content_id: str
+    iv: bytes
+    ciphertext: bytes
+
+
+@dataclass
+class ContentProvider:
+    """The provider side: packages content and issues licenses."""
+
+    signing_key: RSAPrivateKey
+    rng: DeterministicDRBG
+    _content_keys: Dict[str, bytes] = field(default_factory=dict)
+
+    def package(self, content_id: str, plaintext: bytes) -> ProtectedContent:
+        """Encrypt content under a fresh content key."""
+        key = self.rng.random_bytes(16)
+        self._content_keys[content_id] = key
+        iv = self.rng.random_bytes(16)
+        return ProtectedContent(
+            content_id=content_id, iv=iv,
+            ciphertext=CBC(AES(key), iv).encrypt(plaintext),
+        )
+
+    def issue_license(self, content_id: str, device_id: str,
+                      device_public: RSAPublicKey,
+                      rules: UsageRules) -> License:
+        """Grant rights to a device, wrapping the content key to it."""
+        key = self._content_keys[content_id]
+        wrapped = device_public.encrypt(key, self.rng)
+        unsigned = License(
+            content_id=content_id, device_id=device_id,
+            wrapped_content_key=wrapped, rules=rules, signature=b"",
+        )
+        return License(
+            content_id=content_id, device_id=device_id,
+            wrapped_content_key=wrapped, rules=rules,
+            signature=self.signing_key.sign(unsigned.tbs_bytes()),
+        )
+
+
+@dataclass
+class DRMAgent:
+    """Device-side rights enforcement (secure world).
+
+    The device private key lives in the key store under the name
+    ``drm-device-key``; plays are counted per license.
+    """
+
+    device_id: str
+    keystore: SecureKeyStore
+    provider_public: RSAPublicKey
+    clock: int = 0
+    _play_counts: Dict[str, int] = field(default_factory=dict)
+
+    DEVICE_KEY_NAME = "drm-device-key"
+
+    @staticmethod
+    def provision_device_key(keystore: SecureKeyStore,
+                             key: RSAPrivateKey) -> None:
+        """Install the device private key under DRM policy."""
+        keystore.install(
+            DRMAgent.DEVICE_KEY_NAME, key,
+            KeyPolicy(usages=frozenset({KeyUsage.DECRYPT}),
+                      secure_world_only=True),
+        )
+
+    def _validate(self, license_: License) -> None:
+        try:
+            self.provider_public.verify(
+                license_.tbs_bytes(), license_.signature)
+        except SignatureError as exc:
+            raise LicenseInvalid(f"license signature invalid: {exc}") from exc
+        if license_.device_id != self.device_id:
+            raise LicenseInvalid(
+                f"license bound to {license_.device_id!r}, this device is "
+                f"{self.device_id!r}"
+            )
+
+    def _unwrap_key(self, license_: License) -> bytes:
+        return self.keystore.decrypt(
+            self.DEVICE_KEY_NAME, license_.wrapped_content_key, World.SECURE
+        )
+
+    def play(self, content: ProtectedContent, license_: License) -> bytes:
+        """Render the content once, enforcing count and expiry rules."""
+        self._validate(license_)
+        if license_.content_id != content.content_id:
+            raise LicenseInvalid("license does not cover this content")
+        rules = license_.rules
+        if rules.expires_at is not None and self.clock > rules.expires_at:
+            raise RightsViolation("license expired")
+        plays = self._play_counts.get(license_.content_id, 0)
+        if rules.max_plays is not None and plays >= rules.max_plays:
+            raise RightsViolation(
+                f"play count exhausted ({plays}/{rules.max_plays})"
+            )
+        key = self._unwrap_key(license_)
+        plaintext = CBC(AES(key), content.iv).decrypt(content.ciphertext)
+        self._play_counts[license_.content_id] = plays + 1
+        return plaintext
+
+    def export_copy(self, content: ProtectedContent,
+                    license_: License) -> bytes:
+        """Export decrypted content — only if the license allows it."""
+        self._validate(license_)
+        if not license_.rules.allow_export:
+            raise RightsViolation("license forbids copying/export")
+        key = self._unwrap_key(license_)
+        return CBC(AES(key), content.iv).decrypt(content.ciphertext)
+
+    def plays_remaining(self, license_: License) -> Optional[int]:
+        """Remaining plays, or None when unlimited."""
+        if license_.rules.max_plays is None:
+            return None
+        return license_.rules.max_plays - self._play_counts.get(
+            license_.content_id, 0
+        )

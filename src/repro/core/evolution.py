@@ -1,0 +1,139 @@
+"""Protocol evolution timeline — the Figure 2 dataset and analyses.
+
+Figure 2 "tracks the evolution of popular security protocols in the
+wired domain IPSec and SSL/TLS" and "also outlines the evolution of
+the wireless security protocols, WTLS and MET", making the paper's
+§3.1 point: protocols are revised constantly (the figure's called-out
+example being TLS's June 2002 revision to accommodate AES), so a
+security processing architecture must stay flexible.
+
+The event data below are the protocols' public standardisation
+milestones (RFC publications, specification releases).  The analyses
+compute the series the figure plots: cumulative revisions per protocol
+over time and inter-revision gaps, plus the wired-vs-wireless cadence
+comparison the paper draws from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One standardisation milestone."""
+
+    protocol: str
+    year: float   # fractional years encode months (June 2002 -> 2002.5)
+    label: str
+    domain: str   # "wired" or "wireless"
+    adds_algorithms: Tuple[str, ...] = ()
+    drops_algorithms: Tuple[str, ...] = ()
+
+
+EVENTS: List[ProtocolEvent] = [
+    # --- SSL / TLS (wired) ---------------------------------------------------
+    ProtocolEvent("SSL/TLS", 1994.8, "SSL 2.0 released", "wired",
+                  adds_algorithms=("RC4", "RC2", "DES", "3DES", "MD5")),
+    ProtocolEvent("SSL/TLS", 1995.9, "SSL 3.0 released", "wired",
+                  adds_algorithms=("SHA1", "DH")),
+    ProtocolEvent("SSL/TLS", 1999.0, "TLS 1.0 (RFC 2246)", "wired"),
+    ProtocolEvent("SSL/TLS", 2002.5, "TLS AES suites (RFC 3268)", "wired",
+                  adds_algorithms=("AES",)),
+    # --- IPSec (wired) ---------------------------------------------------------
+    ProtocolEvent("IPSec", 1995.6, "RFC 1825-1829 (first IPSec)", "wired",
+                  adds_algorithms=("DES", "MD5")),
+    ProtocolEvent("IPSec", 1998.9, "RFC 2401-2412 (IKE, ESPbis)", "wired",
+                  adds_algorithms=("3DES", "SHA1", "DH")),
+    ProtocolEvent("IPSec", 2001.0, "AES draft ciphersuites", "wired",
+                  adds_algorithms=("AES",)),
+    # --- WTLS (wireless) ---------------------------------------------------------
+    ProtocolEvent("WTLS", 1998.3, "WAP 1.0 WTLS", "wireless",
+                  adds_algorithms=("RC4", "DES", "3DES", "SHA1", "MD5")),
+    ProtocolEvent("WTLS", 1999.5, "WAP 1.1 WTLS revision", "wireless"),
+    ProtocolEvent("WTLS", 2000.5, "WAP 1.2.1 WTLS revision", "wireless"),
+    ProtocolEvent("WTLS", 2001.6, "WAP 2.0 (TLS profile)", "wireless",
+                  adds_algorithms=("AES",), drops_algorithms=("RC2",)),
+    # --- MET (wireless) ---------------------------------------------------------
+    ProtocolEvent("MET", 2000.2, "MeT 1.0 framework", "wireless"),
+    ProtocolEvent("MET", 2001.2, "MeT PTD definition 1.1", "wireless"),
+    ProtocolEvent("MET", 2002.0, "MeT 2.0 core spec", "wireless"),
+]
+
+
+def protocols() -> List[str]:
+    """Distinct protocol names in timeline order of first appearance."""
+    seen: List[str] = []
+    for event in sorted(EVENTS, key=lambda e: e.year):
+        if event.protocol not in seen:
+            seen.append(event.protocol)
+    return seen
+
+
+def events_for(protocol: str) -> List[ProtocolEvent]:
+    """All milestones for one protocol, chronological."""
+    return sorted(
+        (e for e in EVENTS if e.protocol == protocol), key=lambda e: e.year
+    )
+
+
+def cumulative_revisions(protocol: str,
+                         years: Optional[List[float]] = None
+                         ) -> List[Tuple[float, int]]:
+    """(year, revision count so far) — one line of Figure 2."""
+    milestones = events_for(protocol)
+    if years is None:
+        years = [event.year for event in milestones]
+    return [
+        (year, sum(1 for e in milestones if e.year <= year)) for year in years
+    ]
+
+
+def mean_revision_interval(protocol: str) -> Optional[float]:
+    """Average years between consecutive revisions."""
+    milestones = events_for(protocol)
+    if len(milestones) < 2:
+        return None
+    gaps = [
+        later.year - earlier.year
+        for earlier, later in zip(milestones, milestones[1:])
+    ]
+    return sum(gaps) / len(gaps)
+
+
+def domain_cadence() -> Dict[str, float]:
+    """Mean revision interval per domain — §3.1's 'the evolutionary
+    trend is much more pronounced ... in the wireless domain'."""
+    cadences: Dict[str, List[float]] = {"wired": [], "wireless": []}
+    for protocol in protocols():
+        interval = mean_revision_interval(protocol)
+        if interval is None:
+            continue
+        domain = events_for(protocol)[0].domain
+        cadences[domain].append(interval)
+    return {
+        domain: sum(values) / len(values)
+        for domain, values in cadences.items()
+        if values
+    }
+
+
+def algorithm_introduction(algorithm: str) -> Optional[ProtocolEvent]:
+    """First event that added an algorithm (e.g. AES -> TLS June 2002)."""
+    candidates = [
+        e for e in sorted(EVENTS, key=lambda e: e.year)
+        if algorithm in e.adds_algorithms
+    ]
+    return candidates[0] if candidates else None
+
+
+def required_algorithms_by(year: float) -> List[str]:
+    """Union of algorithms any tracked protocol requires by ``year`` —
+    the §3.1 interoperability burden a flexible handset must carry."""
+    required: set = set()
+    for event in EVENTS:
+        if event.year <= year:
+            required |= set(event.adds_algorithms)
+            required -= set(event.drops_algorithms)
+    return sorted(required)

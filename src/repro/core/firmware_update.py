@@ -1,0 +1,135 @@
+"""Over-the-air firmware update — the mechanism behind §3.1 flexibility.
+
+The paper's flexibility argument assumes deployed appliances can adopt
+new algorithms and protocol revisions (Figure 2's churn).  This module
+supplies the missing mechanism: a signed, versioned, atomic firmware
+update pipeline that ties together three subsystems already built —
+
+* authenticity via the **vendor signing key** (the same root the
+  secure boot chain trusts);
+* **anti-rollback** via a monotonic version floor held in the device
+  (downgrade attacks reintroduce patched vulnerabilities — refused);
+* on success the package's payloads replace boot-chain stages and its
+  manifest can register new crypto algorithms
+  (:func:`~repro.crypto.registry.aes_rollout`-style) — after which the
+  *measured boot still passes*, because the stages are re-signed.
+
+The tests drive the full loop: build a v2 package adding AES, deliver
+it (optionally through a tampering channel), install, reboot, and
+negotiate an AES suite that did not exist at ship time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..crypto.errors import SignatureError
+from ..crypto.registry import AlgorithmRegistry
+from ..crypto.sha1 import sha1
+from .secure_boot import BootStage, VendorSigner
+
+
+class UpdateRejected(Exception):
+    """The package failed authenticity, version, or integrity checks."""
+
+
+@dataclass(frozen=True)
+class FirmwarePackage:
+    """A signed update: new boot-stage images + algorithm manifest."""
+
+    version: int
+    stage_images: Tuple[Tuple[str, bytes], ...]  # (stage name, image)
+    enables_algorithms: Tuple[str, ...]
+    stage_signatures: Tuple[bytes, ...]
+    package_signature: bytes
+
+    def manifest_bytes(self) -> bytes:
+        """The signed package manifest."""
+        parts = [self.version.to_bytes(4, "big")]
+        for (name, image), signature in zip(self.stage_images,
+                                            self.stage_signatures):
+            parts.append(name.encode() + b"\x00")
+            parts.append(sha1(image))
+            parts.append(sha1(signature))
+        parts.append(",".join(self.enables_algorithms).encode())
+        return b"".join(parts)
+
+
+def build_package(vendor: VendorSigner, version: int,
+                  stage_images: List[Tuple[str, bytes]],
+                  enables_algorithms: Tuple[str, ...] = ()
+                  ) -> FirmwarePackage:
+    """Vendor side: sign each stage and the overall manifest."""
+    stage_signatures = tuple(
+        vendor.key.sign(image) for _, image in stage_images)
+    unsigned = FirmwarePackage(
+        version=version, stage_images=tuple(stage_images),
+        enables_algorithms=enables_algorithms,
+        stage_signatures=stage_signatures, package_signature=b"")
+    return FirmwarePackage(
+        version=version, stage_images=tuple(stage_images),
+        enables_algorithms=enables_algorithms,
+        stage_signatures=stage_signatures,
+        package_signature=vendor.key.sign(unsigned.manifest_bytes()))
+
+
+@dataclass
+class UpdateAgent:
+    """Device side: validates and atomically applies packages."""
+
+    vendor_public: "RSAPublicKey"
+    boot_chain: List[BootStage]
+    registry: Optional[AlgorithmRegistry] = None
+    installed_version: int = 1
+    history: List[int] = field(default_factory=list)
+
+    def apply(self, package: FirmwarePackage) -> None:
+        """Verify and install; raises :class:`UpdateRejected` untouched
+        on any failure (atomicity: no partial installs)."""
+        try:
+            self.vendor_public.verify(
+                package.manifest_bytes(), package.package_signature)
+        except SignatureError as exc:
+            raise UpdateRejected(
+                f"package signature invalid: {exc}") from exc
+        if package.version <= self.installed_version:
+            raise UpdateRejected(
+                f"rollback refused: installed v{self.installed_version}, "
+                f"package is v{package.version}")
+        # Verify every stage before touching the chain.
+        new_stages = []
+        by_name = {stage.name: index
+                   for index, stage in enumerate(self.boot_chain)}
+        for (name, image), signature in zip(package.stage_images,
+                                            package.stage_signatures):
+            try:
+                self.vendor_public.verify(image, signature)
+            except SignatureError as exc:
+                raise UpdateRejected(
+                    f"stage {name!r} signature invalid: {exc}") from exc
+            if name not in by_name:
+                raise UpdateRejected(f"package targets unknown stage "
+                                     f"{name!r}")
+            new_stages.append((by_name[name], BootStage(
+                name=name, image=image, signature=signature)))
+        # Commit.
+        for index, stage in new_stages:
+            self.boot_chain[index] = stage
+        if self.registry is not None:
+            for algorithm in package.enables_algorithms:
+                _register_algorithm(self.registry, algorithm)
+        self.installed_version = package.version
+        self.history.append(package.version)
+
+
+def _register_algorithm(registry: AlgorithmRegistry, name: str) -> None:
+    from ..crypto.registry import aes_rollout
+
+    if name == "AES":
+        aes_rollout(registry)
+    # Other algorithms ship pre-registered in the 2003 baseline; the
+    # hook exists so future packages can carry new entries.
+
+
+from ..crypto.rsa import RSAPublicKey  # noqa: E402  (typing reference)

@@ -1,0 +1,151 @@
+"""The wireless security processing gap — Figure 3's demand surface.
+
+Figure 3 plots the MIPS a security protocol (RSA connection setup +
+3DES bulk encryption + SHA integrity) demands as a function of
+connection latency and data rate, and slices the surface with a
+processor-capability plane (the paper draws 300 MIPS).  Combinations
+above the plane cannot be served — the *wireless security processing
+gap*.
+
+This module evaluates the surface from the calibrated cost model of
+:mod:`repro.hardware.cycles` (whose anchors — 651.3 MIPS at 10 Mbps,
+and SA-1100 handshake feasibility at 0.5/1 s but not 0.1 s — come
+straight from the paper) and derives the gap analyses: feasible
+frontier per processor, gap factor versus data-rate growth, and the
+§3.2 observation that the gap *widens* as rates rise and key sizes
+grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..hardware.cycles import bulk_mips_demand, handshake_mips_demand
+from ..hardware.processors import Processor
+
+DEFAULT_DATA_RATES_MBPS = (0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 60.0)
+DEFAULT_LATENCIES_S = (0.1, 0.5, 1.0)
+
+
+@dataclass(frozen=True)
+class GapPoint:
+    """One cell of the Figure 3 surface."""
+
+    data_rate_mbps: float
+    latency_s: float
+    demand_mips: float
+
+
+@dataclass(frozen=True)
+class GapSurface:
+    """The evaluated demand surface plus its generation parameters."""
+
+    points: Tuple[GapPoint, ...]
+    cipher: str
+    mac: str
+    rsa_bits: int
+
+    def demand(self, data_rate_mbps: float, latency_s: float) -> float:
+        """Exact demand for a grid point."""
+        for point in self.points:
+            if (point.data_rate_mbps == data_rate_mbps
+                    and point.latency_s == latency_s):
+                return point.demand_mips
+        raise KeyError((data_rate_mbps, latency_s))
+
+    def infeasible_for(self, processor: Processor) -> List[GapPoint]:
+        """Surface cells above the processor's capability plane."""
+        return [p for p in self.points if p.demand_mips > processor.mips]
+
+    def feasible_fraction(self, processor: Processor) -> float:
+        """Share of the sampled design space the processor can serve."""
+        feasible = sum(
+            1 for p in self.points if p.demand_mips <= processor.mips
+        )
+        return feasible / len(self.points)
+
+
+def compute_surface(
+    data_rates_mbps: Sequence[float] = DEFAULT_DATA_RATES_MBPS,
+    latencies_s: Sequence[float] = DEFAULT_LATENCIES_S,
+    cipher: str = "3DES",
+    mac: str = "SHA1",
+    rsa_bits: int = 1024,
+    use_crt: bool = False,
+) -> GapSurface:
+    """Evaluate the Figure 3 surface on a grid."""
+    points = []
+    for latency in latencies_s:
+        handshake = handshake_mips_demand(latency, rsa_bits, use_crt)
+        for rate in data_rates_mbps:
+            points.append(GapPoint(
+                data_rate_mbps=rate,
+                latency_s=latency,
+                demand_mips=handshake + bulk_mips_demand(rate, cipher, mac),
+            ))
+    return GapSurface(
+        points=tuple(points), cipher=cipher, mac=mac, rsa_bits=rsa_bits
+    )
+
+
+def max_sustainable_rate_mbps(processor: Processor, latency_s: float,
+                              cipher: str = "3DES", mac: str = "SHA1",
+                              rsa_bits: int = 1024,
+                              use_crt: bool = False) -> float:
+    """The feasible frontier: highest data rate the processor serves
+    while meeting the connection-latency target (0 if the handshake
+    alone exceeds the budget)."""
+    handshake = handshake_mips_demand(latency_s, rsa_bits, use_crt)
+    residual = processor.mips - handshake
+    if residual <= 0:
+        return 0.0
+    per_mbps = bulk_mips_demand(1.0, cipher, mac)
+    return residual / per_mbps
+
+
+def gap_factor(processor: Processor, data_rate_mbps: float,
+               latency_s: float, **kwargs) -> float:
+    """Demand / supply ratio: > 1 means the gap is open at this point."""
+    demand = handshake_mips_demand(
+        latency_s, kwargs.get("rsa_bits", 1024), kwargs.get("use_crt", False)
+    ) + bulk_mips_demand(
+        data_rate_mbps, kwargs.get("cipher", "3DES"), kwargs.get("mac", "SHA1")
+    )
+    return demand / processor.mips
+
+
+def widening_gap_series(
+    processor_mips_growth: float = 0.35,
+    data_rate_growth: float = 0.6,
+    years: int = 6,
+    initial_processor_mips: float = 235.0,
+    initial_rate_mbps: float = 2.0,
+    latency_s: float = 0.5,
+) -> List[Tuple[int, float]]:
+    """Project the §3.2 claim that the gap widens over time.
+
+    Embedded MIPS grow (Moore-ish, ~35 %/yr) slower than wireless data
+    rates (2 -> 60 Mbps over the 2.5G->WLAN transition, ~60 %/yr);
+    returns (year, gap factor) showing monotone widening.
+    """
+    series = []
+    for year in range(years + 1):
+        mips = initial_processor_mips * (1 + processor_mips_growth) ** year
+        rate = initial_rate_mbps * (1 + data_rate_growth) ** year
+        demand = (
+            handshake_mips_demand(latency_s)
+            + bulk_mips_demand(rate)
+        )
+        series.append((year, demand / mips))
+    return series
+
+
+def stronger_crypto_demand(rsa_sizes: Sequence[int] = (512, 768, 1024, 2048),
+                           latency_s: float = 0.5) -> List[Tuple[int, float]]:
+    """Handshake demand versus key size — 'the use of stronger
+    cryptographic algorithms ... threaten to further widen the gap'."""
+    return [
+        (bits, handshake_mips_demand(latency_s, rsa_bits=bits))
+        for bits in rsa_sizes
+    ]

@@ -1,0 +1,166 @@
+"""Hardware-backed key storage (§4.1 "HW-based key storage").
+
+Models the secure-element key store of a 2003-era secure handset: keys
+live inside the boundary, are referenced by name, and every access is
+policy-checked against the caller's execution world
+(:class:`~repro.core.secure_execution.World`).  Plaintext key bytes
+never leave the store — callers get *operations* (sign, decrypt, MAC)
+or wrapped (encrypted) export blobs, which is precisely the property
+the trojan-horse privacy attack of §3.4 tries and fails to violate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Union
+
+from ..crypto.aes import AES
+from ..crypto.hmac import hmac
+from ..crypto.modes import CBC
+from ..crypto.rng import DeterministicDRBG
+from ..crypto.rsa import RSAPrivateKey
+
+
+class World(Enum):
+    """Execution worlds (the secure-mode split of §4.1)."""
+
+    NORMAL = "normal"
+    SECURE = "secure"
+
+
+class KeyUsage(Enum):
+    """What a stored key may be used for."""
+
+    SIGN = "sign"
+    DECRYPT = "decrypt"
+    MAC = "mac"
+    WRAP = "wrap"
+
+
+class AccessDenied(Exception):
+    """A key-store request violated policy."""
+
+
+@dataclass(frozen=True)
+class KeyPolicy:
+    """Access policy attached to a stored key."""
+
+    usages: frozenset
+    secure_world_only: bool = True
+    exportable: bool = False
+
+
+@dataclass
+class _StoredKey:
+    material: Union[bytes, RSAPrivateKey]
+    policy: KeyPolicy
+
+
+@dataclass
+class SecureKeyStore:
+    """The tamper-resistant key vault.
+
+    ``root_key`` models the die-unique hardware key (e-fused at
+    manufacture) under which exports are wrapped.
+    """
+
+    root_key: bytes
+    _keys: Dict[str, _StoredKey] = field(default_factory=dict)
+    denied_accesses: int = 0
+
+    @classmethod
+    def provision(cls, device_serial: str, seed: int = 0) -> "SecureKeyStore":
+        """Factory provisioning: derive the die-unique root key."""
+        rng = DeterministicDRBG(("die-key", device_serial, seed).__repr__())
+        return cls(root_key=rng.random_bytes(16))
+
+    def install(self, name: str, material: Union[bytes, RSAPrivateKey],
+                policy: KeyPolicy) -> None:
+        """Install key material under a policy (secure-world setup)."""
+        self._keys[name] = _StoredKey(material=material, policy=policy)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._keys
+
+    # -- policy gate ------------------------------------------------------------
+
+    def _check(self, name: str, usage: KeyUsage, world: World) -> _StoredKey:
+        if name not in self._keys:
+            raise AccessDenied(f"no key named {name!r}")
+        stored = self._keys[name]
+        if stored.policy.secure_world_only and world is not World.SECURE:
+            self.denied_accesses += 1
+            raise AccessDenied(
+                f"key {name!r} requires the secure world; caller is "
+                f"{world.value}"
+            )
+        if usage not in stored.policy.usages:
+            self.denied_accesses += 1
+            raise AccessDenied(
+                f"key {name!r} does not permit {usage.value}"
+            )
+        return stored
+
+    # -- key operations (material never leaves) -----------------------------------
+
+    def sign(self, name: str, message: bytes, world: World) -> bytes:
+        """RSA-sign with a stored private key."""
+        stored = self._check(name, KeyUsage.SIGN, world)
+        if not isinstance(stored.material, RSAPrivateKey):
+            raise AccessDenied(f"key {name!r} is not an RSA private key")
+        return stored.material.sign(message)
+
+    def decrypt(self, name: str, ciphertext: bytes, world: World) -> bytes:
+        """RSA-decrypt with a stored private key."""
+        stored = self._check(name, KeyUsage.DECRYPT, world)
+        if not isinstance(stored.material, RSAPrivateKey):
+            raise AccessDenied(f"key {name!r} is not an RSA private key")
+        return stored.material.decrypt(ciphertext)
+
+    def mac(self, name: str, message: bytes, world: World) -> bytes:
+        """HMAC-SHA1 with a stored symmetric key."""
+        stored = self._check(name, KeyUsage.MAC, world)
+        if not isinstance(stored.material, bytes):
+            raise AccessDenied(f"key {name!r} is not symmetric material")
+        return hmac(stored.material, message)
+
+    def unwrap_symmetric(self, name: str, world: World,
+                         purpose: str = "session") -> bytes:
+        """Derive a *session* key from a stored key (never the key itself).
+
+        This is how protocol stacks get bulk keys without the long-term
+        secret ever crossing the boundary.
+        """
+        stored = self._check(name, KeyUsage.DECRYPT, world)
+        if not isinstance(stored.material, bytes):
+            raise AccessDenied(f"key {name!r} is not symmetric material")
+        return hmac(stored.material, b"derive:" + purpose.encode())[:16]
+
+    def export_wrapped(self, name: str, world: World) -> bytes:
+        """Export a key encrypted under the die-unique root key.
+
+        Only policy-exportable keys; the blob is useless off-device.
+        """
+        stored = self._check(name, KeyUsage.WRAP, world)
+        if not stored.policy.exportable:
+            self.denied_accesses += 1
+            raise AccessDenied(f"key {name!r} is not exportable")
+        if not isinstance(stored.material, bytes):
+            raise AccessDenied("only symmetric keys support wrapped export")
+        return CBC(AES(self.root_key), self._wrap_iv()).encrypt(
+            stored.material)
+
+    def _wrap_iv(self) -> bytes:
+        # Fixed per-device wrap IV: the blob must re-import under any
+        # name, so the IV cannot depend on the key's name.
+        return hmac(self.root_key, b"wrap-iv")[:16]
+
+    def import_wrapped(self, name: str, blob: bytes, policy: KeyPolicy,
+                       world: World) -> None:
+        """Re-import a wrapped blob produced by :meth:`export_wrapped`."""
+        if world is not World.SECURE:
+            self.denied_accesses += 1
+            raise AccessDenied("wrapped import requires the secure world")
+        material = CBC(AES(self.root_key), self._wrap_iv()).decrypt(blob)
+        self.install(name, material, policy)

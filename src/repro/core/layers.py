@@ -1,0 +1,109 @@
+"""The layered security hierarchy of Figure 5.
+
+"From a systems perspective, it is imperative to take a hierarchical
+approach where each layer of security provides a foundation for the
+one above it."  We model the stack as an ordered list of layers, each
+declaring the services it *provides* and the services it *requires*
+from below.  :func:`validate_stack` checks the foundation property —
+every requirement is provided by a strictly lower layer — which is the
+invariant the Figure 5 bench and the property-based tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+
+@dataclass(frozen=True)
+class SecurityLayer:
+    """One stratum of the Figure 5 hierarchy."""
+
+    name: str
+    provides: FrozenSet[str]
+    requires: FrozenSet[str]
+    description: str = ""
+
+
+def default_stack() -> List[SecurityLayer]:
+    """The paper's hierarchy, hardware at the bottom.
+
+    Bottom-up: tamper-resistant hardware -> crypto foundation (engine,
+    TRNG, key storage) -> secure boot / secure execution -> protocol
+    security -> application services (DRM, m-commerce, user auth).
+    """
+    return [
+        SecurityLayer(
+            name="tamper-resistant hardware",
+            provides=frozenset({"physical-protection", "secure-ram",
+                                "secure-rom", "trng-entropy"}),
+            requires=frozenset(),
+            description="secure RAM/ROM, shielding, sensors",
+        ),
+        SecurityLayer(
+            name="crypto foundation",
+            provides=frozenset({"crypto-primitives", "random-numbers",
+                                "key-storage"}),
+            requires=frozenset({"physical-protection", "trng-entropy",
+                                "secure-ram"}),
+            description="HW/SW crypto, TRNG conditioning, key registers",
+        ),
+        SecurityLayer(
+            name="secure execution environment",
+            provides=frozenset({"trusted-boot", "code-isolation",
+                                "secure-mode"}),
+            requires=frozenset({"crypto-primitives", "key-storage",
+                                "secure-rom"}),
+            description="measured boot, secure/normal worlds",
+        ),
+        SecurityLayer(
+            name="protocol security",
+            provides=frozenset({"authenticated-channels",
+                                "network-access-control"}),
+            requires=frozenset({"crypto-primitives", "random-numbers",
+                                "code-isolation"}),
+            description="WTLS/TLS/IPSec/bearer protocols",
+        ),
+        SecurityLayer(
+            name="application services",
+            provides=frozenset({"drm", "m-commerce", "user-authentication"}),
+            requires=frozenset({"authenticated-channels", "trusted-boot",
+                                "key-storage"}),
+            description="DRM, payments, biometric login",
+        ),
+    ]
+
+
+def validate_stack(stack: List[SecurityLayer]) -> List[str]:
+    """Check the foundation property; returns violation descriptions.
+
+    A valid hierarchy has every layer's requirements satisfied by the
+    union of *strictly lower* layers' provisions (Figure 5's "each
+    layer provides a foundation for the one above it").
+    """
+    violations = []
+    provided: set = set()
+    for layer in stack:
+        missing = layer.requires - provided
+        if missing:
+            violations.append(
+                f"layer {layer.name!r} requires {sorted(missing)} "
+                "not provided below it"
+            )
+        provided |= layer.provides
+    return violations
+
+
+def dependency_edges(stack: List[SecurityLayer]) -> List[Tuple[str, str, str]]:
+    """(consumer-layer, service, provider-layer) resolution — who
+    supplies each requirement.  Used by the Figure 5 bench output."""
+    edges = []
+    for index, layer in enumerate(stack):
+        for service in sorted(layer.requires):
+            provider = next(
+                (lower.name for lower in stack[:index]
+                 if service in lower.provides),
+                None,
+            )
+            edges.append((layer.name, service, provider or "<unsatisfied>"))
+    return edges

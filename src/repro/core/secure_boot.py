@@ -1,0 +1,126 @@
+"""Secure (measured) boot — the root of the §4.1 trusted-code chain.
+
+"HW components such as secure RAM and secure ROM in conjunction with
+HW-based key storage and appropriate firmware can enable an optimized
+'secure execution' environment where only trusted code can execute."
+The chain starts here: an immutable boot ROM holds the vendor's public
+key; each boot stage is signature-verified before execution and its
+hash is extended into a measurement register (TPM-PCR style), so the
+final measurement attests exactly which software booted.
+
+Tampering with any stage image or signature aborts the boot — the
+integrity-attack tests flip single bits and assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..crypto.errors import SignatureError
+from ..crypto.rng import DeterministicDRBG
+from ..crypto.rsa import RSAPrivateKey, RSAPublicKey, generate_keypair
+from ..crypto.sha1 import sha1
+
+
+class BootFailure(Exception):
+    """A boot stage failed verification; the chain halts."""
+
+
+@dataclass(frozen=True)
+class BootStage:
+    """One link of the boot chain (bootloader, OS kernel, baseband...)."""
+
+    name: str
+    image: bytes
+    signature: bytes
+
+    def digest(self) -> bytes:
+        """SHA-1 measurement of the stage image."""
+        return sha1(self.image)
+
+
+@dataclass
+class BootReport:
+    """Result of a boot attempt."""
+
+    succeeded: bool
+    stages_verified: List[str]
+    measurement: bytes
+    failure: Optional[str] = None
+
+
+@dataclass
+class SecureBootROM:
+    """The immutable first-stage verifier.
+
+    Holds only the vendor public key (in practice its hash in e-fuses);
+    everything else is verified software.
+    """
+
+    vendor_key: RSAPublicKey
+    measurement: bytes = field(default=b"\x00" * 20)
+
+    def _extend(self, digest: bytes) -> None:
+        # PCR-extend: measurement = H(measurement || digest).
+        self.measurement = sha1(self.measurement + digest)
+
+    def boot(self, chain: List[BootStage]) -> BootReport:
+        """Verify and 'execute' the chain in order."""
+        self.measurement = b"\x00" * 20
+        verified: List[str] = []
+        for stage in chain:
+            try:
+                self.vendor_key.verify(stage.image, stage.signature)
+            except SignatureError as exc:
+                return BootReport(
+                    succeeded=False, stages_verified=verified,
+                    measurement=self.measurement,
+                    failure=f"stage {stage.name!r} rejected: {exc}",
+                )
+            self._extend(stage.digest())
+            verified.append(stage.name)
+        return BootReport(
+            succeeded=True, stages_verified=verified,
+            measurement=self.measurement,
+        )
+
+
+@dataclass
+class VendorSigner:
+    """The device vendor's signing authority (factory side)."""
+
+    key: RSAPrivateKey
+
+    @classmethod
+    def create(cls, seed: int = 0, bits: int = 512) -> "VendorSigner":
+        """Generate a vendor signing key."""
+        rng = DeterministicDRBG(("vendor", seed).__repr__())
+        return cls(key=generate_keypair(bits, rng))
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        """The key burned into boot ROMs."""
+        return self.key.public
+
+    def sign_stage(self, name: str, image: bytes) -> BootStage:
+        """Produce a signed boot stage."""
+        return BootStage(name=name, image=image,
+                         signature=self.key.sign(image))
+
+
+def reference_chain(signer: VendorSigner) -> List[BootStage]:
+    """A representative 3-stage handset chain."""
+    return [
+        signer.sign_stage("bootloader", b"BL1: init ram, verify next"),
+        signer.sign_stage("os-kernel", b"KRN: scheduler, memory protection"),
+        signer.sign_stage("baseband", b"BB: radio stack firmware"),
+    ]
+
+
+def expected_measurement(chain: List[BootStage]) -> bytes:
+    """The measurement a genuine boot of ``chain`` must produce."""
+    measurement = b"\x00" * 20
+    for stage in chain:
+        measurement = sha1(measurement + stage.digest())
+    return measurement

@@ -1,0 +1,220 @@
+"""The secure execution environment (§4.1's secure mode / §3.4 defence).
+
+"A secure execution mode can be used for critical security operations
+such as key storage/management and run-time security."  This module is
+the run-time half of the trusted-code story that
+:mod:`repro.core.secure_boot` starts:
+
+* two worlds — NORMAL for downloaded applications, SECURE for trusted
+  services — with the key store reachable only from SECURE;
+* *measured installation*: a trusted application is registered with a
+  hash of its code payload and a vendor signature over it (the §3.4
+  measure "ascertain the operational correctness of protected code and
+  data, before and during run-time");
+* *run-time re-measurement*: every invocation re-hashes the payload,
+  so post-installation patching (an integrity attack) is caught;
+* a per-application invocation budget, the simple watchdog that turns
+  an availability attack (invoke flooding) into a contained failure;
+* an audit log of violations — the observable the software-attack
+  tests and the T-benches assert on.
+
+Applications execute as Python callables over an explicit,
+capability-style API object; nothing else of the environment is
+reachable from application code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..crypto.errors import SignatureError
+from ..crypto.rsa import RSAPrivateKey, RSAPublicKey
+from ..crypto.sha1 import sha1
+from .keystore import AccessDenied, SecureKeyStore, World
+
+
+class SecurityViolation(Exception):
+    """An application attempted a forbidden operation."""
+
+
+class MeasurementMismatch(SecurityViolation):
+    """Installed code no longer matches its measured hash."""
+
+
+class InvocationBudgetExceeded(SecurityViolation):
+    """The watchdog tripped: too many invocations (availability attack)."""
+
+
+@dataclass
+class TrustedApplication:
+    """An application with a measured code payload.
+
+    ``payload`` is the canonical code bytes that get measured (for a
+    real device: the binary); ``entry`` is the executable behaviour.
+    Keeping them separate lets attack code patch one without the other
+    — exactly the desynchronisation run-time measurement catches.
+    """
+
+    name: str
+    payload: bytes
+    entry: Callable
+    signature: bytes = b""
+
+    def measure(self) -> bytes:
+        """Current SHA-1 measurement of the payload."""
+        return sha1(self.payload)
+
+
+@dataclass
+class SecureAPI:
+    """The capability handed to an executing application.
+
+    Wraps the key store with the caller's world fixed, so an
+    application cannot lie about which world it runs in.
+    """
+
+    keystore: SecureKeyStore
+    world: World
+    app_name: str
+    _env: "SecureExecutionEnvironment" = None
+
+    def sign(self, key_name: str, message: bytes) -> bytes:
+        """Sign via the key store under this app's world."""
+        return self._audited(
+            lambda: self.keystore.sign(key_name, message, self.world),
+            f"sign with {key_name!r}",
+        )
+
+    def decrypt(self, key_name: str, ciphertext: bytes) -> bytes:
+        """Decrypt via the key store under this app's world."""
+        return self._audited(
+            lambda: self.keystore.decrypt(key_name, ciphertext, self.world),
+            f"decrypt with {key_name!r}",
+        )
+
+    def mac(self, key_name: str, message: bytes) -> bytes:
+        """MAC via the key store under this app's world."""
+        return self._audited(
+            lambda: self.keystore.mac(key_name, message, self.world),
+            f"mac with {key_name!r}",
+        )
+
+    def session_key(self, key_name: str, purpose: str) -> bytes:
+        """Derive a session key via the key store."""
+        return self._audited(
+            lambda: self.keystore.unwrap_symmetric(
+                key_name, self.world, purpose),
+            f"derive session key from {key_name!r}",
+        )
+
+    def _audited(self, operation: Callable, description: str):
+        try:
+            return operation()
+        except AccessDenied as exc:
+            self._env._log_violation(self.app_name, description, str(exc))
+            raise SecurityViolation(str(exc)) from exc
+
+
+@dataclass
+class ViolationRecord:
+    """One audit-log entry."""
+
+    app_name: str
+    operation: str
+    reason: str
+
+
+@dataclass
+class SecureExecutionEnvironment:
+    """The two-world run-time.
+
+    ``installer_key`` is the vendor public key used to authenticate
+    secure-world applications; unsigned code can only ever run NORMAL.
+    """
+
+    keystore: SecureKeyStore
+    installer_key: RSAPublicKey
+    invocation_budget: int = 1000
+    _apps: Dict[str, TrustedApplication] = field(default_factory=dict)
+    _worlds: Dict[str, World] = field(default_factory=dict)
+    _measurements: Dict[str, bytes] = field(default_factory=dict)
+    _invocations: Dict[str, int] = field(default_factory=dict)
+    audit_log: List[ViolationRecord] = field(default_factory=list)
+
+    def _log_violation(self, app: str, operation: str, reason: str) -> None:
+        self.audit_log.append(ViolationRecord(app, operation, reason))
+
+    # -- installation -----------------------------------------------------------
+
+    def install(self, app: TrustedApplication,
+                world: World = World.NORMAL) -> None:
+        """Install an application.
+
+        SECURE-world installation requires a valid vendor signature
+        over the payload; NORMAL-world code installs freely (it is the
+        downloaded-application threat surface of §3.4).
+        """
+        if world is World.SECURE:
+            try:
+                self.installer_key.verify(app.payload, app.signature)
+            except SignatureError as exc:
+                self._log_violation(
+                    app.name, "secure-world install", str(exc))
+                raise SecurityViolation(
+                    f"application {app.name!r} lacks a valid vendor "
+                    "signature for the secure world"
+                ) from exc
+        self._apps[app.name] = app
+        self._worlds[app.name] = world
+        self._measurements[app.name] = app.measure()
+        self._invocations[app.name] = 0
+
+    # -- invocation -------------------------------------------------------------
+
+    def invoke(self, app_name: str, *args, **kwargs):
+        """Run an installed application under enforcement.
+
+        Re-measures the payload, charges the invocation budget, and
+        hands the application a :class:`SecureAPI` fixed to its world.
+        """
+        if app_name not in self._apps:
+            raise SecurityViolation(f"no application named {app_name!r}")
+        app = self._apps[app_name]
+        if app.measure() != self._measurements[app_name]:
+            self._log_violation(
+                app_name, "invoke", "payload measurement mismatch")
+            raise MeasurementMismatch(
+                f"application {app_name!r} was modified after installation"
+            )
+        self._invocations[app_name] += 1
+        if self._invocations[app_name] > self.invocation_budget:
+            self._log_violation(
+                app_name, "invoke", "invocation budget exceeded")
+            raise InvocationBudgetExceeded(
+                f"application {app_name!r} exceeded its invocation budget"
+            )
+        api = SecureAPI(
+            keystore=self.keystore, world=self._worlds[app_name],
+            app_name=app_name, _env=self,
+        )
+        return app.entry(api, *args, **kwargs)
+
+    # -- introspection -----------------------------------------------------------
+
+    def world_of(self, app_name: str) -> Optional[World]:
+        """Which world an application runs in."""
+        return self._worlds.get(app_name)
+
+    def violations_by(self, app_name: str) -> List[ViolationRecord]:
+        """Audit entries attributed to one application."""
+        return [v for v in self.audit_log if v.app_name == app_name]
+
+
+def sign_application(vendor_key: RSAPrivateKey, name: str, payload: bytes,
+                     entry: Callable) -> TrustedApplication:
+    """Vendor-side helper: produce a signed trusted application."""
+    return TrustedApplication(
+        name=name, payload=payload, entry=entry,
+        signature=vendor_key.sign(payload),
+    )

@@ -1,0 +1,173 @@
+"""Secure storage — Figure 1's second concern, implemented.
+
+"Secure storage addresses the security of sensitive information such
+as passwords, PINs, keys, certificates, etc., that may reside in
+secondary storage (e.g., flash memory) of the mobile appliance."  The
+threat is theft/loss (§1: appliances are "easily lost or stolen") plus
+flash dump and tamper: an attacker with the bare flash image must
+learn nothing and must not be able to modify records undetected.
+
+Design (the standard sealed-storage construction):
+
+* a :class:`FlashDevice` models raw NOR flash — fully readable by
+  anyone holding the stolen device;
+* :class:`SecureStorage` seals each record with AES-CBC under a
+  storage key derived from the key store's die-unique root, then
+  HMAC-SHA1 over ``name || iv || ciphertext`` (encrypt-then-MAC);
+* per-record **anti-rollback counters**: re-flashing yesterday's
+  (validly sealed) record is detected, the attack a thief mounts
+  against a PIN-retry counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto.aes import AES
+from ..crypto.bitops import constant_time_compare
+from ..crypto.hmac import hmac
+from ..crypto.modes import CBC
+from ..crypto.rng import DeterministicDRBG
+from .keystore import SecureKeyStore
+
+
+class StorageTampered(Exception):
+    """A sealed record failed authentication or rolled back."""
+
+
+@dataclass
+class FlashDevice:
+    """Raw secondary storage: a name -> blob map anyone can dump."""
+
+    blobs: Dict[str, bytes] = field(default_factory=dict)
+
+    def program(self, name: str, blob: bytes) -> None:
+        """Write a record blob."""
+        self.blobs[name] = blob
+
+    def read(self, name: str) -> Optional[bytes]:
+        """Read a record blob (no protection at this layer)."""
+        return self.blobs.get(name)
+
+    def dump(self) -> Dict[str, bytes]:
+        """The thief's view: every raw blob."""
+        return dict(self.blobs)
+
+
+@dataclass
+class SecureStorage:
+    """Sealed records over a flash device.
+
+    The storage keys never exist outside this object (derived at
+    construction from the key store's root); version counters live in
+    simulated on-die monotonic storage (``_versions``) so a flash-only
+    attacker cannot reset them.
+    """
+
+    flash: FlashDevice
+    keystore: SecureKeyStore
+    rng: DeterministicDRBG
+    _versions: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        root = self.keystore.root_key
+        self._cipher_key = hmac(root, b"storage-cipher")[:16]
+        self._mac_key = hmac(root, b"storage-mac")
+
+    # -- sealing ---------------------------------------------------------------
+
+    def _seal(self, name: str, version: int, plaintext: bytes) -> bytes:
+        iv = self.rng.random_bytes(16)
+        body = version.to_bytes(4, "big") + plaintext
+        ciphertext = CBC(AES(self._cipher_key), iv).encrypt(body)
+        tag = hmac(self._mac_key, name.encode() + iv + ciphertext)
+        return iv + ciphertext + tag
+
+    def _unseal(self, name: str, blob: bytes) -> Tuple[int, bytes]:
+        if len(blob) < 16 + 16 + 20:
+            raise StorageTampered(f"record {name!r} truncated")
+        iv, ciphertext, tag = blob[:16], blob[16:-20], blob[-20:]
+        expected = hmac(self._mac_key, name.encode() + iv + ciphertext)
+        if not constant_time_compare(expected, tag):
+            raise StorageTampered(f"record {name!r} failed authentication")
+        body = CBC(AES(self._cipher_key), iv).decrypt(ciphertext)
+        return int.from_bytes(body[:4], "big"), body[4:]
+
+    # -- public API ---------------------------------------------------------------
+
+    def store(self, name: str, plaintext: bytes) -> None:
+        """Seal and program a record, bumping its version."""
+        version = self._versions.get(name, 0) + 1
+        self._versions[name] = version
+        self.flash.program(name, self._seal(name, version, plaintext))
+
+    def load(self, name: str) -> bytes:
+        """Read, authenticate, and rollback-check a record."""
+        blob = self.flash.read(name)
+        if blob is None:
+            raise StorageTampered(f"record {name!r} missing from flash")
+        version, plaintext = self._unseal(name, blob)
+        expected_version = self._versions.get(name)
+        if expected_version is None:
+            raise StorageTampered(f"record {name!r} unknown to this device")
+        if version != expected_version:
+            raise StorageTampered(
+                f"record {name!r} rolled back (flash has v{version}, "
+                f"device expects v{expected_version})"
+            )
+        return plaintext
+
+    def names(self) -> List[str]:
+        """Records this device manages."""
+        return sorted(self._versions)
+
+
+def theft_scenario(pin: bytes = b"4711",
+                   seed: int = 0) -> Dict[str, object]:
+    """The §1 theft story, computed.
+
+    A device seals its PIN and a certificate; the device is stolen and
+    its flash dumped.  Returns what the thief could and could not do:
+    ``plaintext_visible`` (secret bytes present in the dump),
+    ``forge_accepted`` (a modified record passing checks),
+    ``rollback_accepted`` (an old record re-flashed and accepted).
+    """
+    keystore = SecureKeyStore.provision(f"stolen-device-{seed}")
+    flash = FlashDevice()
+    storage = SecureStorage(
+        flash=flash, keystore=keystore,
+        rng=DeterministicDRBG(("storage", seed).__repr__()))
+    storage.store("user-pin", pin)
+    storage.store("retry-counter", b"\x03")
+
+    # Attack 1: read the dump.
+    dump = flash.dump()
+    plaintext_visible = any(pin in blob for blob in dump.values())
+
+    # Attack 2: flip bits in the sealed PIN record.
+    forged = bytearray(dump["user-pin"])
+    forged[20] ^= 0xFF
+    flash.program("user-pin", bytes(forged))
+    try:
+        storage.load("user-pin")
+        forge_accepted = True
+    except StorageTampered:
+        forge_accepted = False
+        flash.program("user-pin", dump["user-pin"])  # restore
+
+    # Attack 3: burn retries, then re-flash the old counter record.
+    old_counter = flash.dump()["retry-counter"]
+    storage.store("retry-counter", b"\x00")  # retries exhausted
+    flash.program("retry-counter", old_counter)
+    try:
+        storage.load("retry-counter")
+        rollback_accepted = True
+    except StorageTampered:
+        rollback_accepted = False
+
+    return {
+        "plaintext_visible": plaintext_visible,
+        "forge_accepted": forge_accepted,
+        "rollback_accepted": rollback_accepted,
+    }

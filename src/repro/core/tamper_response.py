@@ -1,0 +1,144 @@
+"""Tamper detection and response — §3.4's invasive/fault-attack defence.
+
+"Invasive attacks such as micro-probing techniques involve getting
+access to the silicon" and "fault induction techniques manipulate the
+environmental conditions of the system (voltage, clock, temperature,
+radiation, light, eddy current, etc.)".  Smart-card-class hardware
+answers with *sensors* and a *response policy* — most drastically,
+zeroising key material before the attacker reaches it (the classic
+Kömmerling–Kuhn design principles the paper cites as [40]).
+
+:class:`TamperMesh` aggregates environmental sensors with thresholds;
+:class:`TamperResponder` binds the mesh to a key store and executes
+the response (zeroise + lockout).  The attack model delivers
+:class:`EnvironmentEvent` streams — a glitching campaign is a sequence
+of voltage/clock excursions; a probing attempt trips the mesh sensor —
+and the tests check both directions: attacks inside the sensor
+envelope survive, anything beyond it finds the keys already gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class EnvironmentEvent:
+    """One environmental excursion delivered to the device."""
+
+    kind: str       # "voltage", "clock", "temperature", "light", "mesh"
+    magnitude: float  # sensor-specific units (see SensorSpec)
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """One tamper sensor: trips when |magnitude| exceeds the threshold."""
+
+    kind: str
+    threshold: float
+    description: str = ""
+
+
+DEFAULT_SENSORS: Tuple[SensorSpec, ...] = (
+    SensorSpec("voltage", 0.3, "supply excursion beyond ±30% nominal"),
+    SensorSpec("clock", 0.5, "clock frequency excursion beyond ±50%"),
+    SensorSpec("temperature", 60.0, "die temperature delta > 60 C"),
+    SensorSpec("light", 1.0, "photodiode: die exposed (decapsulation)"),
+    SensorSpec("mesh", 0.0, "active shield continuity broken (probing)"),
+)
+
+
+@dataclass
+class TamperMesh:
+    """The sensor suite; evaluates events against thresholds."""
+
+    sensors: Tuple[SensorSpec, ...] = DEFAULT_SENSORS
+    trips: List[EnvironmentEvent] = field(default_factory=list)
+
+    def evaluate(self, event: EnvironmentEvent) -> bool:
+        """True (and recorded) when any sensor trips on the event."""
+        for sensor in self.sensors:
+            if sensor.kind == event.kind and \
+                    abs(event.magnitude) > sensor.threshold:
+                self.trips.append(event)
+                return True
+        return False
+
+
+@dataclass
+class TamperResponder:
+    """Binds a mesh to a key store: trip -> zeroise -> lockout."""
+
+    mesh: TamperMesh
+    keystore: "SecureKeyStore"
+    zeroised: bool = False
+    response_log: List[str] = field(default_factory=list)
+
+    def deliver(self, event: EnvironmentEvent) -> bool:
+        """Feed one event; returns True if the device responded."""
+        if not self.mesh.evaluate(event):
+            return False
+        if not self.zeroised:
+            self._zeroise()
+        self.response_log.append(
+            f"tamper response: {event.kind} magnitude {event.magnitude}"
+        )
+        return True
+
+    def _zeroise(self) -> None:
+        # Overwrite every stored key and the die root, then drop them.
+        self.keystore._keys.clear()
+        self.keystore.root_key = bytes(len(self.keystore.root_key))
+        self.zeroised = True
+
+
+@dataclass
+class ProbingAttacker:
+    """An invasive attacker working through decapsulation + probing.
+
+    ``steps`` is the campaign: the physical actions needed before the
+    probe lands on the key bus.  Against a meshed device the campaign
+    trips sensors early; against an unprotected one it reaches the
+    keys.  ``read_keys`` models the probe's payoff: whether any key
+    material remains to steal.
+    """
+
+    campaign: Tuple[EnvironmentEvent, ...] = (
+        EnvironmentEvent("temperature", 80.0),   # hot-air decapsulation
+        EnvironmentEvent("light", 5.0),          # die exposed
+        EnvironmentEvent("mesh", 1.0),           # shield cut
+    )
+
+    def run(self, responder: Optional[TamperResponder],
+            keystore: "SecureKeyStore") -> Dict[str, object]:
+        """Execute the campaign; returns what the probe obtained."""
+        tripped = []
+        for event in self.campaign:
+            if responder is not None and responder.deliver(event):
+                tripped.append(event.kind)
+        remaining_keys = list(keystore._keys)
+        return {
+            "sensors_tripped": tripped,
+            "keys_recovered": remaining_keys,
+            "root_key_intact": any(keystore.root_key),
+        }
+
+
+def glitching_is_subthreshold(event: EnvironmentEvent,
+                              mesh: Optional[TamperMesh] = None) -> bool:
+    """Whether a fault-injection excursion evades the sensor envelope.
+
+    The §3.4 tension: the *useful* glitches for the Bellcore attack are
+    small, fast excursions — a mesh with tight thresholds catches big
+    ones but sub-threshold glitching remains, which is why the
+    algorithmic countermeasure (CRT verification) is still required.
+    The tests assert both: big glitches zeroise, small ones get through
+    the mesh but are caught by :func:`verified_crt_sign`.
+    """
+    mesh = mesh or TamperMesh()
+    return not mesh.evaluate(event)
+
+
+# Imported late to avoid a cycle at module load.
+from .keystore import SecureKeyStore  # noqa: E402  (typing reference)

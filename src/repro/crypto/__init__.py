@@ -1,0 +1,53 @@
+"""From-scratch cryptographic substrate.
+
+Implements every algorithm the paper names (Sections 2, 3.1, 4.1):
+DES/3DES, AES, RC4, RC2, SHA-1, MD5, HMAC, RSA (with CRT), and
+Diffie–Hellman — plus the mode, padding, randomness, and registry
+machinery the protocol stacks build on, and side-channel
+instrumentation (:mod:`repro.crypto.trace`,
+:class:`~repro.crypto.modmath.OperationTimer`) that substitutes for a
+physical measurement bench.
+"""
+
+from .aes import AES
+from .des import DES
+from .dh import DHGroup, DHParty
+from .errors import (
+    CryptoError,
+    DecryptionError,
+    IntegrityError,
+    InvalidBlockSize,
+    InvalidKeyLength,
+    PaddingError,
+    ParameterError,
+    RandomnessError,
+    SignatureError,
+)
+from .hmac import HMAC, hmac, hmac_verify
+from .kea import KEAKeyPair, KEAParty
+from .md5 import MD5, md5
+from .modes import CBC, CTR, ECB
+from .modmath import OperationTimer, modexp, modexp_ladder, modexp_sqm
+from .rc2 import RC2
+from .rc4 import RC4
+from .registry import AlgorithmInfo, AlgorithmRegistry, aes_rollout, default_registry
+from .rng import DeterministicDRBG, HardwareTRNG
+from .rsa import RSAPrivateKey, RSAPublicKey, generate_keypair
+from .sha1 import SHA1, sha1
+from .tdes import TripleDES
+from .trace import TraceRecorder, TraceSample
+
+__all__ = [
+    "AES", "DES", "TripleDES", "RC2", "RC4", "MD5", "SHA1", "HMAC",
+    "md5", "sha1", "hmac", "hmac_verify",
+    "ECB", "CBC", "CTR",
+    "DHGroup", "DHParty", "KEAParty", "KEAKeyPair",
+    "RSAPublicKey", "RSAPrivateKey", "generate_keypair",
+    "modexp", "modexp_sqm", "modexp_ladder", "OperationTimer",
+    "DeterministicDRBG", "HardwareTRNG",
+    "TraceRecorder", "TraceSample",
+    "AlgorithmRegistry", "AlgorithmInfo", "default_registry", "aes_rollout",
+    "CryptoError", "DecryptionError", "IntegrityError", "InvalidBlockSize",
+    "InvalidKeyLength", "PaddingError", "ParameterError", "RandomnessError",
+    "SignatureError",
+]

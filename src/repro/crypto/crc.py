@@ -1,0 +1,60 @@
+"""CRC-32 (IEEE 802.3 polynomial) — WEP's integrity check value.
+
+WEP protects frame integrity with a plain CRC-32 "ICV" encrypted under
+RC4.  Because CRC-32 is linear over GF(2), an attacker can flip
+plaintext bits and patch the ICV without knowing the key — one of the
+WEP breaks the paper cites ([21]-[23]).  We implement CRC-32 from
+scratch so :mod:`repro.attacks.wep_attacks` can demonstrate exactly
+that forgery against our own WEP stack.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, initial: int = 0) -> int:
+    """Compute the IEEE CRC-32 of ``data``.
+
+    Matches :func:`zlib.crc32` (same polynomial, reflection, and final
+    XOR) so the implementation can be cross-checked, but is built from
+    first principles because WEP's weakness lives in the algorithm's
+    linear structure, not in any library binding.
+    """
+    crc = initial ^ 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def crc32_bytes(data: bytes) -> bytes:
+    """CRC-32 of ``data``, little-endian encoded as WEP transmits it."""
+    return crc32(data).to_bytes(4, "little")
+
+
+def crc32_combine_xor(crc_a: int, crc_b: int, crc_zero: int) -> int:
+    """Exploit CRC linearity: ``crc(a ^ b) == crc(a) ^ crc(b) ^ crc(0...)``.
+
+    For equal-length messages ``a``, ``b`` and ``crc_zero`` the CRC of
+    the all-zero message of that length.  This identity is the engine of
+    the WEP bit-flipping forgery.
+    """
+    return crc_a ^ crc_b ^ crc_zero

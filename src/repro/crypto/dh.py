@@ -1,0 +1,94 @@
+"""Diffie–Hellman key agreement.
+
+Section 4.1 lists "public key operations (RSA/DH)" as the asymmetric
+workload a mobile crypto foundation must accelerate, and §3.1's SSL
+example names KEA (a DH variant) as an alternative key-exchange
+algorithm.  We provide classic finite-field DH over safe-prime groups,
+plus a fixed well-known group so tests and protocol runs don't pay
+safe-prime generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ParameterError
+from .modmath import modexp
+from .primes import generate_safe_prime, is_prime
+from .rng import DeterministicDRBG
+from .sha1 import sha1
+
+# The 768-bit MODP group from RFC 2409 (Oakley group 1): a safe prime
+# with generator 2 — period-correct for 2003-era handsets.
+OAKLEY_GROUP1_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E08"
+    "8A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B"
+    "302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9"
+    "A63A3620FFFFFFFFFFFFFFFF",
+    16,
+)
+OAKLEY_GROUP1_G = 2
+
+
+@dataclass(frozen=True)
+class DHGroup:
+    """A Diffie–Hellman group (safe prime ``p``, generator ``g``)."""
+
+    p: int
+    g: int
+
+    def validate(self) -> None:
+        """Sanity-check the group parameters (primality, generator range)."""
+        if not is_prime(self.p):
+            raise ParameterError("DH modulus is not prime")
+        if not 2 <= self.g <= self.p - 2:
+            raise ParameterError("DH generator out of range")
+
+    @classmethod
+    def generate(cls, bits: int, rng: DeterministicDRBG) -> "DHGroup":
+        """Generate a fresh safe-prime group (slow for large sizes)."""
+        return cls(p=generate_safe_prime(bits, rng), g=2)
+
+    @classmethod
+    def oakley1(cls) -> "DHGroup":
+        """The fixed RFC 2409 768-bit group."""
+        return cls(p=OAKLEY_GROUP1_P, g=OAKLEY_GROUP1_G)
+
+
+class DHParty:
+    """One side of a Diffie–Hellman exchange.
+
+    >>> group = DHGroup.oakley1()
+    >>> alice = DHParty(group, DeterministicDRBG(1))
+    >>> bob = DHParty(group, DeterministicDRBG(2))
+    >>> alice.shared_secret(bob.public) == bob.shared_secret(alice.public)
+    True
+    """
+
+    def __init__(self, group: DHGroup, rng: DeterministicDRBG) -> None:
+        self.group = group
+        self._private = rng.randrange(2, group.p - 2)
+        self.public = modexp(group.g, self._private, group.p)
+
+    def shared_secret(self, peer_public: int) -> int:
+        """Compute the shared secret from the peer's public value.
+
+        Rejects degenerate public values (0, 1, p-1) — the classic
+        small-subgroup confinement check.
+        """
+        if peer_public in (0, 1, self.group.p - 1) or not (
+            0 < peer_public < self.group.p
+        ):
+            raise ParameterError("peer DH public value is degenerate")
+        return modexp(peer_public, self._private, self.group.p)
+
+    def shared_key(self, peer_public: int, length: int = 16) -> bytes:
+        """Derive ``length`` key bytes from the shared secret via SHA-1."""
+        secret = self.shared_secret(peer_public)
+        raw = secret.to_bytes((self.group.p.bit_length() + 7) // 8, "big")
+        out = b""
+        counter = 0
+        while len(out) < length:
+            out += sha1(raw + counter.to_bytes(4, "big"))
+            counter += 1
+        return out[:length]

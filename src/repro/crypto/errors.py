@@ -1,0 +1,70 @@
+"""Exception hierarchy for the cryptographic substrate.
+
+Every failure mode in :mod:`repro.crypto` raises a subclass of
+:class:`CryptoError` so callers (protocol stacks, the secure execution
+environment) can distinguish cryptographic failures from programming
+errors and react per the paper's threat model (Section 3.4).
+"""
+
+from __future__ import annotations
+
+
+class CryptoError(Exception):
+    """Base class for all cryptographic errors."""
+
+
+class KeyError_(CryptoError):
+    """A key has the wrong length, parity, or structure.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`KeyError`.
+    """
+
+
+class InvalidKeyLength(KeyError_):
+    """A key's byte length is not accepted by the algorithm."""
+
+    def __init__(self, algorithm: str, got: int, expected: str) -> None:
+        super().__init__(
+            f"{algorithm}: key length {got} bytes invalid (expected {expected})"
+        )
+        self.algorithm = algorithm
+        self.got = got
+        self.expected = expected
+
+
+class InvalidBlockSize(CryptoError):
+    """Input is not a whole number of cipher blocks."""
+
+    def __init__(self, algorithm: str, got: int, block_size: int) -> None:
+        super().__init__(
+            f"{algorithm}: input length {got} is not a multiple of the "
+            f"{block_size}-byte block size"
+        )
+        self.algorithm = algorithm
+        self.got = got
+        self.block_size = block_size
+
+
+class PaddingError(CryptoError):
+    """Padding bytes are malformed after decryption."""
+
+
+class SignatureError(CryptoError):
+    """A digital signature failed verification."""
+
+
+class IntegrityError(CryptoError):
+    """A MAC or checksum failed verification."""
+
+
+class DecryptionError(CryptoError):
+    """Decryption failed structurally (e.g. RSA payload out of range)."""
+
+
+class ParameterError(CryptoError):
+    """A public parameter (modulus, generator, IV) is invalid."""
+
+
+class RandomnessError(CryptoError):
+    """The randomness source could not satisfy a request."""

@@ -1,0 +1,71 @@
+"""HMAC (RFC 2104) over the from-scratch hash implementations.
+
+The record layers (mini-TLS, WTLS, ESP) authenticate every record with
+HMAC-SHA1 or HMAC-MD5, matching the "message authentication algorithm
+(SHA-1 or MD5)" requirement of Section 3.1.  Verification uses a
+constant-time comparison — the §3.4 timing-attack countermeasure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from .bitops import constant_time_compare
+from .errors import IntegrityError
+from .md5 import MD5
+from .sha1 import SHA1
+
+HashFactory = Callable[[], Union[SHA1, MD5]]
+
+
+class HMAC:
+    """Keyed-hash message authentication code.
+
+    Parameters
+    ----------
+    key:
+        MAC key of any length (hashed down if longer than the hash
+        block, zero-padded if shorter, per RFC 2104).
+    hash_factory:
+        Zero-argument callable producing a fresh hash object —
+        :class:`~repro.crypto.sha1.SHA1` or
+        :class:`~repro.crypto.md5.MD5`.
+    """
+
+    def __init__(self, key: bytes, hash_factory: HashFactory = SHA1) -> None:
+        self._factory = hash_factory
+        probe = hash_factory()
+        block_size = probe.block_size
+        self.digest_size = probe.digest_size
+        if len(key) > block_size:
+            key = hash_factory().update(key).digest()
+        key = key + b"\x00" * (block_size - len(key))
+        self._inner = hash_factory().update(bytes(b ^ 0x36 for b in key))
+        self._outer_pad = bytes(b ^ 0x5C for b in key)
+
+    def update(self, data: bytes) -> "HMAC":
+        """Absorb message bytes; returns self for chaining."""
+        self._inner.update(data)
+        return self
+
+    def digest(self) -> bytes:
+        """Finalize (non-destructively) and return the MAC."""
+        inner_digest = self._inner.copy().digest()
+        return self._factory().update(self._outer_pad + inner_digest).digest()
+
+    def hexdigest(self) -> str:
+        """MAC as lowercase hex."""
+        return self.digest().hex()
+
+
+def hmac(key: bytes, message: bytes, hash_factory: HashFactory = SHA1) -> bytes:
+    """One-shot HMAC."""
+    return HMAC(key, hash_factory).update(message).digest()
+
+
+def hmac_verify(key: bytes, message: bytes, tag: bytes,
+                hash_factory: HashFactory = SHA1) -> None:
+    """Verify a MAC in constant time; raises :class:`IntegrityError`."""
+    expected = hmac(key, message, hash_factory)
+    if not constant_time_compare(expected, tag):
+        raise IntegrityError("HMAC verification failed")

@@ -1,0 +1,92 @@
+"""KEA — the Key Exchange Algorithm (§3.1's RSA alternative).
+
+"For key exchange, cryptographic algorithms such as RSA and KEA are
+possible choices."  KEA (declassified by NSA in 1998, of Fortezza/
+Skipjack lineage) is a *dual* Diffie–Hellman: each party contributes a
+**static** key pair (certified, giving authentication) and an
+**ephemeral** pair (fresh, giving key freshness), and the shared
+secret combines both mixed pairings::
+
+    t1 = peer_ephemeral ^ own_static
+    t2 = peer_static    ^ own_ephemeral
+    w  = (t1 + t2) mod p     ->  KDF
+
+Compared with plain ephemeral DH (no authentication without extra
+signatures) and plain static DH (no freshness), KEA gets both from two
+exponentiations — which is exactly why a constrained handset's suite
+matrix carried it.  Degenerate public values are rejected on both
+pairings, as in :mod:`repro.crypto.dh`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dh import DHGroup
+from .errors import ParameterError
+from .modmath import modexp
+from .rng import DeterministicDRBG
+from .sha1 import sha1
+
+
+@dataclass
+class KEAKeyPair:
+    """A (private, public) pair in the group."""
+
+    private: int
+    public: int
+
+    @classmethod
+    def generate(cls, group: DHGroup, rng: DeterministicDRBG) -> "KEAKeyPair":
+        """Fresh key pair."""
+        private = rng.randrange(2, group.p - 2)
+        return cls(private=private, public=modexp(group.g, private, group.p))
+
+
+class KEAParty:
+    """One side of a KEA exchange.
+
+    The static pair persists (it would be bound into the party's
+    certificate); a fresh ephemeral pair is made per exchange via
+    :meth:`new_exchange`.
+    """
+
+    def __init__(self, group: DHGroup, rng: DeterministicDRBG) -> None:
+        self.group = group
+        self._rng = rng
+        self.static = KEAKeyPair.generate(group, rng)
+        self.ephemeral = KEAKeyPair.generate(group, rng)
+
+    def new_exchange(self) -> int:
+        """Refresh the ephemeral pair; returns the new public value."""
+        self.ephemeral = KEAKeyPair.generate(self.group, self._rng)
+        return self.ephemeral.public
+
+    def _check(self, value: int, label: str) -> None:
+        if value in (0, 1, self.group.p - 1) or not 0 < value < self.group.p:
+            raise ParameterError(f"peer {label} public value is degenerate")
+
+    def shared_secret(self, peer_static_public: int,
+                      peer_ephemeral_public: int) -> int:
+        """The combined KEA secret w = t1 + t2 mod p."""
+        self._check(peer_static_public, "static")
+        self._check(peer_ephemeral_public, "ephemeral")
+        t1 = modexp(peer_ephemeral_public, self.static.private, self.group.p)
+        t2 = modexp(peer_static_public, self.ephemeral.private, self.group.p)
+        w = (t1 + t2) % self.group.p
+        if w == 0:
+            raise ParameterError("KEA combined secret degenerated to zero")
+        return w
+
+    def shared_key(self, peer_static_public: int,
+                   peer_ephemeral_public: int, length: int = 16) -> bytes:
+        """Derive key bytes from the combined secret."""
+        secret = self.shared_secret(peer_static_public,
+                                    peer_ephemeral_public)
+        raw = secret.to_bytes((self.group.p.bit_length() + 7) // 8, "big")
+        out = b""
+        counter = 0
+        while len(out) < length:
+            out += sha1(b"KEA" + raw + counter.to_bytes(4, "big"))
+            counter += 1
+        return out[:length]

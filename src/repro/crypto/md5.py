@@ -1,0 +1,106 @@
+"""MD5 (RFC 1321) implemented from scratch.
+
+MD5 is the second MAC hash named by Section 3.1's SSL flexibility
+example ("SHA-1 or MD5") and appears throughout the WTLS/SSL suite
+matrix.  Kept for interoperability with the paper's 2003-era protocol
+landscape — the registry marks it legacy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .bitops import rotl32
+
+DIGEST_SIZE = 16
+BLOCK_SIZE = 64
+
+_S = (
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+)
+
+# Constants derived per RFC 1321: K[i] = floor(2^32 * |sin(i + 1)|).
+_K = tuple(int(abs(math.sin(i + 1)) * 2 ** 32) & 0xFFFFFFFF for i in range(64))
+
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+
+def _compress(state: tuple, block: bytes) -> tuple:
+    m = [int.from_bytes(block[4 * i : 4 * i + 4], "little") for i in range(16)]
+    a, b, c, d = state
+    for i in range(64):
+        if i < 16:
+            f = (b & c) | (~b & d)
+            g = i
+        elif i < 32:
+            f = (d & b) | (~d & c)
+            g = (5 * i + 1) % 16
+        elif i < 48:
+            f = b ^ c ^ d
+            g = (3 * i + 5) % 16
+        else:
+            f = c ^ (b | (~d & 0xFFFFFFFF))
+            g = (7 * i) % 16
+        f = (f + a + _K[i] + m[g]) & 0xFFFFFFFF
+        a, d, c = d, c, b
+        b = (b + rotl32(f, _S[i])) & 0xFFFFFFFF
+    return (
+        (state[0] + a) & 0xFFFFFFFF,
+        (state[1] + b) & 0xFFFFFFFF,
+        (state[2] + c) & 0xFFFFFFFF,
+        (state[3] + d) & 0xFFFFFFFF,
+    )
+
+
+class MD5:
+    """Incremental MD5 with the hashlib-style update/digest interface."""
+
+    name = "MD5"
+    digest_size = DIGEST_SIZE
+    block_size = BLOCK_SIZE
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = _H0
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "MD5":
+        """Absorb more message bytes; returns self for chaining."""
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= BLOCK_SIZE:
+            self._state = _compress(self._state, self._buffer[:BLOCK_SIZE])
+            self._buffer = self._buffer[BLOCK_SIZE:]
+        return self
+
+    def digest(self) -> bytes:
+        """Return the 16-byte digest without disturbing internal state."""
+        state, buffer = self._state, self._buffer
+        bit_length = (self._length * 8) & 0xFFFFFFFFFFFFFFFF
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64)
+        tail = buffer + padding + bit_length.to_bytes(8, "little")
+        for offset in range(0, len(tail), BLOCK_SIZE):
+            state = _compress(state, tail[offset : offset + BLOCK_SIZE])
+        return b"".join(word.to_bytes(4, "little") for word in state)
+
+    def hexdigest(self) -> str:
+        """Digest as lowercase hex."""
+        return self.digest().hex()
+
+    def copy(self) -> "MD5":
+        """Independent copy of the running hash state."""
+        clone = MD5()
+        clone._state = self._state
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+
+def md5(data: bytes) -> bytes:
+    """One-shot MD5 digest."""
+    return MD5(data).digest()

@@ -1,0 +1,115 @@
+"""Block-cipher modes of operation (ECB, CBC, CTR).
+
+The protocol stacks chain the raw block ciphers through these modes:
+mini-TLS/WTLS and ESP use CBC with explicit IVs (the 2003-era default),
+CTR is provided for the stream-like workloads the paper's data-rate
+sweeps model, and ECB exists for test vectors and as the building
+block the others compose.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from .bitops import split_blocks, xor_bytes
+from .errors import InvalidBlockSize, ParameterError
+from .padding import pkcs7_pad, pkcs7_unpad
+
+
+class BlockCipher(Protocol):
+    """Structural type implemented by DES/3DES/AES/RC2."""
+
+    name: str
+    block_size: int
+
+    def encrypt_block(self, block: bytes) -> bytes: ...  # noqa: E704
+
+    def decrypt_block(self, block: bytes) -> bytes: ...  # noqa: E704
+
+
+class ECB:
+    """Electronic codebook — block-aligned inputs only."""
+
+    def __init__(self, cipher: BlockCipher) -> None:
+        self.cipher = cipher
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt block-aligned plaintext."""
+        return b"".join(
+            self.cipher.encrypt_block(block)
+            for block in split_blocks(plaintext, self.cipher.block_size)
+        )
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Decrypt block-aligned ciphertext."""
+        return b"".join(
+            self.cipher.decrypt_block(block)
+            for block in split_blocks(ciphertext, self.cipher.block_size)
+        )
+
+
+class CBC:
+    """Cipher-block chaining with explicit IV and PKCS#7 padding."""
+
+    def __init__(self, cipher: BlockCipher, iv: bytes) -> None:
+        if len(iv) != cipher.block_size:
+            raise ParameterError(
+                f"CBC IV must be {cipher.block_size} bytes, got {len(iv)}"
+            )
+        self.cipher = cipher
+        self.iv = iv
+
+    def encrypt(self, plaintext: bytes, pad: bool = True) -> bytes:
+        """Encrypt (PKCS#7-padding by default)."""
+        if pad:
+            plaintext = pkcs7_pad(plaintext, self.cipher.block_size)
+        previous = self.iv
+        out = []
+        for block in split_blocks(plaintext, self.cipher.block_size):
+            previous = self.cipher.encrypt_block(xor_bytes(block, previous))
+            out.append(previous)
+        return b"".join(out)
+
+    def decrypt(self, ciphertext: bytes, pad: bool = True) -> bytes:
+        """Decrypt and strip padding (validating it)."""
+        if not ciphertext and not pad:
+            return b""
+        if len(ciphertext) % self.cipher.block_size or not ciphertext:
+            raise InvalidBlockSize(
+                self.cipher.name, len(ciphertext), self.cipher.block_size
+            )
+        previous = self.iv
+        out = []
+        for block in split_blocks(ciphertext, self.cipher.block_size):
+            out.append(xor_bytes(self.cipher.decrypt_block(block), previous))
+            previous = block
+        plaintext = b"".join(out)
+        return pkcs7_unpad(plaintext, self.cipher.block_size) if pad else plaintext
+
+
+class CTR:
+    """Counter mode — turns any block cipher into a stream cipher."""
+
+    def __init__(self, cipher: BlockCipher, nonce: bytes) -> None:
+        if len(nonce) != cipher.block_size:
+            raise ParameterError(
+                f"CTR nonce must be {cipher.block_size} bytes, got {len(nonce)}"
+            )
+        self.cipher = cipher
+        self._counter = int.from_bytes(nonce, "big")
+        self._block_bits = 8 * cipher.block_size
+
+    def process(self, data: bytes) -> bytes:
+        """Encrypt or decrypt (same operation) arbitrary-length data."""
+        out = bytearray()
+        offset = 0
+        while offset < len(data):
+            counter_block = (self._counter % (1 << self._block_bits)).to_bytes(
+                self.cipher.block_size, "big"
+            )
+            keystream = self.cipher.encrypt_block(counter_block)
+            self._counter += 1
+            chunk = data[offset : offset + self.cipher.block_size]
+            out.extend(x ^ y for x, y in zip(chunk, keystream))
+            offset += self.cipher.block_size
+        return bytes(out)

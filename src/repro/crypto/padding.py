@@ -1,0 +1,60 @@
+"""Block-cipher padding schemes used by the protocol stacks.
+
+PKCS#7 is used by the mini-TLS/WTLS record layers; zero padding by the
+IPSec-style ESP trailer (which carries an explicit pad-length byte).
+Padding validation failures raise :class:`~repro.crypto.errors.PaddingError`
+so record layers can convert them into protocol alerts.
+"""
+
+from __future__ import annotations
+
+from .errors import PaddingError
+
+
+def pkcs7_pad(data: bytes, block_size: int) -> bytes:
+    """Append PKCS#7 padding up to a multiple of ``block_size``.
+
+    Always adds at least one byte, so the operation is unambiguous and
+    invertible for any input.
+    """
+    if not 1 <= block_size <= 255:
+        raise ValueError(f"block size {block_size} out of PKCS#7 range 1..255")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise PaddingError("padded data empty or not block-aligned")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise PaddingError(f"pad length byte {pad_len} out of range")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("pad bytes inconsistent")
+    return data[:-pad_len]
+
+
+def esp_pad(data: bytes, block_size: int) -> bytes:
+    """ESP-style monotonic pad ``01 02 03 ...`` plus a pad-length byte.
+
+    RFC 2406 pads the payload with the monotone sequence and appends the
+    pad-length count; our IPSec substrate follows the same layout (the
+    next-header byte is handled by the ESP packet format itself).
+    """
+    pad_len = (block_size - (len(data) + 1) % block_size) % block_size
+    padding = bytes(range(1, pad_len + 1))
+    return data + padding + bytes([pad_len])
+
+
+def esp_unpad(data: bytes) -> bytes:
+    """Strip and validate an ESP-style trailer."""
+    if not data:
+        raise PaddingError("ESP payload empty")
+    pad_len = data[-1]
+    if pad_len + 1 > len(data):
+        raise PaddingError(f"ESP pad length {pad_len} exceeds payload")
+    body, padding = data[: -(pad_len + 1)], data[-(pad_len + 1) : -1]
+    if padding != bytes(range(1, pad_len + 1)):
+        raise PaddingError("ESP pad bytes not monotone sequence")
+    return body

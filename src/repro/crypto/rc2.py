@@ -1,0 +1,150 @@
+"""RC2 block cipher (RFC 2268) — a legacy SSL export-era cipher.
+
+Section 3.1 of the paper lists RC2 among the symmetric ciphers an
+RSA-key-exchange SSL cipher suite must support, which is exactly why
+it lives in our registry: a handset that cannot negotiate it loses
+interoperability with older peers (the paper's flexibility argument).
+
+Implemented from RFC 2268: the PITABLE-driven key expansion with an
+effective-key-bits reduction step, and the 16 MIX + 2 MASH round
+structure over four 16-bit words.  Validated against the RFC 2268
+test vectors (including the 63- and 64-effective-bit cases).
+"""
+
+from __future__ import annotations
+
+from .bitops import rotl16, rotr16
+from .errors import InvalidBlockSize, InvalidKeyLength
+
+BLOCK_SIZE = 8
+
+_PITABLE = bytes.fromhex(
+    "d978f9c419ddb5ed28e9fd794aa0d89d"
+    "c67e37832b76538e624c6488448bfba2"
+    "179a59f587b34f1361456d8d09817d32"
+    "bd8f40eb86b77b0bf09521225c6b4e82"
+    "54d66593ce60b21c7356c014a78cf1dc"
+    "1275ca1f3bbee4d1423dd430a33cb626"
+    "6fbf0eda4669075727f21d9bbc944303"
+    "f811c7f690ef3ee706c3d52fc8661ed7"
+    "08e8eade8052eef784aa72ac354d6a2a"
+    "961ad2715a1549744b9fd05e0418a4ec"
+    "c2e0416e0f51cbcc2491af50a1f47039"
+    "997c3a8523b8b47afc02365b25559731"
+    "2d5dfa98e38a92ae05df2910676cbac9"
+    "d300e6cfe19ea82c6316013f58e289a9"
+    "0d38341bab33ffb0bb480c5fb9b1cd2e"
+    "c5f3db47e5a59c770aa62068fe7fc1ad"
+)
+
+
+def expand_key(key: bytes, effective_bits: int) -> list:
+    """RFC 2268 key expansion → 64 16-bit subkeys ``K[0..63]``.
+
+    ``effective_bits`` implements RC2's historical export-control
+    parameter: the expanded key is reduced so that at most that many
+    key bits influence the cipher.
+    """
+    if not 1 <= len(key) <= 128:
+        raise InvalidKeyLength("RC2", len(key), "1..128")
+    if not 1 <= effective_bits <= 1024:
+        raise ValueError(f"effective key bits {effective_bits} out of range 1..1024")
+    buf = bytearray(key) + bytearray(128 - len(key))
+    t = len(key)
+    t1 = effective_bits
+    t8 = (t1 + 7) // 8
+    tm = 0xFF % (1 << (8 + t1 - 8 * t8))
+    for i in range(t, 128):
+        buf[i] = _PITABLE[(buf[i - 1] + buf[i - t]) & 0xFF]
+    buf[128 - t8] = _PITABLE[buf[128 - t8] & tm]
+    for i in range(127 - t8, -1, -1):
+        buf[i] = _PITABLE[buf[i + 1] ^ buf[i + t8]]
+    return [buf[2 * i] | (buf[2 * i + 1] << 8) for i in range(64)]
+
+
+class RC2:
+    """RC2 with a variable-length key and effective-key-bits parameter.
+
+    The default ``effective_bits`` equals the key length in bits, the
+    common modern usage; SSL export suites historically forced 40.
+    """
+
+    name = "RC2"
+    block_size = BLOCK_SIZE
+    key_size = 16
+
+    _MIX_SHIFTS = (1, 2, 3, 5)
+
+    def __init__(self, key: bytes, effective_bits: int = 0) -> None:
+        if effective_bits <= 0:
+            effective_bits = 8 * len(key)
+        self._subkeys = expand_key(key, effective_bits)
+        self.effective_bits = effective_bits
+
+    # -- round building blocks ----------------------------------------------
+
+    def _mix_round(self, r: list, j: int) -> int:
+        for i in range(4):
+            r[i] = (
+                r[i]
+                + self._subkeys[j]
+                + (r[(i - 1) & 3] & r[(i - 2) & 3])
+                + ((~r[(i - 1) & 3]) & r[(i - 3) & 3])
+            ) & 0xFFFF
+            r[i] = rotl16(r[i], self._MIX_SHIFTS[i])
+            j += 1
+        return j
+
+    def _mash_round(self, r: list) -> None:
+        for i in range(4):
+            r[i] = (r[i] + self._subkeys[r[(i - 1) & 3] & 63]) & 0xFFFF
+
+    def _rmix_round(self, r: list, j: int) -> int:
+        for i in range(3, -1, -1):
+            r[i] = rotr16(r[i], self._MIX_SHIFTS[i])
+            r[i] = (
+                r[i]
+                - self._subkeys[j]
+                - (r[(i - 1) & 3] & r[(i - 2) & 3])
+                - ((~r[(i - 1) & 3]) & r[(i - 3) & 3])
+            ) & 0xFFFF
+            j -= 1
+        return j
+
+    def _rmash_round(self, r: list) -> None:
+        for i in range(3, -1, -1):
+            r[i] = (r[i] - self._subkeys[r[(i - 1) & 3] & 63]) & 0xFFFF
+
+    # -- public block interface ----------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 8-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise InvalidBlockSize("RC2", len(block), BLOCK_SIZE)
+        r = [block[2 * i] | (block[2 * i + 1] << 8) for i in range(4)]
+        j = 0
+        for _ in range(5):
+            j = self._mix_round(r, j)
+        self._mash_round(r)
+        for _ in range(6):
+            j = self._mix_round(r, j)
+        self._mash_round(r)
+        for _ in range(5):
+            j = self._mix_round(r, j)
+        return bytes(b for word in r for b in (word & 0xFF, word >> 8))
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 8-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise InvalidBlockSize("RC2", len(block), BLOCK_SIZE)
+        r = [block[2 * i] | (block[2 * i + 1] << 8) for i in range(4)]
+        j = 63
+        for _ in range(5):
+            j = self._rmix_round(r, j)
+        self._rmash_round(r)
+        for _ in range(6):
+            j = self._rmix_round(r, j)
+        self._rmash_round(r)
+        for _ in range(5):
+            j = self._rmix_round(r, j)
+        return bytes(b for word in r for b in (word & 0xFF, word >> 8))

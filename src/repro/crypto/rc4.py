@@ -1,0 +1,60 @@
+"""RC4 stream cipher — the cipher inside WEP and many SSL suites.
+
+Section 3.1 lists RC4 among the symmetric ciphers an SSL client must
+support; Section 2's WEP discussion (paper refs. [21]-[23]) hinges on
+RC4's keystream being reused when WEP's 24-bit IV wraps.  This module
+provides the raw keystream generator; the WEP stack composes it with
+the per-frame ``IV || key`` seeding whose weakness the attacks exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .errors import InvalidKeyLength
+
+
+class RC4:
+    """RC4 with the standard KSA/PRGA.
+
+    The instance is a stateful keystream generator: calling
+    :meth:`process` repeatedly continues the keystream, as a streaming
+    transport would.  Use one instance per direction per key.
+    """
+
+    name = "RC4"
+    block_size = 1
+    key_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if not 1 <= len(key) <= 256:
+            raise InvalidKeyLength("RC4", len(key), "1..256")
+        state = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + state[i] + key[i % len(key)]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+        self._state = state
+        self._i = 0
+        self._j = 0
+
+    def keystream(self, length: int) -> bytes:
+        """Produce the next ``length`` keystream bytes."""
+        out = bytearray()
+        state, i, j = self._state, self._i, self._j
+        for _ in range(length):
+            i = (i + 1) & 0xFF
+            j = (j + state[i]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+            out.append(state[(state[i] + state[j]) & 0xFF])
+        self._i, self._j = i, j
+        return bytes(out)
+
+    def process(self, data: bytes) -> bytes:
+        """Encrypt or decrypt ``data`` (XOR with keystream)."""
+        stream = self.keystream(len(data))
+        return bytes(d ^ s for d, s in zip(data, stream))
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.keystream(1)[0]

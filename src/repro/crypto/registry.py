@@ -1,0 +1,146 @@
+"""Algorithm registry — the flexibility mechanism of Section 3.1.
+
+The paper's first design challenge is *flexibility*: protocols evolve
+(Figure 2), standards admit many cipher suites, and a deployed handset
+must adopt algorithms standardised after it shipped (TLS adding AES in
+June 2002 is the paper's example).  The registry is the software
+expression of that requirement: algorithms are looked up by name at
+negotiation time, carry lifecycle metadata (introduced, deprecated,
+strength), and new ones can be registered against a running platform —
+which is exactly what the firmware-update example exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .aes import AES
+from .des import DES
+from .errors import CryptoError
+from .md5 import MD5
+from .rc2 import RC2
+from .rc4 import RC4
+from .sha1 import SHA1
+from .tdes import TripleDES
+
+
+class UnknownAlgorithm(CryptoError):
+    """Requested algorithm is not registered."""
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Metadata describing one registered algorithm.
+
+    ``strength_bits`` is the effective security level (not key length);
+    ``year_introduced`` / ``deprecated`` drive the Figure-2-style
+    evolution analyses; ``kind`` is one of ``block``, ``stream``,
+    ``hash``, ``kex``.
+    """
+
+    name: str
+    kind: str
+    factory: Callable
+    key_bytes: int
+    strength_bits: int
+    year_introduced: int
+    deprecated: bool = False
+    notes: str = ""
+
+
+@dataclass
+class AlgorithmRegistry:
+    """A mutable catalogue of cryptographic algorithms.
+
+    A fresh registry is pre-populated with the 2003-era baseline the
+    paper enumerates; :meth:`register` models post-deployment algorithm
+    rollout (firmware update adding AES support).
+    """
+
+    _algorithms: Dict[str, AlgorithmInfo] = field(default_factory=dict)
+
+    def register(self, info: AlgorithmInfo) -> None:
+        """Add (or replace) an algorithm."""
+        self._algorithms[info.name] = info
+
+    def deprecate(self, name: str) -> None:
+        """Mark an algorithm deprecated (protocols stop negotiating it)."""
+        info = self.get(name)
+        self._algorithms[name] = AlgorithmInfo(
+            name=info.name, kind=info.kind, factory=info.factory,
+            key_bytes=info.key_bytes, strength_bits=info.strength_bits,
+            year_introduced=info.year_introduced, deprecated=True,
+            notes=info.notes,
+        )
+
+    def get(self, name: str) -> AlgorithmInfo:
+        """Look up an algorithm by name."""
+        try:
+            return self._algorithms[name]
+        except KeyError:
+            raise UnknownAlgorithm(
+                f"algorithm {name!r} not in registry "
+                f"(have: {sorted(self._algorithms)})"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._algorithms
+
+    def names(self, kind: Optional[str] = None,
+              include_deprecated: bool = True) -> List[str]:
+        """Registered algorithm names, optionally filtered by kind."""
+        return sorted(
+            info.name
+            for info in self._algorithms.values()
+            if (kind is None or info.kind == kind)
+            and (include_deprecated or not info.deprecated)
+        )
+
+    def instantiate(self, name: str, key: bytes = b"", **kwargs):
+        """Construct an instance of the named algorithm."""
+        info = self.get(name)
+        if info.kind == "hash":
+            return info.factory()
+        return info.factory(key, **kwargs)
+
+
+def default_registry() -> AlgorithmRegistry:
+    """The 2003-era algorithm baseline from the paper's SSL example.
+
+    AES is *deliberately absent* — it post-dates a hypothetical 2001
+    handset — and is added by the flexibility example/bench via
+    :func:`aes_rollout`.
+    """
+    registry = AlgorithmRegistry()
+    registry.register(AlgorithmInfo(
+        "DES", "block", DES, key_bytes=8, strength_bits=56,
+        year_introduced=1977, deprecated=True,
+        notes="original federal standard; brute-forceable by 1998"))
+    registry.register(AlgorithmInfo(
+        "3DES", "block", TripleDES, key_bytes=24, strength_bits=112,
+        year_introduced=1998,
+        notes="the interim DES replacement; the paper's 651.3-MIPS workload"))
+    registry.register(AlgorithmInfo(
+        "RC2", "block", RC2, key_bytes=16, strength_bits=64,
+        year_introduced=1987, deprecated=True,
+        notes="export-era SSL suite member"))
+    registry.register(AlgorithmInfo(
+        "RC4", "stream", RC4, key_bytes=16, strength_bits=128,
+        year_introduced=1987,
+        notes="SSL/WEP stream cipher; weak as used by WEP"))
+    registry.register(AlgorithmInfo(
+        "SHA1", "hash", SHA1, key_bytes=0, strength_bits=80,
+        year_introduced=1995, notes="FIPS 180-1 MAC hash"))
+    registry.register(AlgorithmInfo(
+        "MD5", "hash", MD5, key_bytes=0, strength_bits=64,
+        year_introduced=1992, deprecated=True, notes="RFC 1321 MAC hash"))
+    return registry
+
+
+def aes_rollout(registry: AlgorithmRegistry) -> None:
+    """Register AES post-deployment — the June 2002 TLS revision event."""
+    registry.register(AlgorithmInfo(
+        "AES", "block", AES, key_bytes=16, strength_bits=128,
+        year_introduced=2001,
+        notes="FIPS 197; added to TLS June 2002 (paper Figure 2)"))

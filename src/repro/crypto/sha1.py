@@ -1,0 +1,98 @@
+"""SHA-1 (FIPS 180-1) implemented from scratch.
+
+SHA-1 is the message-authentication hash in the paper's 651.3-MIPS
+workload (Section 3.2: "3DES for encryption/decryption and SHA for
+message authentication at 10 Mbps") and one of the two MAC hashes an
+SSL cipher suite must offer (Section 3.1).  The implementation follows
+the FIPS 180-1 80-round compression function and supports incremental
+hashing so the record layers can MAC streaming data.
+"""
+
+from __future__ import annotations
+
+from .bitops import rotl32
+
+DIGEST_SIZE = 20
+BLOCK_SIZE = 64
+
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+def _compress(state: tuple, block: bytes) -> tuple:
+    w = [int.from_bytes(block[4 * i : 4 * i + 4], "big") for i in range(16)]
+    for i in range(16, 80):
+        w.append(rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+    a, b, c, d, e = state
+    for i in range(80):
+        if i < 20:
+            f = (b & c) | ((~b) & d)
+            k = 0x5A827999
+        elif i < 40:
+            f = b ^ c ^ d
+            k = 0x6ED9EBA1
+        elif i < 60:
+            f = (b & c) | (b & d) | (c & d)
+            k = 0x8F1BBCDC
+        else:
+            f = b ^ c ^ d
+            k = 0xCA62C1D6
+        temp = (rotl32(a, 5) + f + e + k + w[i]) & 0xFFFFFFFF
+        e, d, c, b, a = d, c, rotl32(b, 30), a, temp
+    return (
+        (state[0] + a) & 0xFFFFFFFF,
+        (state[1] + b) & 0xFFFFFFFF,
+        (state[2] + c) & 0xFFFFFFFF,
+        (state[3] + d) & 0xFFFFFFFF,
+        (state[4] + e) & 0xFFFFFFFF,
+    )
+
+
+class SHA1:
+    """Incremental SHA-1 with the hashlib-style update/digest interface."""
+
+    name = "SHA1"
+    digest_size = DIGEST_SIZE
+    block_size = BLOCK_SIZE
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = _H0
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "SHA1":
+        """Absorb more message bytes; returns self for chaining."""
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= BLOCK_SIZE:
+            self._state = _compress(self._state, self._buffer[:BLOCK_SIZE])
+            self._buffer = self._buffer[BLOCK_SIZE:]
+        return self
+
+    def digest(self) -> bytes:
+        """Return the 20-byte digest without disturbing internal state."""
+        state, buffer = self._state, self._buffer
+        bit_length = self._length * 8
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64)
+        tail = buffer + padding + bit_length.to_bytes(8, "big")
+        for offset in range(0, len(tail), BLOCK_SIZE):
+            state = _compress(state, tail[offset : offset + BLOCK_SIZE])
+        return b"".join(word.to_bytes(4, "big") for word in state)
+
+    def hexdigest(self) -> str:
+        """Digest as lowercase hex."""
+        return self.digest().hex()
+
+    def copy(self) -> "SHA1":
+        """Independent copy of the running hash state."""
+        clone = SHA1()
+        clone._state = self._state
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+
+def sha1(data: bytes) -> bytes:
+    """One-shot SHA-1 digest."""
+    return SHA1(data).digest()

@@ -1,0 +1,93 @@
+"""Embedded hardware substrate.
+
+Models everything the paper's quantitative sections need from
+hardware: the processor catalog with published MIPS ratings (§3.2),
+the calibrated instruction-cost model behind Figure 3, the measured
+energy constants behind Figure 4, batteries and radios, and the §4.2
+ladder of security-processing architectures (software → ISA
+extensions → crypto accelerator → programmable protocol engine).
+"""
+
+from .accelerators import (
+    CryptoAccelerator,
+    ExecutionReport,
+    SoftwareEngine,
+    UnsupportedWorkload,
+    architecture_ladder,
+)
+from .battery import Battery, BatteryEmpty, battery_capacity_trend
+from .bus import (
+    BusFault,
+    BusMaster,
+    BusRegion,
+    SystemBus,
+    dma_snoop_attack,
+    provision_keys_on_bus,
+)
+from .cycles import (
+    BULK_IPB,
+    bulk_ipb,
+    bulk_mips_demand,
+    handshake_cost,
+    handshake_mips_demand,
+    rsa_private_instructions,
+    rsa_public_instructions,
+    total_mips_demand,
+)
+from .energy import (
+    RSA_SECURITY_OVERHEAD_MJ_PER_KB,
+    RX_MJ_PER_KB,
+    SENSOR_BATTERY_KJ,
+    TX_MJ_PER_KB,
+    EnergyModel,
+)
+from .engine_program import (
+    EngineContext,
+    EngineFault,
+    Instruction,
+    Microprogram,
+    ProgrammableProtocolEngine,
+    stock_engine,
+)
+from .isa_extensions import ISAExtensionEngine
+from .platform_builder import (
+    HardwarePlatform,
+    pda_platform,
+    phone_platform,
+    sensor_node_platform,
+)
+from .processors import (
+    ARM7,
+    ARM9,
+    CATALOG,
+    DRAGONBALL,
+    PENTIUM4,
+    STRONGARM_SA1100,
+    Processor,
+    embedded_catalog,
+)
+from .protocol_engine import ProtocolEngine
+from .radio import BEARERS, GSM_RADIO, SENSOR_RADIO, WLAN_RADIO, Radio
+from .workloads import BulkWorkload, HandshakeWorkload, SessionWorkload
+
+__all__ = [
+    "Processor", "CATALOG", "PENTIUM4", "STRONGARM_SA1100", "ARM7", "ARM9",
+    "DRAGONBALL", "embedded_catalog",
+    "BULK_IPB", "bulk_ipb", "bulk_mips_demand", "handshake_cost",
+    "handshake_mips_demand", "total_mips_demand",
+    "rsa_private_instructions", "rsa_public_instructions",
+    "EnergyModel", "TX_MJ_PER_KB", "RX_MJ_PER_KB",
+    "RSA_SECURITY_OVERHEAD_MJ_PER_KB", "SENSOR_BATTERY_KJ",
+    "Battery", "BatteryEmpty", "battery_capacity_trend",
+    "Radio", "BEARERS", "SENSOR_RADIO", "GSM_RADIO", "WLAN_RADIO",
+    "BulkWorkload", "HandshakeWorkload", "SessionWorkload",
+    "SoftwareEngine", "ISAExtensionEngine", "CryptoAccelerator",
+    "ProtocolEngine", "ExecutionReport", "UnsupportedWorkload",
+    "architecture_ladder",
+    "HardwarePlatform", "sensor_node_platform", "pda_platform",
+    "phone_platform",
+    "ProgrammableProtocolEngine", "Microprogram", "Instruction",
+    "EngineContext", "EngineFault", "stock_engine",
+    "SystemBus", "BusRegion", "BusMaster", "BusFault",
+    "provision_keys_on_bus", "dma_snoop_attack",
+]

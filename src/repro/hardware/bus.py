@@ -1,0 +1,162 @@
+"""On-chip communication architecture security (§3.4).
+
+"Sensitive data can also be compromised, while it is being
+communicated between various components of the system through the
+on-chip communication architecture, or, even when simply stored in the
+mobile appliance (in secondary storage like Flash memory, main memory,
+cache, or even CPU registers)."
+
+This module models the SoC interconnect of a secure handset:
+
+* :class:`BusMaster` components (CPU-secure, CPU-normal, DMA engines,
+  peripherals) issue read/write transactions to an address space;
+* an **address-space firewall** (the TrustZone-style NS-bit check of
+  the era's secure bus fabrics) partitions the map into open and
+  secure regions and rejects non-secure masters touching secure
+  targets;
+* a transaction log makes *bus snooping* analysable: the paper's
+  on-chip eavesdropper is a malicious master — the tests show it
+  reading key SRAM on an unprotected fabric and being refused (and
+  logged) on a firewalled one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class BusFault(Exception):
+    """A transaction violated the fabric's protection rules."""
+
+
+@dataclass(frozen=True)
+class BusRegion:
+    """One address-space window."""
+
+    name: str
+    base: int
+    size: int
+    secure_only: bool
+
+    def contains(self, address: int) -> bool:
+        """Whether an address falls in this region."""
+        return self.base <= address < self.base + self.size
+
+
+@dataclass(frozen=True)
+class BusMaster:
+    """A component that can drive transactions."""
+
+    name: str
+    secure: bool  # asserted by hardware (world wire), not by software
+
+
+@dataclass
+class Transaction:
+    """One logged bus transfer."""
+
+    master: str
+    kind: str          # "read" / "write"
+    address: int
+    size: int
+    allowed: bool
+
+
+DEFAULT_MEMORY_MAP: Tuple[BusRegion, ...] = (
+    BusRegion("dram", base=0x0000_0000, size=0x0400_0000, secure_only=False),
+    BusRegion("peripherals", base=0x4000_0000, size=0x0100_0000,
+              secure_only=False),
+    BusRegion("secure-sram", base=0x8000_0000, size=0x0001_0000,
+              secure_only=True),
+    BusRegion("key-registers", base=0x8001_0000, size=0x0000_1000,
+              secure_only=True),
+    BusRegion("boot-rom", base=0xFFFF_0000, size=0x0001_0000,
+              secure_only=True),
+)
+
+
+@dataclass
+class SystemBus:
+    """The interconnect with an optional firewall.
+
+    ``firewall_enabled=False`` models a 2003 commodity fabric: every
+    master sees everything — the vulnerable baseline the paper warns
+    about.  Memory contents are simulated as a sparse byte store so
+    snooping attacks retrieve *actual data*, not a flag.
+    """
+
+    regions: Tuple[BusRegion, ...] = DEFAULT_MEMORY_MAP
+    firewall_enabled: bool = True
+    log: List[Transaction] = field(default_factory=list)
+    violations: int = 0
+    _memory: Dict[int, int] = field(default_factory=dict)
+
+    def region_of(self, address: int) -> Optional[BusRegion]:
+        """The region containing an address, if any."""
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def _gate(self, master: BusMaster, kind: str, address: int,
+              size: int) -> None:
+        region = self.region_of(address)
+        end_region = self.region_of(address + size - 1)
+        if region is None or end_region is not region:
+            self.log.append(Transaction(master.name, kind, address, size,
+                                        allowed=False))
+            raise BusFault(
+                f"{master.name}: {kind} at {address:#x} decodes to no "
+                "single region"
+            )
+        if self.firewall_enabled and region.secure_only and not master.secure:
+            self.violations += 1
+            self.log.append(Transaction(master.name, kind, address, size,
+                                        allowed=False))
+            raise BusFault(
+                f"{master.name} (non-secure) {kind} to secure region "
+                f"{region.name!r} blocked by bus firewall"
+            )
+        self.log.append(Transaction(master.name, kind, address, size,
+                                    allowed=True))
+
+    def write(self, master: BusMaster, address: int, data: bytes) -> None:
+        """One write burst."""
+        self._gate(master, "write", address, len(data))
+        for offset, byte in enumerate(data):
+            self._memory[address + offset] = byte
+
+    def read(self, master: BusMaster, address: int, size: int) -> bytes:
+        """One read burst."""
+        self._gate(master, "read", address, size)
+        return bytes(self._memory.get(address + i, 0) for i in range(size))
+
+
+# Convenience masters for tests and examples.
+CPU_SECURE = BusMaster("cpu-secure-world", secure=True)
+CPU_NORMAL = BusMaster("cpu-normal-world", secure=False)
+CRYPTO_ENGINE = BusMaster("crypto-engine", secure=True)
+ROGUE_DMA = BusMaster("downloaded-driver-dma", secure=False)
+
+KEY_REGISTER_BASE = 0x8001_0000
+
+
+def provision_keys_on_bus(bus: SystemBus, key_material: bytes) -> int:
+    """Secure boot writes key material into the key registers."""
+    bus.write(CPU_SECURE, KEY_REGISTER_BASE, key_material)
+    return KEY_REGISTER_BASE
+
+
+def dma_snoop_attack(bus: SystemBus, address: int,
+                     size: int) -> Optional[bytes]:
+    """A rogue DMA master tries to read secret addresses.
+
+    Returns the stolen bytes on success, None when the firewall blocks
+    the transfer — the outcome the tests assert in both fabric
+    configurations.
+    """
+    try:
+        return bus.read(ROGUE_DMA, address, size)
+    except BusFault:
+        return None

@@ -1,0 +1,112 @@
+"""Assemble complete mobile-appliance hardware platforms.
+
+A :class:`HardwarePlatform` couples a processor, battery, radio, and a
+set of security-processing engines (the §4.2 ladder) into one object
+that the core layer (:mod:`repro.core.appliance`) drives.  Dispatch
+policy: a workload is routed to the most efficient engine that
+supports it — the behaviour of a real HW/SW codesign where drivers
+fall back to software when hardware lacks an algorithm (the
+flexibility/efficiency tension of §3.1 made concrete).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .accelerators import ExecutionReport, SoftwareEngine, Workload
+from .battery import Battery
+from .processors import ARM7, Processor
+from .radio import GSM_RADIO, Radio
+
+
+@dataclass
+class HardwarePlatform:
+    """A mobile appliance's hardware complement.
+
+    Engines are tried in the given order; list them most-efficient
+    first.  A plain software engine on the platform processor is always
+    available as the final fallback, preserving full algorithm
+    flexibility.
+    """
+
+    processor: Processor = ARM7
+    battery: Battery = field(default_factory=Battery)
+    radio: Radio = GSM_RADIO
+    engines: List = field(default_factory=list)
+    energy_spent_mj: float = 0.0
+    time_spent_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._fallback = SoftwareEngine(self.processor)
+
+    def select_engine(self, workload: Workload):
+        """First listed engine that supports the workload, else software."""
+        for engine in self.engines:
+            if engine.supports(workload):
+                return engine
+        return self._fallback
+
+    def run_security_workload(self, workload: Workload,
+                              engine=None) -> ExecutionReport:
+        """Execute a workload, charging time and battery energy."""
+        engine = engine or self.select_engine(workload)
+        report = engine.execute(workload)
+        self.battery.drain_mj(report.energy_mj)
+        self.energy_spent_mj += report.energy_mj
+        self.time_spent_s += report.time_s
+        return report
+
+    def transmit(self, kilobytes: float) -> float:
+        """Send data over the radio; returns elapsed seconds."""
+        energy = self.radio.tx_energy_mj(kilobytes)
+        self.battery.drain_mj(energy)
+        self.energy_spent_mj += energy
+        elapsed = self.radio.tx_time_s(kilobytes)
+        self.time_spent_s += elapsed
+        return elapsed
+
+    def receive(self, kilobytes: float) -> float:
+        """Receive data over the radio; returns elapsed seconds."""
+        energy = self.radio.rx_energy_mj(kilobytes)
+        self.battery.drain_mj(energy)
+        self.energy_spent_mj += energy
+        elapsed = kilobytes * 8.0 / self.radio.data_rate_kbps
+        self.time_spent_s += elapsed
+        return elapsed
+
+    def sustainable_data_rate_mbps(self, instructions_per_byte: float) -> float:
+        """Highest protected data rate the CPU alone can sustain."""
+        if instructions_per_byte <= 0:
+            return float("inf")
+        bytes_per_second = self.processor.mips * 1e6 / instructions_per_byte
+        return bytes_per_second * 8.0 / 1e6
+
+
+def sensor_node_platform() -> HardwarePlatform:
+    """The paper's §3.3 sensor node: DragonBall + 26 KJ + 10 Kbps link."""
+    from .processors import DRAGONBALL
+    from .radio import SENSOR_RADIO
+
+    return HardwarePlatform(
+        processor=DRAGONBALL, battery=Battery(26_000.0), radio=SENSOR_RADIO
+    )
+
+
+def pda_platform(engines: Optional[List] = None) -> HardwarePlatform:
+    """A StrongARM PDA on 802.11b — the §3.2 WLAN scenario."""
+    from .processors import STRONGARM_SA1100
+    from .radio import WLAN_RADIO
+
+    return HardwarePlatform(
+        processor=STRONGARM_SA1100, battery=Battery(14_400.0),
+        radio=WLAN_RADIO, engines=engines or [],
+    )
+
+
+def phone_platform(engines: Optional[List] = None) -> HardwarePlatform:
+    """An ARM7 cell phone on GSM — the §3.2 handset scenario."""
+    return HardwarePlatform(
+        processor=ARM7, battery=Battery(10_800.0),
+        radio=GSM_RADIO, engines=engines or [],
+    )

@@ -1,0 +1,114 @@
+"""Embedded processor catalog with the paper's published MIPS ratings.
+
+Section 3.2 anchors the wireless security processing gap on four data
+points: a 2.6 GHz Pentium 4 desktop at ~2890 MIPS, the Intel StrongARM
+SA-1100 PDA processor at 235 MIPS (206 MHz), ARM7/ARM9 cell-phone CPUs
+at 15–20 MIPS (30–40 MHz), and the Motorola 68EC000 DragonBall at
+~2.7 MIPS.  These are the "supply planes" that Figure 3 slices through
+the demand surface.
+
+Power figures are not given by the paper; we use order-of-magnitude
+public datasheet values (documented per entry) because the energy
+model only needs them for *relative* comparisons — the absolute
+battery-life numbers of Figure 4 come from the paper's own measured
+mJ/KB constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Processor:
+    """An embedded (or desktop) processor model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name as the paper cites it.
+    mips:
+        Sustained million-instructions-per-second rating.
+    clock_mhz:
+        Nominal clock.
+    active_power_mw:
+        Power while executing (order-of-magnitude datasheet value).
+    idle_power_mw:
+        Power while idle/clock-gated.
+    wordsize_bits:
+        Native word size — bit-permutation costs scale with this
+        (Section 4.2.1's word-oriented-CPU argument).
+    klass:
+        ``desktop``, ``pda``, ``phone`` or ``sensor``.
+    """
+
+    name: str
+    mips: float
+    clock_mhz: float
+    active_power_mw: float
+    idle_power_mw: float
+    wordsize_bits: int
+    klass: str
+
+    @property
+    def energy_per_instruction_nj(self) -> float:
+        """Average energy per instruction in nanojoules."""
+        return self.active_power_mw / self.mips  # mW / MIPS == nJ/instr
+
+    def seconds_for(self, million_instructions: float) -> float:
+        """Wall-clock seconds to execute a workload of given size."""
+        return million_instructions / self.mips
+
+    def energy_for_mj(self, million_instructions: float) -> float:
+        """Energy in millijoules to execute a workload of given size."""
+        return million_instructions * self.energy_per_instruction_nj / 1000.0
+
+
+PENTIUM4 = Processor(
+    name="Pentium 4 (2.6 GHz)", mips=2890.0, clock_mhz=2600.0,
+    active_power_mw=60000.0, idle_power_mw=8000.0, wordsize_bits=32,
+    klass="desktop",
+)
+
+STRONGARM_SA1100 = Processor(
+    name="StrongARM SA-1100 (206 MHz)", mips=235.0, clock_mhz=206.0,
+    active_power_mw=400.0, idle_power_mw=50.0, wordsize_bits=32,
+    klass="pda",
+)
+
+ARM7 = Processor(
+    name="ARM7 (36 MHz)", mips=17.5, clock_mhz=36.0,
+    active_power_mw=45.0, idle_power_mw=5.0, wordsize_bits=32,
+    klass="phone",
+)
+
+ARM9 = Processor(
+    name="ARM9 (40 MHz)", mips=20.0, clock_mhz=40.0,
+    active_power_mw=60.0, idle_power_mw=6.0, wordsize_bits=32,
+    klass="phone",
+)
+
+DRAGONBALL = Processor(
+    name="Motorola 68EC000 DragonBall", mips=2.7, clock_mhz=16.6,
+    active_power_mw=45.0, idle_power_mw=2.0, wordsize_bits=16,
+    klass="sensor",
+)
+
+CATALOG: Dict[str, Processor] = {
+    proc.name: proc
+    for proc in (PENTIUM4, STRONGARM_SA1100, ARM7, ARM9, DRAGONBALL)
+}
+
+
+def by_class(klass: str) -> List[Processor]:
+    """All catalogued processors of a device class."""
+    return [p for p in CATALOG.values() if p.klass == klass]
+
+
+def embedded_catalog() -> List[Processor]:
+    """The embedded (non-desktop) processors, weakest first."""
+    return sorted(
+        (p for p in CATALOG.values() if p.klass != "desktop"),
+        key=lambda p: p.mips,
+    )

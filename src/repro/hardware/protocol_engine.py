@@ -1,0 +1,75 @@
+"""Programmable security protocol engines (Section 4.2.3).
+
+Cryptographic accelerators leave the protocol-processing component —
+header/trailer handling, parsing, session state — on the host.  A
+security protocol engine (Safenet's IPSec packet engine [60], NEC's
+MOSES platform [66-68]) offloads all of it, and a *programmable* one
+can be re-targeted as standards evolve, combining "the benefits of
+flexibility and efficiency".  :class:`ProtocolEngine` models both the
+programmable and hardwired variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accelerators import ExecutionReport, Workload
+from .processors import Processor
+from .workloads import BulkWorkload, HandshakeWorkload
+
+
+@dataclass
+class ProtocolEngine:
+    """Option 4: a programmable security protocol engine (MOSES-style).
+
+    Offloads cryptography *and* protocol processing; the host only
+    submits descriptors.  ``programmable`` keeps flexibility high —
+    the engine can be re-targeted to new protocol standards (§4.2.3),
+    which is the property the MOSES work [66-68] contributes.
+    """
+
+    processor: Processor
+    name: str = "protocol-engine"
+    programmable: bool = True
+    bulk_mbps: float = 100.0
+    bulk_uj_per_byte: float = 0.015
+    rsa_ops_per_s: float = 400.0
+    rsa_mj_per_op: float = 0.6
+    descriptor_instructions: float = 200.0
+
+    @property
+    def flexibility(self) -> float:
+        """Programmable engines retain most software flexibility."""
+        return 0.8 if self.programmable else 0.1
+
+    def supports(self, workload: Workload) -> bool:
+        """The engine executes full protocol workloads of any shape."""
+        return True
+
+    def execute(self, workload: Workload) -> ExecutionReport:
+        """Charge nearly everything to the engine."""
+        if isinstance(workload, BulkWorkload):
+            megabits = workload.kilobytes * 8.192 / 1000.0
+            hw_time = megabits / self.bulk_mbps
+            hw_energy = self.bulk_uj_per_byte * workload.kilobytes * 1024.0 / 1000.0
+            descriptors = workload.packets
+        elif isinstance(workload, HandshakeWorkload):
+            scale = (workload.rsa_bits / 1024.0) ** 3 / (4.0 if workload.use_crt else 1.0)
+            hw_time = workload.count * scale / self.rsa_ops_per_s
+            hw_energy = workload.count * self.rsa_mj_per_op * scale
+            descriptors = workload.count
+        else:
+            hs_report = self.execute(workload.handshake)
+            bulk_report = self.execute(workload.bulk)
+            return ExecutionReport(
+                self.name,
+                hs_report.time_s + bulk_report.time_s,
+                hs_report.energy_mj + bulk_report.energy_mj,
+                hs_report.host_instructions + bulk_report.host_instructions,
+            )
+        host_instr = descriptors * self.descriptor_instructions
+        host_time = host_instr / (self.processor.mips * 1e6)
+        host_energy = host_instr * self.processor.energy_per_instruction_nj / 1e6
+        return ExecutionReport(
+            self.name, hw_time + host_time, hw_energy + host_energy, host_instr
+        )

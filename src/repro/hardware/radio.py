@@ -1,0 +1,54 @@
+"""Radio / bearer models: data rates and link energy.
+
+The paper frames its sweeps in terms of bearer technologies — GSM/GPRS
+cellular, 802.11 WLAN ("current and emerging data rates ... 2–60
+Mbps"), Bluetooth PAN, and the 10 Kbps sensor link of [36].  A
+:class:`Radio` couples a data rate with per-KB link energy so the
+appliance simulation can charge communication costs consistently with
+Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Radio:
+    """A wireless interface model.
+
+    ``tx_mj_per_kb`` / ``rx_mj_per_kb`` default to the paper's measured
+    sensor-node values; higher-rate radios scale energy-per-byte down
+    (faster radios are more efficient per bit, roughly linearly in the
+    era's hardware).
+    """
+
+    name: str
+    data_rate_kbps: float
+    tx_mj_per_kb: float
+    rx_mj_per_kb: float
+
+    def tx_time_s(self, kilobytes: float) -> float:
+        """Seconds to transmit a payload at the link rate."""
+        return kilobytes * 8.0 / self.data_rate_kbps
+
+    def tx_energy_mj(self, kilobytes: float) -> float:
+        """Transmit energy for a payload."""
+        return self.tx_mj_per_kb * kilobytes
+
+    def rx_energy_mj(self, kilobytes: float) -> float:
+        """Receive energy for a payload."""
+        return self.rx_mj_per_kb * kilobytes
+
+
+SENSOR_RADIO = Radio("Sensor link (10 Kbps)", 10.0, 21.5, 14.3)
+GSM_RADIO = Radio("GSM/GPRS (40 Kbps)", 40.0, 12.0, 8.0)
+BLUETOOTH_RADIO = Radio("Bluetooth (723 Kbps)", 723.0, 2.0, 1.4)
+WLAN_RADIO = Radio("802.11b (11 Mbps)", 11_000.0, 0.6, 0.4)
+WLAN_A_RADIO = Radio("802.11a (54 Mbps)", 54_000.0, 0.35, 0.25)
+
+BEARERS: Dict[str, Radio] = {
+    radio.name: radio
+    for radio in (SENSOR_RADIO, GSM_RADIO, BLUETOOTH_RADIO, WLAN_RADIO, WLAN_A_RADIO)
+}

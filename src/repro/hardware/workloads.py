@@ -1,0 +1,81 @@
+"""Security-processing workload descriptions.
+
+Section 4.2 defines *security processing* as "computations that need
+to be performed specifically for the purpose of security": the
+cryptographic algorithms plus the protocol-processing component
+(packet header/trailer handling, parsing).  Workloads here capture
+both parts so the architecture options of
+:mod:`repro.hardware.accelerators` /
+:mod:`repro.hardware.protocol_engine` can be compared fairly — a
+crypto accelerator offloads only the first part, a protocol engine
+offloads both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cycles import (
+    PACKET_OVERHEAD_INSTR,
+    bulk_ipb,
+    handshake_cost,
+)
+
+
+@dataclass(frozen=True)
+class BulkWorkload:
+    """Bulk data protection: encrypt + MAC a payload.
+
+    ``packets`` models the protocol-processing component: per-packet
+    header construction/parsing charged at
+    :data:`~repro.hardware.cycles.PACKET_OVERHEAD_INSTR`.
+    """
+
+    cipher: str = "3DES"
+    mac: str = "SHA1"
+    kilobytes: float = 1.0
+    packets: int = 1
+
+    @property
+    def crypto_instructions(self) -> float:
+        """Instructions for the cryptographic part (software baseline)."""
+        return bulk_ipb(self.cipher, self.mac, record_overhead=False) * (
+            self.kilobytes * 1024.0
+        )
+
+    @property
+    def protocol_instructions(self) -> float:
+        """Instructions for the protocol-processing part."""
+        return PACKET_OVERHEAD_INSTR * self.packets
+
+    @property
+    def total_instructions(self) -> float:
+        """Full software cost in instructions."""
+        return self.crypto_instructions + self.protocol_instructions
+
+
+@dataclass(frozen=True)
+class HandshakeWorkload:
+    """Connection setups: RSA-based authenticated key exchange."""
+
+    rsa_bits: int = 1024
+    use_crt: bool = False
+    count: int = 1
+
+    @property
+    def total_instructions(self) -> float:
+        """Full software cost in instructions."""
+        return self.count * handshake_cost(self.rsa_bits, self.use_crt).total_mi * 1e6
+
+
+@dataclass(frozen=True)
+class SessionWorkload:
+    """A complete secure session: handshake then protected bulk data."""
+
+    handshake: HandshakeWorkload = HandshakeWorkload()
+    bulk: BulkWorkload = BulkWorkload()
+
+    @property
+    def total_instructions(self) -> float:
+        """Full software cost in instructions."""
+        return self.handshake.total_instructions + self.bulk.total_instructions

@@ -1,0 +1,87 @@
+"""Protocol substrate: the paper's §2 security-protocol landscape.
+
+A mini-TLS stack (handshake + record layer with the §3.1 cipher-suite
+matrix), its wireless twin WTLS, WEP link security (faithfully broken),
+an IPSec-style ESP datapath, GSM-style bearer security, and the WAP
+gateway architecture with its observable "WAP gap".
+"""
+
+from .aka import (
+    AKAChallenge,
+    AuthenticationCentre,
+    FalseBaseStation,
+    ServingNetwork3G,
+    USIM,
+    false_base_station_attack,
+)
+from .alerts import (
+    BadRecordMAC,
+    CertificateError,
+    DecodeError,
+    HandshakeFailure,
+    ProtocolAlert,
+    ReplayError,
+    UnexpectedMessage,
+)
+from .bearer import SIM, BaseStation, Handset, HomeRegister, clone_sim
+from .certificates import Certificate, CertificateAuthority
+from .ciphersuites import (
+    ALL_SUITES,
+    SUITES_BY_NAME,
+    CipherSuite,
+    negotiate,
+    suites_for_registry,
+)
+from .dos import CookieProtectedResponder, FloodReport, flood_experiment
+from .handshake import ClientConfig, ServerConfig, Session, run_handshake
+from .ipsec import SecurityAssociation, make_tunnel
+from .payment import (
+    DualSignedPayment,
+    Merchant,
+    OrderInfo,
+    PaymentError,
+    PaymentGateway,
+    PaymentInfo,
+    create_payment,
+    non_repudiation_evidence,
+)
+from .kdf import derive_key_block, master_secret, prf
+from .records import RecordDecoder, RecordEncoder, make_record_pair
+from .smartcard import APDU, CardResponse, SIMCard, kiosk_cloning_attack
+from .resumption import (
+    CachedSession,
+    SessionCache,
+    cache_session,
+    resume,
+)
+from .tls import SecureConnection, connect
+from .transport import ChannelClosed, DuplexChannel, Endpoint
+from .wap import OriginServer, WAPGateway, build_wap_world
+from .wep import WEPFrame, WEPStation
+from .wtls import WTLSConnection, wtls_connect
+
+__all__ = [
+    "ProtocolAlert", "HandshakeFailure", "BadRecordMAC", "DecodeError",
+    "CertificateError", "ReplayError", "UnexpectedMessage",
+    "Certificate", "CertificateAuthority",
+    "CipherSuite", "ALL_SUITES", "SUITES_BY_NAME", "negotiate",
+    "suites_for_registry",
+    "ClientConfig", "ServerConfig", "Session", "run_handshake",
+    "SecureConnection", "connect",
+    "RecordEncoder", "RecordDecoder", "make_record_pair",
+    "prf", "master_secret", "derive_key_block",
+    "DuplexChannel", "Endpoint", "ChannelClosed",
+    "WTLSConnection", "wtls_connect",
+    "WEPStation", "WEPFrame",
+    "SecurityAssociation", "make_tunnel",
+    "SIM", "HomeRegister", "BaseStation", "Handset", "clone_sim",
+    "WAPGateway", "OriginServer", "build_wap_world",
+    "SessionCache", "CachedSession", "cache_session", "resume",
+    "USIM", "AuthenticationCentre", "ServingNetwork3G", "AKAChallenge",
+    "FalseBaseStation", "false_base_station_attack",
+    "CookieProtectedResponder", "FloodReport", "flood_experiment",
+    "OrderInfo", "PaymentInfo", "DualSignedPayment", "create_payment",
+    "Merchant", "PaymentGateway", "PaymentError",
+    "non_repudiation_evidence",
+    "SIMCard", "APDU", "CardResponse", "kiosk_cloning_attack",
+]

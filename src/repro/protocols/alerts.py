@@ -1,0 +1,36 @@
+"""Protocol-level exceptions (alerts) shared by the protocol stacks.
+
+Modelled on the TLS alert taxonomy: a record-layer integrity failure,
+a handshake negotiation failure, and a generic protocol violation are
+distinct events that peers (and our tests) react to differently.
+"""
+
+from __future__ import annotations
+
+
+class ProtocolAlert(Exception):
+    """Base class for protocol failures."""
+
+
+class HandshakeFailure(ProtocolAlert):
+    """Negotiation could not complete (no common suite, bad finished...)."""
+
+
+class BadRecordMAC(ProtocolAlert):
+    """A record failed MAC verification — tampering or key mismatch."""
+
+
+class DecodeError(ProtocolAlert):
+    """A message could not be parsed."""
+
+
+class CertificateError(ProtocolAlert):
+    """Peer certificate failed validation."""
+
+
+class ReplayError(ProtocolAlert):
+    """A packet failed anti-replay checks (IPSec window, WEP IV)."""
+
+
+class UnexpectedMessage(ProtocolAlert):
+    """A message arrived in the wrong handshake state."""

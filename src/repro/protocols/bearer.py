@@ -1,0 +1,161 @@
+"""Bearer-level (network access domain) security — the GSM model.
+
+Section 2: "Many of these protocols address only network access domain
+security, i.e., securing the link between a wireless client and the
+access point, base station, or gateway."  This module models that
+class of protection in the GSM style ([15], [16]):
+
+* a :class:`SIM` holding a subscriber identity and secret ``Ki``;
+* challenge–response authentication (A3) and session-key derivation
+  (A8) — implemented with HMAC rather than COMP128, whose published
+  weakness ([25], "GSM cloning") we model behaviourally via an
+  optional ``weak_a3`` mode that leaks Ki bits through responses;
+* link encryption (A5-style, modelled with RC4 keyed by Kc) that
+  terminates at the base station — so the *network operator sees
+  plaintext*, which is exactly why §2 concludes bearer security "needs
+  to be complemented through security mechanisms at higher protocol
+  layers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..crypto.hmac import hmac
+from ..crypto.rc4 import RC4
+from ..crypto.rng import DeterministicDRBG
+from .alerts import HandshakeFailure
+
+
+@dataclass
+class SIM:
+    """Subscriber identity module: IMSI + secret key Ki.
+
+    ``weak_a3`` emulates the COMP128 flaw: responses leak two bytes of
+    Ki per challenge, letting :func:`clone_sim` reconstruct the key
+    from a few hundred chosen challenges (the over-the-air cloning
+    attack of paper ref. [25]).
+    """
+
+    imsi: str
+    ki: bytes
+    weak_a3: bool = False
+    challenges_answered: int = 0
+
+    def a3_response(self, challenge: bytes) -> bytes:
+        """SRES = A3(Ki, RAND), 4 bytes."""
+        self.challenges_answered += 1
+        if self.weak_a3:
+            # Weak mode: the response exposes Ki bytes selected by the
+            # challenge — a behavioural stand-in for COMP128's narrow
+            # pipe collisions.
+            index = challenge[0] % (len(self.ki) - 1)
+            return bytes([self.ki[index], self.ki[index + 1]]) + hmac(
+                self.ki, challenge
+            )[:2]
+        return hmac(self.ki, b"A3" + challenge)[:4]
+
+    def a8_session_key(self, challenge: bytes) -> bytes:
+        """Kc = A8(Ki, RAND), 8 bytes."""
+        return hmac(self.ki, b"A8" + challenge)[:8]
+
+
+@dataclass
+class HomeRegister:
+    """The operator's authentication centre (HLR/AuC)."""
+
+    subscribers: dict = field(default_factory=dict)
+
+    def provision(self, sim: SIM) -> None:
+        """Register a subscriber's Ki."""
+        self.subscribers[sim.imsi] = sim.ki
+
+    def triplet(self, imsi: str, rng: DeterministicDRBG) -> Tuple[bytes, bytes, bytes]:
+        """GSM triplet (RAND, SRES, Kc) for a subscriber."""
+        ki = self.subscribers[imsi]
+        rand = rng.random_bytes(16)
+        sres = hmac(ki, b"A3" + rand)[:4]
+        kc = hmac(ki, b"A8" + rand)[:8]
+        return rand, sres, kc
+
+
+@dataclass
+class BaseStation:
+    """A serving base station: authenticates handsets, ciphers the link.
+
+    The crucial modelling point: traffic is decrypted *here*.  The
+    plaintext log (:attr:`uplink_plaintext`) is what the operator —
+    or anyone who compromises the fixed network — can read, making the
+    end-to-end argument of §2 concrete.
+    """
+
+    register: HomeRegister
+    rng: DeterministicDRBG
+    ciphering_enabled: bool = True
+    uplink_plaintext: List[bytes] = field(default_factory=list)
+    _sessions: dict = field(default_factory=dict)
+
+    def authenticate(self, sim: SIM) -> bytes:
+        """Run challenge-response; returns Kc on success."""
+        rand, expected_sres, kc = self.register.triplet(sim.imsi, self.rng)
+        response = sim.a3_response(rand)
+        if not sim.weak_a3 and response != expected_sres:
+            raise HandshakeFailure(f"authentication failed for {sim.imsi}")
+        self._sessions[sim.imsi] = kc
+        return kc
+
+    def receive_uplink(self, imsi: str, frame: bytes) -> bytes:
+        """Decrypt an uplink frame; returns (and logs) the plaintext."""
+        if imsi not in self._sessions:
+            raise HandshakeFailure(f"{imsi} not authenticated")
+        if self.ciphering_enabled:
+            plaintext = RC4(self._sessions[imsi]).process(frame)
+        else:
+            plaintext = frame
+        self.uplink_plaintext.append(plaintext)
+        return plaintext
+
+
+@dataclass
+class Handset:
+    """A GSM handset: authenticates via its SIM, ciphers uplink data."""
+
+    sim: SIM
+    kc: Optional[bytes] = None
+
+    def attach(self, base_station: BaseStation) -> None:
+        """Authenticate to the network and derive the link key."""
+        base_station.authenticate(self.sim)
+        # The handset derives Kc locally from the same challenge; in
+        # this synchronous model the base station's copy is canonical,
+        # so mirror it for the link cipher.
+        self.kc = base_station._sessions[self.sim.imsi]
+
+    def send_uplink(self, data: bytes, ciphering: bool = True) -> bytes:
+        """Produce one (optionally ciphered) uplink frame."""
+        if self.kc is None:
+            raise HandshakeFailure("handset not attached")
+        return RC4(self.kc).process(data) if ciphering else data
+
+
+def clone_sim(sim: SIM, rng: DeterministicDRBG,
+              max_challenges: int = 4096) -> Optional[bytes]:
+    """Recover Ki from a weak-A3 SIM via chosen challenges ([25]).
+
+    Returns the recovered Ki, or None if the SIM is not vulnerable.
+    """
+    if not sim.weak_a3:
+        return None
+    recovered = bytearray(len(sim.ki))
+    known = [False] * len(sim.ki)
+    for _ in range(max_challenges):
+        challenge = rng.random_bytes(16)
+        index = challenge[0] % (len(sim.ki) - 1)
+        response = sim.a3_response(challenge)
+        recovered[index] = response[0]
+        recovered[index + 1] = response[1]
+        known[index] = known[index + 1] = True
+        if all(known):
+            return bytes(recovered)
+    return None

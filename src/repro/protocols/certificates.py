@@ -1,0 +1,149 @@
+"""A minimal X.509-style certificate system.
+
+The SSL/WTLS handshakes of this library authenticate peers with
+certificates signed by a CA, as the paper's m-commerce scenarios
+require ("authenticating the server and client, transmitting
+certificates", §3.1).  Encoding is a deliberately simple deterministic
+byte format (length-prefixed fields) rather than ASN.1 — the security
+*logic* (chain of signatures, name binding, validity window) is what
+the reproduction needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crypto.errors import SignatureError
+from ..crypto.rng import DeterministicDRBG
+from ..crypto.rsa import RSAPublicKey, generate_keypair
+from .alerts import CertificateError
+
+
+def _encode_field(data: bytes) -> bytes:
+    return len(data).to_bytes(2, "big") + data
+
+
+def _decode_fields(blob: bytes, count: int):
+    fields = []
+    offset = 0
+    for _ in range(count):
+        if offset + 2 > len(blob):
+            raise CertificateError("certificate truncated")
+        length = int.from_bytes(blob[offset : offset + 2], "big")
+        offset += 2
+        fields.append(blob[offset : offset + length])
+        offset += length
+    return fields, blob[offset:]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of a subject name to an RSA public key."""
+
+    subject: str
+    issuer: str
+    public_key: RSAPublicKey
+    not_before: int  # simulation epoch (arbitrary integer clock)
+    not_after: int
+    signature: bytes
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed payload."""
+        return (
+            _encode_field(self.subject.encode())
+            + _encode_field(self.issuer.encode())
+            + _encode_field(self.public_key.n.to_bytes(
+                (self.public_key.n.bit_length() + 7) // 8, "big"))
+            + _encode_field(self.public_key.e.to_bytes(4, "big"))
+            + self.not_before.to_bytes(8, "big")
+            + self.not_after.to_bytes(8, "big")
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize certificate including signature."""
+        return self.tbs_bytes() + _encode_field(self.signature)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Certificate":
+        """Parse a serialized certificate."""
+        fields, rest = _decode_fields(blob, 4)
+        subject, issuer, n_bytes, e_bytes = fields
+        if len(rest) < 16:
+            raise CertificateError("certificate validity truncated")
+        not_before = int.from_bytes(rest[:8], "big")
+        not_after = int.from_bytes(rest[8:16], "big")
+        (signature,), leftover = _decode_fields(rest[16:], 1)
+        if leftover:
+            raise CertificateError("trailing bytes after certificate")
+        return cls(
+            subject=subject.decode(),
+            issuer=issuer.decode(),
+            public_key=RSAPublicKey(
+                int.from_bytes(n_bytes, "big"), int.from_bytes(e_bytes, "big")
+            ),
+            not_before=not_before,
+            not_after=not_after,
+            signature=signature,
+        )
+
+
+class CertificateAuthority:
+    """A toy CA that issues and validates certificates.
+
+    >>> ca = CertificateAuthority("TestCA", DeterministicDRBG(7))
+    >>> key, cert = ca.issue("server.example", DeterministicDRBG(8))
+    >>> ca.validate(cert, now=500)
+    """
+
+    def __init__(self, name: str, rng: DeterministicDRBG,
+                 key_bits: int = 512) -> None:
+        self.name = name
+        self._key = generate_keypair(key_bits, rng)
+        self.public_key = self._key.public
+
+    def issue(self, subject: str, rng: DeterministicDRBG,
+              key_bits: int = 512, not_before: int = 0,
+              not_after: int = 1_000_000) -> tuple:
+        """Issue a key pair + certificate for ``subject``.
+
+        Returns ``(private_key, certificate)``.
+        """
+        subject_key = generate_keypair(key_bits, rng)
+        cert = self.sign_public_key(
+            subject, subject_key.public, not_before, not_after
+        )
+        return subject_key, cert
+
+    def sign_public_key(self, subject: str, public_key: RSAPublicKey,
+                        not_before: int = 0,
+                        not_after: int = 1_000_000) -> Certificate:
+        """Sign an externally generated public key."""
+        unsigned = Certificate(
+            subject=subject, issuer=self.name, public_key=public_key,
+            not_before=not_before, not_after=not_after, signature=b"",
+        )
+        signature = self._key.sign(unsigned.tbs_bytes())
+        return Certificate(
+            subject=subject, issuer=self.name, public_key=public_key,
+            not_before=not_before, not_after=not_after, signature=signature,
+        )
+
+    def validate(self, cert: Certificate, now: int = 0,
+                 expected_subject: Optional[str] = None) -> None:
+        """Check issuer, signature, validity window, and subject name."""
+        if cert.issuer != self.name:
+            raise CertificateError(
+                f"certificate issued by {cert.issuer!r}, not {self.name!r}"
+            )
+        try:
+            self.public_key.verify(cert.tbs_bytes(), cert.signature)
+        except SignatureError as exc:
+            raise CertificateError(f"CA signature invalid: {exc}") from exc
+        if not cert.not_before <= now <= cert.not_after:
+            raise CertificateError("certificate outside validity window")
+        if expected_subject is not None and cert.subject != expected_subject:
+            raise CertificateError(
+                f"subject {cert.subject!r} does not match expected "
+                f"{expected_subject!r}"
+            )

@@ -1,0 +1,140 @@
+"""IPSec-style ESP: network-layer protection with anti-replay.
+
+"In the wired Internet, the most popular approach is to use security
+protocols at the network or IP layer (IPSec)" (§2); §3.1's VPN-enabled
+PDA "may additionally need to support IPSec (Network Layer)".  We
+model the ESP datapath a VPN client runs per packet:
+
+* a :class:`SecurityAssociation` (SPI, keys, cipher/MAC choice)
+  established out of band (IKE is out of scope, as it is for the
+  Safenet-style packet engines of §4.2.3 too);
+* encapsulation: pad -> CBC-encrypt -> append HMAC-SHA1-96 over
+  ``SPI || seq || IV || ciphertext``;
+* decapsulation with a 64-entry sliding anti-replay window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..crypto.bitops import constant_time_compare
+from ..crypto.hmac import hmac
+from ..crypto.modes import CBC
+from ..crypto.padding import esp_pad, esp_unpad
+from ..crypto.rng import DeterministicDRBG
+from .alerts import BadRecordMAC, DecodeError, ReplayError
+from .ciphersuites import CipherSuite, RSA_WITH_3DES_SHA
+
+AUTH_BYTES = 12  # HMAC-SHA1-96
+
+REPLAY_WINDOW = 64
+
+
+@dataclass
+class SecurityAssociation:
+    """One direction of an ESP tunnel.
+
+    ``suite`` borrows the cipher-suite abstraction for its cipher and
+    hash choices (key exchange is irrelevant here).
+    """
+
+    spi: int
+    cipher_key: bytes
+    mac_key: bytes
+    rng: DeterministicDRBG
+    suite: CipherSuite = RSA_WITH_3DES_SHA
+    sequence: int = 0
+    # Receiver state: highest sequence seen + sliding bitmap.
+    highest_seen: int = 0
+    window_bitmap: int = 0
+    replay_drops: int = 0
+
+    def _cipher(self):
+        return self.suite.make_cipher(self.cipher_key)
+
+    # -- sender ---------------------------------------------------------------
+
+    def encapsulate(self, payload: bytes) -> bytes:
+        """Build one ESP packet: SPI | seq | IV | ciphertext | auth."""
+        self.sequence += 1
+        block = self._cipher().block_size
+        iv = self.rng.random_bytes(block)
+        padded = esp_pad(payload, block)
+        ciphertext = CBC(self._cipher(), iv).encrypt(padded, pad=False)
+        header = self.spi.to_bytes(4, "big") + self.sequence.to_bytes(4, "big")
+        body = header + iv + ciphertext
+        tag = hmac(self.mac_key, body, self.suite.hash_factory)[:AUTH_BYTES]
+        return body + tag
+
+    # -- receiver --------------------------------------------------------------
+
+    def _check_replay(self, sequence: int) -> None:
+        if sequence == 0:
+            raise ReplayError("ESP sequence 0 is never valid")
+        if sequence > self.highest_seen:
+            return
+        offset = self.highest_seen - sequence
+        if offset >= REPLAY_WINDOW:
+            self.replay_drops += 1
+            raise ReplayError(
+                f"ESP sequence {sequence} below replay window "
+                f"(highest {self.highest_seen})"
+            )
+        if (self.window_bitmap >> offset) & 1:
+            self.replay_drops += 1
+            raise ReplayError(f"ESP sequence {sequence} already received")
+
+    def _mark_seen(self, sequence: int) -> None:
+        if sequence > self.highest_seen:
+            shift = sequence - self.highest_seen
+            self.window_bitmap = (
+                (self.window_bitmap << shift) | 1
+            ) & ((1 << REPLAY_WINDOW) - 1)
+            self.highest_seen = sequence
+        else:
+            self.window_bitmap |= 1 << (self.highest_seen - sequence)
+
+    def decapsulate(self, packet: bytes) -> Tuple[int, bytes]:
+        """Open one ESP packet -> (sequence, payload).
+
+        Authentication is checked *before* decryption (encrypt-then-MAC
+        ordering on the wire), and replay before both.
+        """
+        block = self._cipher().block_size
+        minimum = 8 + block + block + AUTH_BYTES
+        if len(packet) < minimum:
+            raise DecodeError("ESP packet too short")
+        spi = int.from_bytes(packet[:4], "big")
+        if spi != self.spi:
+            raise DecodeError(f"ESP SPI {spi} does not match SA {self.spi}")
+        sequence = int.from_bytes(packet[4:8], "big")
+        self._check_replay(sequence)
+        body, tag = packet[:-AUTH_BYTES], packet[-AUTH_BYTES:]
+        expected = hmac(self.mac_key, body, self.suite.hash_factory)[:AUTH_BYTES]
+        if not constant_time_compare(expected, tag):
+            raise BadRecordMAC("ESP authentication failed")
+        iv = body[8 : 8 + block]
+        ciphertext = body[8 + block :]
+        padded = CBC(self._cipher(), iv).decrypt(ciphertext, pad=False)
+        payload = esp_unpad(padded)
+        self._mark_seen(sequence)
+        return sequence, payload
+
+
+def make_tunnel(spi: int, seed: int,
+                suite: CipherSuite = RSA_WITH_3DES_SHA
+                ) -> Tuple[SecurityAssociation, SecurityAssociation]:
+    """Create matching sender/receiver SAs (shared keys, same SPI)."""
+    keygen = DeterministicDRBG(("esp", spi, seed).__repr__())
+    cipher_key = keygen.random_bytes(suite.cipher_key_bytes)
+    mac_key = keygen.random_bytes(suite.mac_key_bytes)
+    sender = SecurityAssociation(
+        spi=spi, cipher_key=cipher_key, mac_key=mac_key,
+        rng=DeterministicDRBG(("esp-iv", spi, seed).__repr__()), suite=suite,
+    )
+    receiver = SecurityAssociation(
+        spi=spi, cipher_key=cipher_key, mac_key=mac_key,
+        rng=DeterministicDRBG(("esp-unused", spi, seed).__repr__()), suite=suite,
+    )
+    return sender, receiver

@@ -1,0 +1,160 @@
+"""Handshake message encoding for mini-TLS/WTLS.
+
+A deliberately small wire format: every message is ``msg_type(1) ||
+fields``, each field length-prefixed with 2 bytes.  The format is
+shared by TLS and WTLS (WTLS is, as the paper notes, "a close
+resemblance to the SSL/TLS standards"); the WTLS profile differs in
+parameters, not message grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .alerts import DecodeError
+
+MSG_CLIENT_HELLO = 1
+MSG_SERVER_HELLO = 2
+MSG_CLIENT_KEY_EXCHANGE = 3
+MSG_FINISHED = 4
+MSG_CERTIFICATE_REQUEST = 5
+MSG_CLIENT_CERTIFICATE = 6
+MSG_CERTIFICATE_VERIFY = 7
+
+
+def encode_fields(msg_type: int, fields: List[bytes]) -> bytes:
+    """Serialize a message as type byte + length-prefixed fields."""
+    out = bytearray([msg_type])
+    for item in fields:
+        out += len(item).to_bytes(2, "big")
+        out += item
+    return bytes(out)
+
+
+def decode_fields(blob: bytes, expected_type: int, count: int) -> List[bytes]:
+    """Parse a message, checking its type and field count."""
+    if not blob:
+        raise DecodeError("empty handshake message")
+    if blob[0] != expected_type:
+        raise DecodeError(
+            f"expected message type {expected_type}, got {blob[0]}"
+        )
+    fields = []
+    offset = 1
+    for _ in range(count):
+        if offset + 2 > len(blob):
+            raise DecodeError("handshake message truncated")
+        length = int.from_bytes(blob[offset : offset + 2], "big")
+        offset += 2
+        if offset + length > len(blob):
+            raise DecodeError("handshake field overruns message")
+        fields.append(blob[offset : offset + length])
+        offset += length
+    if offset != len(blob):
+        raise DecodeError("trailing bytes after handshake message")
+    return fields
+
+
+@dataclass
+class ClientHello:
+    """Client's opening offer: nonce + cipher-suite preference list."""
+
+    client_random: bytes
+    suite_names: List[str] = field(default_factory=list)
+
+    def to_bytes(self) -> bytes:
+        """Serialize."""
+        return encode_fields(
+            MSG_CLIENT_HELLO,
+            [self.client_random, ",".join(self.suite_names).encode()],
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ClientHello":
+        """Parse."""
+        random_bytes, suites = decode_fields(blob, MSG_CLIENT_HELLO, 2)
+        names = suites.decode().split(",") if suites else []
+        return cls(client_random=random_bytes, suite_names=names)
+
+
+@dataclass
+class ServerHello:
+    """Server's response: nonce, chosen suite, certificate, key-exchange
+    payload (empty for RSA, DH parameters + signed public for DH)."""
+
+    server_random: bytes
+    suite_name: str
+    certificate: bytes
+    key_exchange: bytes = b""
+    request_client_auth: bool = False
+
+    def to_bytes(self) -> bytes:
+        """Serialize."""
+        return encode_fields(
+            MSG_SERVER_HELLO,
+            [
+                self.server_random,
+                self.suite_name.encode(),
+                self.certificate,
+                self.key_exchange,
+                b"\x01" if self.request_client_auth else b"\x00",
+            ],
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ServerHello":
+        """Parse."""
+        random_bytes, name, cert, kex, auth = decode_fields(
+            blob, MSG_SERVER_HELLO, 5
+        )
+        return cls(
+            server_random=random_bytes,
+            suite_name=name.decode(),
+            certificate=cert,
+            key_exchange=kex,
+            request_client_auth=auth == b"\x01",
+        )
+
+
+@dataclass
+class ClientKeyExchange:
+    """RSA-encrypted premaster secret, or the client's DH public value;
+    optionally carries the client certificate + transcript signature
+    when the server requested client authentication."""
+
+    key_exchange: bytes
+    client_certificate: bytes = b""
+    certificate_verify: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        """Serialize."""
+        return encode_fields(
+            MSG_CLIENT_KEY_EXCHANGE,
+            [self.key_exchange, self.client_certificate, self.certificate_verify],
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ClientKeyExchange":
+        """Parse."""
+        kex, cert, verify = decode_fields(blob, MSG_CLIENT_KEY_EXCHANGE, 3)
+        return cls(
+            key_exchange=kex, client_certificate=cert, certificate_verify=verify
+        )
+
+
+@dataclass
+class Finished:
+    """PRF check value binding the entire handshake transcript."""
+
+    verify_data: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize."""
+        return encode_fields(MSG_FINISHED, [self.verify_data])
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Finished":
+        """Parse."""
+        (verify_data,) = decode_fields(blob, MSG_FINISHED, 1)
+        return cls(verify_data=verify_data)

@@ -1,0 +1,207 @@
+"""SET-style application-layer payment protocol (§2).
+
+"Specific applications may decide to directly employ security
+mechanisms instead of, or in addition to, the aforementioned options
+(through an application-level security protocol such as SET [6], or to
+provide additional functionality, such as non-repudiation, that is not
+provided in the transport-layer security protocol)."
+
+The SET hallmark implemented here is the **dual signature**: the
+cardholder binds the order information (OI, for the merchant) and the
+payment information (PI, for the payment gateway) with one signature —
+
+    dual_sig = Sign( H( H(OI) || H(PI) ) )
+
+— so that:
+
+* the **merchant** receives OI + H(PI) and can verify the signature
+  without ever seeing the card number;
+* the **gateway** receives PI + H(OI) and can verify the same
+  signature without learning what was bought;
+* neither party can swap in a different order/payment (the hashes
+  bind), and the cardholder cannot repudiate either half.
+
+This is exactly the end-to-end/non-repudiation functionality the WAP
+gap analysis (:mod:`repro.protocols.wap`) shows transport security
+cannot give, so the module closes the paper's §2 argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.errors import SignatureError
+from ..crypto.rsa import RSAPrivateKey
+from ..crypto.sha1 import sha1
+from .certificates import Certificate, CertificateAuthority
+
+
+class PaymentError(Exception):
+    """A payment message failed validation."""
+
+
+@dataclass(frozen=True)
+class OrderInfo:
+    """What is being bought (merchant-visible)."""
+
+    merchant: str
+    description: str
+    amount_cents: int
+    order_id: str
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding."""
+        return (
+            f"OI|{self.merchant}|{self.description}|{self.amount_cents}"
+            f"|{self.order_id}"
+        ).encode()
+
+
+@dataclass(frozen=True)
+class PaymentInfo:
+    """How it is being paid (gateway-visible)."""
+
+    card_number: str
+    expiry: str
+    amount_cents: int
+    order_id: str
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding."""
+        return (
+            f"PI|{self.card_number}|{self.expiry}|{self.amount_cents}"
+            f"|{self.order_id}"
+        ).encode()
+
+
+@dataclass(frozen=True)
+class DualSignedPayment:
+    """The cardholder's purchase request, split per recipient."""
+
+    order: OrderInfo
+    payment_digest: bytes       # H(PI): merchant's blind link to payment
+    payment: PaymentInfo
+    order_digest: bytes         # H(OI): gateway's blind link to order
+    dual_signature: bytes
+    cardholder_certificate: bytes
+
+    def merchant_view(self) -> tuple:
+        """What the merchant receives: OI + H(PI) + signature."""
+        return (self.order, self.payment_digest, self.dual_signature,
+                self.cardholder_certificate)
+
+    def gateway_view(self) -> tuple:
+        """What the gateway receives: PI + H(OI) + signature."""
+        return (self.payment, self.order_digest, self.dual_signature,
+                self.cardholder_certificate)
+
+
+def _dual_payload(order_digest: bytes, payment_digest: bytes) -> bytes:
+    return sha1(order_digest + payment_digest)
+
+
+def create_payment(order: OrderInfo, payment: PaymentInfo,
+                   cardholder_key: RSAPrivateKey,
+                   cardholder_cert: Certificate) -> DualSignedPayment:
+    """Cardholder side: build the dual-signed request."""
+    if order.order_id != payment.order_id:
+        raise PaymentError("order id mismatch between OI and PI")
+    if order.amount_cents != payment.amount_cents:
+        raise PaymentError("amount mismatch between OI and PI")
+    order_digest = sha1(order.to_bytes())
+    payment_digest = sha1(payment.to_bytes())
+    dual_signature = cardholder_key.sign(
+        _dual_payload(order_digest, payment_digest))
+    return DualSignedPayment(
+        order=order, payment_digest=payment_digest,
+        payment=payment, order_digest=order_digest,
+        dual_signature=dual_signature,
+        cardholder_certificate=cardholder_cert.to_bytes(),
+    )
+
+
+def _verify_half(known_digest: bytes, other_digest: bytes,
+                 digest_order: str, signature: bytes,
+                 cert_bytes: bytes, ca: CertificateAuthority,
+                 now: int = 0) -> Certificate:
+    cert = Certificate.from_bytes(cert_bytes)
+    ca.validate(cert, now=now)
+    if digest_order == "order-first":
+        payload = _dual_payload(known_digest, other_digest)
+    else:
+        payload = _dual_payload(other_digest, known_digest)
+    try:
+        cert.public_key.verify(payload, signature)
+    except SignatureError as exc:
+        raise PaymentError(f"dual signature invalid: {exc}") from exc
+    return cert
+
+
+@dataclass
+class Merchant:
+    """Verifies orders without seeing payment instruments."""
+
+    name: str
+    ca: CertificateAuthority
+    fulfilled: list = None
+
+    def __post_init__(self) -> None:
+        self.fulfilled = []
+
+    def process(self, view: tuple, now: int = 0) -> str:
+        """Verify the merchant view; returns the cardholder subject."""
+        order, payment_digest, signature, cert_bytes = view
+        if order.merchant != self.name:
+            raise PaymentError(
+                f"order addressed to {order.merchant!r}, not {self.name!r}")
+        cert = _verify_half(
+            sha1(order.to_bytes()), payment_digest, "order-first",
+            signature, cert_bytes, self.ca, now)
+        self.fulfilled.append(order.order_id)
+        return cert.subject
+
+
+@dataclass
+class PaymentGateway:
+    """Authorises payments without learning the order contents."""
+
+    ca: CertificateAuthority
+    authorised: list = None
+
+    def __post_init__(self) -> None:
+        self.authorised = []
+
+    def process(self, view: tuple, now: int = 0) -> str:
+        """Verify the gateway view; returns an authorisation code."""
+        payment, order_digest, signature, cert_bytes = view
+        _verify_half(
+            sha1(payment.to_bytes()), order_digest, "payment-first",
+            signature, cert_bytes, self.ca, now)
+        code = sha1(
+            b"auth" + payment.to_bytes() + order_digest
+        ).hex()[:12]
+        self.authorised.append((payment.order_id, code))
+        return code
+
+
+def non_repudiation_evidence(purchase: DualSignedPayment,
+                             ca: CertificateAuthority,
+                             now: int = 0) -> dict:
+    """An arbiter's check: given both halves, the cardholder signed
+    *this* order paid with *this* instrument — the §2 functionality
+    transport security cannot provide."""
+    cert = Certificate.from_bytes(purchase.cardholder_certificate)
+    ca.validate(cert, now=now)
+    payload = _dual_payload(
+        sha1(purchase.order.to_bytes()), sha1(purchase.payment.to_bytes()))
+    try:
+        cert.public_key.verify(payload, purchase.dual_signature)
+        binding_holds = True
+    except SignatureError:
+        binding_holds = False
+    return {
+        "cardholder": cert.subject,
+        "order_id": purchase.order.order_id,
+        "amount_cents": purchase.order.amount_cents,
+        "binding_holds": binding_holds,
+    }

@@ -1,0 +1,145 @@
+"""Record layer: sequence-numbered, MAC-then-encrypt framing.
+
+The transport-layer protection shared by mini-TLS and WTLS (§2's
+"secure transport service interface").  Each record is::
+
+    type(1) | length(2) | ciphertext( payload | HMAC(mac_key, seq |
+    type | length | payload) [| CBC padding] )
+
+MAC-then-encrypt with an explicit 64-bit implicit sequence number, per
+the SSL 3.0/TLS 1.0 design the paper's era used.  Tampering, record
+reordering, and truncation all surface as
+:class:`~repro.protocols.alerts.BadRecordMAC`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..crypto.bitops import constant_time_compare
+from ..crypto.errors import PaddingError
+from ..crypto.hmac import hmac
+from ..crypto.modes import CBC
+from ..crypto.rc4 import RC4
+from .alerts import BadRecordMAC, DecodeError
+from .ciphersuites import CipherSuite
+from .kdf import KeyBlock
+
+CONTENT_HANDSHAKE = 22
+CONTENT_APPLICATION = 23
+CONTENT_ALERT = 21
+
+
+class RecordEncoder:
+    """One direction of record protection (write side)."""
+
+    def __init__(self, suite: CipherSuite, cipher_key: bytes, mac_key: bytes,
+                 iv: bytes) -> None:
+        self.suite = suite
+        self._mac_key = mac_key
+        self._sequence = 0
+        if suite.cipher == "NULL":
+            self._stream: Optional[RC4] = None
+            self._cipher = None
+        elif suite.cipher_kind == "stream":
+            self._stream = suite.make_cipher(cipher_key)
+            self._cipher = None
+        else:
+            self._stream = None
+            self._cipher = suite.make_cipher(cipher_key)
+            self._iv = iv
+
+    def _mac(self, content_type: int, payload: bytes) -> bytes:
+        header = (
+            self._sequence.to_bytes(8, "big")
+            + bytes([content_type])
+            + len(payload).to_bytes(2, "big")
+        )
+        return hmac(self._mac_key, header + payload, self.suite.hash_factory)
+
+    def encode(self, content_type: int, payload: bytes) -> bytes:
+        """Protect one payload into a wire record."""
+        protected = payload + self._mac(content_type, payload)
+        if self._stream is not None:
+            body = self._stream.process(protected)
+        elif self._cipher is not None:
+            cbc = CBC(self._cipher, self._iv)
+            body = cbc.encrypt(protected)
+            self._iv = body[-self._cipher.block_size :]  # CBC residue chaining
+        else:
+            body = protected
+        self._sequence += 1
+        return bytes([content_type]) + len(body).to_bytes(2, "big") + body
+
+
+class RecordDecoder:
+    """One direction of record protection (read side)."""
+
+    def __init__(self, suite: CipherSuite, cipher_key: bytes, mac_key: bytes,
+                 iv: bytes) -> None:
+        self.suite = suite
+        self._mac_key = mac_key
+        self._sequence = 0
+        if suite.cipher == "NULL":
+            self._stream: Optional[RC4] = None
+            self._cipher = None
+        elif suite.cipher_kind == "stream":
+            self._stream = suite.make_cipher(cipher_key)
+            self._cipher = None
+        else:
+            self._stream = None
+            self._cipher = suite.make_cipher(cipher_key)
+            self._iv = iv
+
+    def decode(self, record: bytes) -> Tuple[int, bytes]:
+        """Verify and open one wire record -> (content_type, payload)."""
+        if len(record) < 3:
+            raise DecodeError("record shorter than header")
+        content_type = record[0]
+        length = int.from_bytes(record[1:3], "big")
+        body = record[3:]
+        if len(body) != length:
+            raise DecodeError(
+                f"record length field {length} != body {len(body)}"
+            )
+        if self._stream is not None:
+            protected = self._stream.process(body)
+        elif self._cipher is not None:
+            cbc = CBC(self._cipher, self._iv)
+            try:
+                protected = cbc.decrypt(body)
+            except PaddingError as exc:
+                raise BadRecordMAC(f"padding invalid: {exc}") from exc
+            self._iv = body[-self._cipher.block_size :]
+        else:
+            protected = body
+        mac_len = self.suite.hash_factory().digest_size
+        if len(protected) < mac_len:
+            raise BadRecordMAC("record too short to hold MAC")
+        payload, tag = protected[:-mac_len], protected[-mac_len:]
+        header = (
+            self._sequence.to_bytes(8, "big")
+            + bytes([content_type])
+            + len(payload).to_bytes(2, "big")
+        )
+        expected = hmac(self._mac_key, header + payload, self.suite.hash_factory)
+        if not constant_time_compare(expected, tag):
+            raise BadRecordMAC("record MAC verification failed")
+        self._sequence += 1
+        return content_type, payload
+
+
+def make_record_pair(suite: CipherSuite, keys: KeyBlock,
+                     is_client: bool) -> Tuple[RecordEncoder, RecordDecoder]:
+    """Build this side's (encoder, decoder) from the key block."""
+    if is_client:
+        encoder = RecordEncoder(
+            suite, keys.client_cipher_key, keys.client_mac_key, keys.client_iv)
+        decoder = RecordDecoder(
+            suite, keys.server_cipher_key, keys.server_mac_key, keys.server_iv)
+    else:
+        encoder = RecordEncoder(
+            suite, keys.server_cipher_key, keys.server_mac_key, keys.server_iv)
+        decoder = RecordDecoder(
+            suite, keys.client_cipher_key, keys.client_mac_key, keys.client_iv)
+    return encoder, decoder

@@ -1,0 +1,186 @@
+"""An ISO 7816-style smart card hosting the SIM (§3.4's first target).
+
+"It is not surprising that the first target of these attacks are
+mobile devices such as smart cards."  The paper treats the smart card
+as the canonical tamper-target; this module gives our SIM the actual
+card interface those attacks probe:
+
+* command/response **APDUs** (CLA INS P1 P2 Lc data) with ISO status
+  words (0x9000 OK, 0x63CX retry counter, 0x6983 blocked...);
+* a PIN gate (CHV1) with a **persistent retry counter** — three wrong
+  PINs block the card, and the counter survives power cycles via the
+  card's non-volatile memory, so the classic "reset between guesses"
+  bypass fails;
+* ``RUN GSM ALGORITHM`` (INS 0x88), the real SIM command that feeds
+  :class:`~repro.protocols.bearer.SIM`'s A3/A8, only after CHV1;
+* a small file system (ICCID, IMSI) with read access control.
+
+The over-the-air SIM cloning attack of paper ref. [25] goes through
+this interface in the tests: chosen RUN-GSM challenges against a
+weak-A3 card — which also shows the retry-gated PIN does not protect
+against it (the attacker *has* CHV1 in the kiosk-cloning scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .bearer import SIM
+
+# Status words (ISO 7816-4).
+SW_OK = 0x9000
+SW_BLOCKED = 0x6983
+SW_SECURITY_NOT_SATISFIED = 0x6982
+SW_WRONG_PIN_BASE = 0x63C0  # low nibble = retries remaining
+SW_INS_NOT_SUPPORTED = 0x6D00
+SW_FILE_NOT_FOUND = 0x6A82
+SW_WRONG_LENGTH = 0x6700
+
+# Instruction bytes (GSM 11.11 subset).
+INS_VERIFY_CHV = 0x20
+INS_READ_BINARY = 0xB0
+INS_SELECT_FILE = 0xA4
+INS_RUN_GSM_ALGORITHM = 0x88
+
+FILE_ICCID = 0x2FE2
+FILE_IMSI = 0x6F07
+
+
+@dataclass(frozen=True)
+class APDU:
+    """A command APDU."""
+
+    cla: int
+    ins: int
+    p1: int = 0
+    p2: int = 0
+    data: bytes = b""
+
+
+@dataclass(frozen=True)
+class CardResponse:
+    """Response data + status word."""
+
+    data: bytes
+    sw: int
+
+    @property
+    def ok(self) -> bool:
+        """True for SW 9000."""
+        return self.sw == SW_OK
+
+
+@dataclass
+class SIMCard:
+    """The card: SIM application behind an APDU interface.
+
+    ``nvm`` is the card's non-volatile memory — the PIN retry counter
+    lives there, so :meth:`power_cycle` does NOT reset it (the bypass
+    the tests attempt).
+    """
+
+    sim: SIM
+    chv1: bytes = b"0000"
+    iccid: bytes = b"\x89\x49\x00\x11\x22\x33\x44\x55\x66\x77"
+    nvm: Dict[str, int] = field(default_factory=lambda: {"chv1_retries": 3})
+    _chv1_verified: bool = False
+    _selected_file: Optional[int] = None
+    apdu_log: list = field(default_factory=list)
+
+    MAX_RETRIES = 3
+
+    def power_cycle(self) -> None:
+        """Reset session state; NVM (retry counter) persists."""
+        self._chv1_verified = False
+        self._selected_file = None
+
+    def transmit(self, apdu: APDU) -> CardResponse:
+        """Process one command APDU."""
+        self.apdu_log.append(apdu)
+        handler = {
+            INS_VERIFY_CHV: self._verify_chv,
+            INS_SELECT_FILE: self._select_file,
+            INS_READ_BINARY: self._read_binary,
+            INS_RUN_GSM_ALGORITHM: self._run_gsm_algorithm,
+        }.get(apdu.ins)
+        if handler is None:
+            return CardResponse(b"", SW_INS_NOT_SUPPORTED)
+        return handler(apdu)
+
+    # -- command handlers --------------------------------------------------------
+
+    def _verify_chv(self, apdu: APDU) -> CardResponse:
+        retries = self.nvm["chv1_retries"]
+        if retries <= 0:
+            return CardResponse(b"", SW_BLOCKED)
+        if apdu.data == self.chv1:
+            self.nvm["chv1_retries"] = self.MAX_RETRIES
+            self._chv1_verified = True
+            return CardResponse(b"", SW_OK)
+        self.nvm["chv1_retries"] = retries - 1
+        if self.nvm["chv1_retries"] == 0:
+            return CardResponse(b"", SW_BLOCKED)
+        return CardResponse(
+            b"", SW_WRONG_PIN_BASE | self.nvm["chv1_retries"])
+
+    def _select_file(self, apdu: APDU) -> CardResponse:
+        if len(apdu.data) != 2:
+            return CardResponse(b"", SW_WRONG_LENGTH)
+        file_id = int.from_bytes(apdu.data, "big")
+        if file_id not in (FILE_ICCID, FILE_IMSI):
+            return CardResponse(b"", SW_FILE_NOT_FOUND)
+        self._selected_file = file_id
+        return CardResponse(b"", SW_OK)
+
+    def _read_binary(self, apdu: APDU) -> CardResponse:
+        if self._selected_file == FILE_ICCID:
+            return CardResponse(self.iccid, SW_OK)  # world-readable
+        if self._selected_file == FILE_IMSI:
+            if not self._chv1_verified:
+                return CardResponse(b"", SW_SECURITY_NOT_SATISFIED)
+            return CardResponse(self.sim.imsi.encode(), SW_OK)
+        return CardResponse(b"", SW_FILE_NOT_FOUND)
+
+    def _run_gsm_algorithm(self, apdu: APDU) -> CardResponse:
+        if not self._chv1_verified:
+            return CardResponse(b"", SW_SECURITY_NOT_SATISFIED)
+        if len(apdu.data) != 16:
+            return CardResponse(b"", SW_WRONG_LENGTH)
+        sres = self.sim.a3_response(apdu.data)
+        kc = self.sim.a8_session_key(apdu.data)
+        return CardResponse(sres + kc, SW_OK)
+
+
+def kiosk_cloning_attack(card: SIMCard, chv1: bytes,
+                         max_challenges: int = 4096) -> Optional[bytes]:
+    """The [25] scenario through the real card interface.
+
+    An attacker with brief physical access (and the PIN — the cloning
+    kiosks of the era asked for it) runs chosen RUN-GSM challenges.
+    Returns the recovered Ki for a weak-A3 card, None for a strong one.
+    """
+    from ..crypto.rng import DeterministicDRBG
+
+    response = card.transmit(APDU(0xA0, INS_VERIFY_CHV, data=chv1))
+    if not response.ok:
+        return None
+    if not card.sim.weak_a3:
+        return None
+    rng = DeterministicDRBG("kiosk")
+    ki_length = len(card.sim.ki)
+    recovered = bytearray(ki_length)
+    known = [False] * ki_length
+    for _ in range(max_challenges):
+        challenge = rng.random_bytes(16)
+        result = card.transmit(
+            APDU(0xA0, INS_RUN_GSM_ALGORITHM, data=challenge))
+        if not result.ok:
+            return None
+        index = challenge[0] % (ki_length - 1)
+        recovered[index] = result.data[0]
+        recovered[index + 1] = result.data[1]
+        known[index] = known[index + 1] = True
+        if all(known):
+            return bytes(recovered)
+    return None

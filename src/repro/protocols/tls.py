@@ -1,0 +1,72 @@
+"""Mini-TLS: secure connection API over the handshake + record layer.
+
+The "transport-layer security protocol" of the paper's §2 protocol
+landscape.  :func:`connect` wires a client and server configuration
+through a :class:`~repro.protocols.transport.DuplexChannel` (optionally
+adversarial) and returns two :class:`SecureConnection` objects whose
+``send``/``receive`` move authenticated, encrypted application data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .alerts import ProtocolAlert, UnexpectedMessage
+from .handshake import ClientConfig, ServerConfig, Session, run_handshake
+from .records import CONTENT_APPLICATION
+from .transport import DuplexChannel, Endpoint
+
+
+class SecureConnection:
+    """One endpoint of an established mini-TLS session."""
+
+    def __init__(self, session: Session, endpoint: Endpoint) -> None:
+        self.session = session
+        self._endpoint = endpoint
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, data: bytes) -> None:
+        """Protect and transmit application data."""
+        self._endpoint.send(self.session.encoder.encode(CONTENT_APPLICATION, data))
+        self.bytes_sent += len(data)
+
+    def receive(self) -> bytes:
+        """Receive and open the next application-data record."""
+        content_type, payload = self.session.decoder.decode(
+            self._endpoint.receive()
+        )
+        if content_type != CONTENT_APPLICATION:
+            raise UnexpectedMessage(
+                f"expected application data, got content type {content_type}"
+            )
+        self.bytes_received += len(payload)
+        return payload
+
+    @property
+    def suite_name(self) -> str:
+        """Negotiated cipher-suite name."""
+        return self.session.suite.name
+
+
+def connect(client: ClientConfig, server: ServerConfig,
+            channel: Optional[DuplexChannel] = None
+            ) -> Tuple[SecureConnection, SecureConnection]:
+    """Handshake and return (client_connection, server_connection).
+
+    Any failure surfaces as a :class:`ProtocolAlert` subclass; the
+    channel (with its interceptor) is the attack surface.
+    """
+    channel = channel or DuplexChannel()
+    client_ep = channel.endpoint_a()
+    server_ep = channel.endpoint_b()
+    client_session, server_session = run_handshake(
+        client, server, client_ep, server_ep
+    )
+    return (
+        SecureConnection(client_session, client_ep),
+        SecureConnection(server_session, server_ep),
+    )
+
+
+__all__ = ["SecureConnection", "connect", "ProtocolAlert"]

@@ -1,0 +1,80 @@
+"""In-memory transports connecting protocol endpoints.
+
+The substitution for a radio link: a :class:`DuplexChannel` is a pair
+of FIFO queues with optional adversarial hooks — an attacker callback
+may observe, modify, drop, or inject frames in flight, which is how
+the eavesdropping/tampering threat model of §2 ("the physical signal
+is easily accessible to eavesdroppers") is exercised against the
+protocol stacks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+Interceptor = Callable[[bytes, str], Optional[bytes]]
+
+
+class ChannelClosed(Exception):
+    """Read from an empty, closed channel."""
+
+
+class DuplexChannel:
+    """A bidirectional in-memory link with an optional interceptor.
+
+    The interceptor receives ``(frame, direction)`` where direction is
+    ``"a->b"`` or ``"b->a"`` and returns the frame to deliver (possibly
+    modified) or ``None`` to drop it.  All frames are also logged for
+    passive eavesdropping analyses.
+    """
+
+    def __init__(self, interceptor: Optional[Interceptor] = None) -> None:
+        self._a_to_b: Deque[bytes] = deque()
+        self._b_to_a: Deque[bytes] = deque()
+        self.interceptor = interceptor
+        self.log: List[tuple] = []
+        self.dropped = 0
+
+    def endpoint_a(self) -> "Endpoint":
+        """Endpoint that writes a->b and reads b->a."""
+        return Endpoint(self, self._a_to_b, self._b_to_a, "a->b")
+
+    def endpoint_b(self) -> "Endpoint":
+        """Endpoint that writes b->a and reads a->b."""
+        return Endpoint(self, self._b_to_a, self._a_to_b, "b->a")
+
+    def _deliver(self, queue: Deque[bytes], frame: bytes, direction: str) -> None:
+        self.log.append((direction, frame))
+        if self.interceptor is not None:
+            modified = self.interceptor(frame, direction)
+            if modified is None:
+                self.dropped += 1
+                return
+            frame = modified
+        queue.append(frame)
+
+
+class Endpoint:
+    """One side's read/write handle on a duplex channel."""
+
+    def __init__(self, channel: DuplexChannel, out_queue: Deque[bytes],
+                 in_queue: Deque[bytes], direction: str) -> None:
+        self._channel = channel
+        self._out = out_queue
+        self._in = in_queue
+        self._direction = direction
+
+    def send(self, frame: bytes) -> None:
+        """Transmit one frame."""
+        self._channel._deliver(self._out, frame, self._direction)
+
+    def receive(self) -> bytes:
+        """Pop the next inbound frame; raises if none pending."""
+        if not self._in:
+            raise ChannelClosed("no frame pending")
+        return self._in.popleft()
+
+    def pending(self) -> int:
+        """Number of frames waiting to be read."""
+        return len(self._in)

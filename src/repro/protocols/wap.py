@@ -1,0 +1,136 @@
+"""The WAP architecture: handset, gateway, and origin server.
+
+Section 2: "wireless handsets run the WAP protocol stack, and a WAP
+gateway translates traffic to/from the wireless handset to
+conventional Internet protocols (HTTP/TCP/IP)".  Security-wise this
+creates the famous *WAP gap*: the handset's WTLS session terminates at
+the gateway, which decrypts, converts, and re-encrypts toward the
+origin server over TLS — so the gateway momentarily holds plaintext.
+
+:class:`WAPGateway` models the translation including the gap; its
+``plaintext_log`` is the evidence our tests and the end-to-end example
+use to show why §2 says applications needing true end-to-end
+guarantees "may decide to directly employ security mechanisms"
+(application-layer security on top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..crypto.rng import DeterministicDRBG
+from .certificates import CertificateAuthority
+from .handshake import ClientConfig, ServerConfig
+from .tls import SecureConnection, connect
+from .wtls import WTLSConnection, wtls_connect
+
+RequestHandler = Callable[[bytes], bytes]
+
+
+@dataclass
+class OriginServer:
+    """A wired-Internet application server reachable over TLS."""
+
+    name: str
+    handler: RequestHandler
+    config: ServerConfig
+
+
+@dataclass
+class WAPGateway:
+    """Protocol translator between the WTLS and TLS worlds.
+
+    The gateway is *trusted infrastructure* in the WAP model; the
+    plaintext log makes the implied trust explicit and measurable.
+    """
+
+    ca: CertificateAuthority
+    rng: DeterministicDRBG
+    gateway_config: ServerConfig
+    plaintext_log: List[bytes] = field(default_factory=list)
+    _server_connections: Dict[str, SecureConnection] = field(default_factory=dict)
+    _servers: Dict[str, OriginServer] = field(default_factory=dict)
+
+    handset_side: Optional[WTLSConnection] = None
+
+    def register_origin(self, server: OriginServer) -> None:
+        """Make an origin server reachable through this gateway."""
+        self._servers[server.name] = server
+
+    def _server_connection(self, name: str) -> Tuple[SecureConnection, OriginServer]:
+        server = self._servers[name]
+        if name not in self._server_connections:
+            client_cfg = ClientConfig(
+                rng=DeterministicDRBG(
+                    ("gw-client", name, self.rng.getrandbits(32)).__repr__()
+                ),
+                ca=self.ca,
+                expected_server=name,
+            )
+            gw_conn, origin_conn = connect(client_cfg, server.config)
+            self._server_connections[name] = gw_conn
+            self._origin_sides = getattr(self, "_origin_sides", {})
+            self._origin_sides[name] = origin_conn
+        return self._server_connections[name], self._servers[name]
+
+    def forward(self, destination: str) -> None:
+        """Take one pending WTLS request from the handset, proxy it over
+        TLS to the origin, and return the response over WTLS.
+
+        The decrypt-then-re-encrypt through gateway memory is the WAP
+        gap: the request and response both land in ``plaintext_log``.
+        """
+        if self.handset_side is None:
+            raise RuntimeError("gateway has no handset WTLS session")
+        request = self.handset_side.receive()     # WTLS decrypt: the gap
+        self.plaintext_log.append(request)
+        gw_conn, server = self._server_connection(destination)
+        gw_conn.send(request)                     # TLS re-encrypt
+        origin_conn = self._origin_sides[destination]
+        origin_conn.send(server.handler(origin_conn.receive()))
+        reply = gw_conn.receive()
+        self.plaintext_log.append(reply)          # the gap again
+        self.handset_side.send(reply)
+
+
+def build_wap_world(seed: int = 0,
+                    handler: Optional[RequestHandler] = None):
+    """Convenience constructor for a full handset-gateway-origin setup.
+
+    Returns ``(handset_wtls_connection, gateway, ca)`` ready for
+    ``gateway.forward(handset_conn, "origin.example")`` round-trips.
+    """
+    ca = CertificateAuthority("WAP-CA", DeterministicDRBG(("ca", seed).__repr__()))
+    gw_key, gw_cert = ca.issue(
+        "gateway.operator", DeterministicDRBG(("gw", seed).__repr__()))
+    origin_key, origin_cert = ca.issue(
+        "origin.example", DeterministicDRBG(("origin", seed).__repr__()))
+
+    handler = handler or (lambda request: b"OK:" + request)
+    origin = OriginServer(
+        name="origin.example",
+        handler=handler,
+        config=ServerConfig(
+            rng=DeterministicDRBG(("origin-rng", seed).__repr__()),
+            certificate=origin_cert, private_key=origin_key,
+        ),
+    )
+    gateway = WAPGateway(
+        ca=ca,
+        rng=DeterministicDRBG(("gw-rng", seed).__repr__()),
+        gateway_config=ServerConfig(
+            rng=DeterministicDRBG(("gw-srv-rng", seed).__repr__()),
+            certificate=gw_cert, private_key=gw_key,
+        ),
+    )
+    gateway.register_origin(origin)
+
+    handset_cfg = ClientConfig(
+        rng=DeterministicDRBG(("handset", seed).__repr__()),
+        ca=ca, expected_server="gateway.operator",
+    )
+    handset_conn, gateway_side = wtls_connect(handset_cfg, gateway.gateway_config)
+    # The gateway holds its side of the WTLS session:
+    gateway.handset_side = gateway_side
+    return handset_conn, gateway, ca

@@ -1,0 +1,111 @@
+"""WEP — 802.11 Wired Equivalent Privacy, weaknesses included.
+
+Section 3.1 names WEP as the link-layer algorithm a WLAN-enabled PDA
+must run, and §2 cites the literature showing it "can be easily broken
+or compromised" ([21]-[23]).  This implementation is deliberately
+*faithful to the broken design* so :mod:`repro.attacks.wep_attacks`
+can demonstrate the breaks against it:
+
+* per-frame key = ``IV(3 bytes) || shared key`` fed to RC4 — the
+  related-key structure behind the FMS attack family;
+* 24-bit IV — guaranteed keystream reuse within ~16.7 M frames (far
+  sooner in practice with the default counter IVs);
+* CRC-32 ICV — linear, so bit-flipping forgeries patch the checksum
+  without the key.
+
+:class:`WEPStation` is one 802.11 station; frames interoperate between
+stations sharing the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crypto.crc import crc32_bytes
+from ..crypto.errors import InvalidKeyLength
+from ..crypto.rc4 import RC4
+from .alerts import BadRecordMAC, DecodeError
+
+IV_BYTES = 3
+ICV_BYTES = 4
+
+
+@dataclass(frozen=True)
+class WEPFrame:
+    """One protected 802.11 frame: cleartext IV + key id + ciphertext."""
+
+    iv: bytes
+    key_id: int
+    ciphertext: bytes
+
+    def to_bytes(self) -> bytes:
+        """Wire encoding."""
+        return self.iv + bytes([self.key_id]) + self.ciphertext
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "WEPFrame":
+        """Parse a wire frame."""
+        if len(blob) < IV_BYTES + 1 + ICV_BYTES:
+            raise DecodeError("WEP frame too short")
+        return cls(
+            iv=blob[:IV_BYTES], key_id=blob[IV_BYTES],
+            ciphertext=blob[IV_BYTES + 1 :],
+        )
+
+
+class WEPStation:
+    """A WEP endpoint with a 40- or 104-bit shared key.
+
+    ``iv_mode`` selects the IV strategy real firmware used:
+    ``counter`` (sequential from zero — rapid, *predictable* reuse
+    after reset) or ``random`` (birthday-bounded reuse).  Both are
+    insecure; the attacks quantify how fast each one fails.
+    """
+
+    def __init__(self, key: bytes, iv_mode: str = "counter",
+                 rng=None) -> None:
+        if len(key) not in (5, 13):
+            raise InvalidKeyLength("WEP", len(key), "5 (WEP-40) or 13 (WEP-104)")
+        if iv_mode not in ("counter", "random"):
+            raise ValueError(f"unknown IV mode {iv_mode!r}")
+        if iv_mode == "random" and rng is None:
+            raise ValueError("random IV mode requires an rng")
+        self.key = key
+        self.iv_mode = iv_mode
+        self._rng = rng
+        self._iv_counter = 0
+        self.frames_sent = 0
+
+    def _next_iv(self) -> bytes:
+        if self.iv_mode == "counter":
+            iv = (self._iv_counter % (1 << 24)).to_bytes(IV_BYTES, "big")
+            self._iv_counter += 1
+            return iv
+        return self._rng.random_bytes(IV_BYTES)
+
+    def keystream_for_iv(self, iv: bytes, length: int) -> bytes:
+        """The RC4 keystream WEP derives for a given IV (attack surface)."""
+        return RC4(iv + self.key).keystream(length)
+
+    def encrypt(self, plaintext: bytes, iv: Optional[bytes] = None) -> WEPFrame:
+        """Protect one frame: append CRC-32 ICV, XOR with per-IV keystream."""
+        iv = iv if iv is not None else self._next_iv()
+        body = plaintext + crc32_bytes(plaintext)
+        cipher = RC4(iv + self.key)
+        self.frames_sent += 1
+        return WEPFrame(iv=iv, key_id=0, ciphertext=cipher.process(body))
+
+    def decrypt(self, frame: WEPFrame) -> bytes:
+        """Open one frame, validating the ICV.
+
+        The ICV is a CRC — it detects noise, not adversaries; the
+        bit-flip attack forges frames that pass this check.
+        """
+        body = RC4(frame.iv + self.key).process(frame.ciphertext)
+        if len(body) < ICV_BYTES:
+            raise DecodeError("WEP frame body shorter than ICV")
+        plaintext, icv = body[:-ICV_BYTES], body[-ICV_BYTES:]
+        if crc32_bytes(plaintext) != icv:
+            raise BadRecordMAC("WEP ICV check failed")
+        return plaintext

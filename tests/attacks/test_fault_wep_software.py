@@ -1,0 +1,249 @@
+"""Fault attacks, WEP attacks, and the software-attack campaign."""
+
+import pytest
+
+from repro.attacks.countermeasures import verified_crt_sign
+from repro.attacks.fault import (
+    FaultInjector,
+    bellcore_attack,
+    differential_fault_attack,
+    recover_private_key,
+)
+from repro.attacks.software import (
+    application_patching,
+    firmware_tampering,
+    invocation_flood,
+    run_standard_campaign,
+    trojan_key_theft,
+    unsigned_secure_install,
+)
+from repro.attacks.wep_attacks import (
+    KeystreamHarvester,
+    bitflip_forgery,
+    run_iv_collision_experiment,
+)
+from repro.core.keystore import KeyPolicy, KeyUsage, SecureKeyStore
+from repro.core.secure_boot import SecureBootROM, VendorSigner, reference_chain
+from repro.core.secure_execution import SecureExecutionEnvironment
+from repro.crypto.errors import SignatureError
+from repro.crypto.rng import DeterministicDRBG
+from repro.protocols.wep import WEPStation
+
+
+class TestFaultAttacks:
+    MESSAGE = b"authorize payment of 250 euro"
+
+    def test_bellcore_single_fault_factors(self, rsa_512):
+        injector = FaultInjector(target="p", model="bitflip", seed=1)
+        faulty = rsa_512.sign(self.MESSAGE, use_crt=True,
+                              fault_hook=injector)
+        factors = bellcore_attack(rsa_512.public, self.MESSAGE, faulty)
+        assert factors is not None
+        assert set(factors) == {rsa_512.p, rsa_512.q}
+        assert injector.injections >= 1
+
+    @pytest.mark.parametrize("model", ["bitflip", "stuck", "random"])
+    @pytest.mark.parametrize("target", ["p", "q"])
+    def test_all_fault_models_work(self, rsa_512, model, target):
+        injector = FaultInjector(target=target, model=model, seed=2)
+        faulty = rsa_512.sign(self.MESSAGE, use_crt=True,
+                              fault_hook=injector)
+        factors = bellcore_attack(rsa_512.public, self.MESSAGE, faulty)
+        assert factors is not None
+        assert factors[0] * factors[1] == rsa_512.n
+
+    def test_correct_signature_reveals_nothing(self, rsa_512):
+        good = rsa_512.sign(self.MESSAGE, use_crt=True)
+        assert bellcore_attack(rsa_512.public, self.MESSAGE, good) is None
+
+    def test_differential_variant(self, rsa_512):
+        good = rsa_512.sign(self.MESSAGE)
+        injector = FaultInjector(target="q", model="random", seed=3)
+        faulty = rsa_512.sign(self.MESSAGE, use_crt=True,
+                              fault_hook=injector)
+        factors = differential_fault_attack(rsa_512.public, good, faulty)
+        assert factors is not None and factors[0] * factors[1] == rsa_512.n
+
+    def test_full_private_key_recovery(self, rsa_512):
+        injector = FaultInjector(seed=4)
+        faulty = rsa_512.sign(self.MESSAGE, use_crt=True,
+                              fault_hook=injector)
+        factors = bellcore_attack(rsa_512.public, self.MESSAGE, faulty)
+        recovered = recover_private_key(rsa_512.public, factors)
+        # The recovered key must sign interchangeably with the original.
+        assert recovered.sign(b"probe") == rsa_512.sign(b"probe")
+
+    def test_countermeasure_withholds_faulty_signature(self, rsa_512):
+        with pytest.raises(SignatureError):
+            verified_crt_sign(rsa_512, self.MESSAGE,
+                              fault_hook=FaultInjector(seed=5))
+
+    def test_countermeasure_passes_clean_signing(self, rsa_512):
+        signature = verified_crt_sign(rsa_512, self.MESSAGE)
+        rsa_512.public.verify(self.MESSAGE, signature)
+
+    def test_injector_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(target="x")
+        with pytest.raises(ValueError):
+            FaultInjector(model="zap")
+
+    def test_bad_factors_rejected(self, rsa_512):
+        with pytest.raises(ValueError):
+            recover_private_key(rsa_512.public, (3, 5))
+
+
+class TestWEPAttacks:
+    KEY = b"abcde"
+
+    def test_keystream_harvest_and_decrypt(self):
+        victim = WEPStation(self.KEY)
+        harvester = KeystreamHarvester()
+        beacon = b"BEACON" + bytes(26)  # 32 bytes of known plaintext
+        harvester.observe(victim.encrypt(beacon, iv=b"\x00\x00\x07"),
+                          known_plaintext=beacon)
+        secret_frame = victim.encrypt(b"user PIN 4711 send money",
+                                      iv=b"\x00\x00\x07")
+        assert harvester.decrypt(secret_frame) == \
+            b"user PIN 4711 send money"
+
+    def test_xor_of_plaintexts_without_any_knowledge(self):
+        victim = WEPStation(self.KEY)
+        frame_a = victim.encrypt(b"first secret!", iv=b"\x01\x02\x03")
+        frame_b = victim.encrypt(b"second secret", iv=b"\x01\x02\x03")
+        harvester = KeystreamHarvester()
+        xored = harvester.xor_of_plaintexts(frame_a, frame_b)
+        expected = bytes(a ^ b for a, b in zip(b"first secret!",
+                                               b"second secret"))
+        assert xored[:13] == expected
+
+    def test_counter_reset_reuses_keystream(self):
+        """Two stations (or one after reboot) restart the IV counter —
+        the paper-era firmware behaviour that made WEP fall quickly."""
+        first_boot = WEPStation(self.KEY)
+        second_boot = WEPStation(self.KEY)
+        assert first_boot.encrypt(b"x").iv == second_boot.encrypt(b"x").iv
+
+    def test_bitflip_forgery_passes_icv(self):
+        victim = WEPStation(self.KEY)
+        receiver = WEPStation(self.KEY)
+        frame = victim.encrypt(b"PAY 001 TO MALLORY")
+        delta = bytearray(18)
+        for i, (old, new) in enumerate(zip(b"001", b"999")):
+            delta[4 + i] = old ^ new
+        forged = bitflip_forgery(frame, bytes(delta))
+        assert receiver.decrypt(forged) == b"PAY 999 TO MALLORY"
+
+    def test_forgery_delta_too_long(self):
+        frame = WEPStation(self.KEY).encrypt(b"tiny")
+        with pytest.raises(ValueError):
+            bitflip_forgery(frame, bytes(100))
+
+    def test_counter_mode_collides_deterministically(self):
+        experiment = run_iv_collision_experiment(
+            lambda: _resetting_station(self.KEY), 600, "counter-reset")
+        assert experiment.total_collisions > 0
+
+    def test_random_mode_birthday_collision(self):
+        experiment = run_iv_collision_experiment(
+            lambda: WEPStation(self.KEY, iv_mode="random",
+                               rng=DeterministicDRBG(42)),
+            12_000, "random")
+        # Birthday bound over 2^24 IVs: ~99% collision probability by
+        # 12k frames.
+        assert experiment.first_collision is not None
+
+    def test_harvester_counts(self):
+        victim = WEPStation(self.KEY)
+        harvester = KeystreamHarvester()
+        harvester.observe(victim.encrypt(b"a", iv=b"\x00\x00\x01"))
+        harvester.observe(victim.encrypt(b"b", iv=b"\x00\x00\x01"))
+        assert harvester.frames_seen == 2
+        assert harvester.collisions_seen == 0  # no keystream learned yet
+
+
+def _resetting_station(key):
+    """A station whose IV counter restarts mid-campaign (reboot model)."""
+    station = WEPStation(key)
+    original_next_iv = station._next_iv
+    state = {"count": 0}
+
+    def next_iv():
+        state["count"] += 1
+        if state["count"] % 200 == 0:
+            station._iv_counter = 0  # reboot
+        return original_next_iv()
+
+    station._next_iv = next_iv
+    return station
+
+
+class TestSoftwareAttacks:
+    @pytest.fixture()
+    def defended_device(self, rsa_512):
+        vendor = VendorSigner.create(seed=8)
+        keystore = SecureKeyStore.provision("sw-attack-device")
+        keystore.install(
+            "payment-key", rsa_512,
+            KeyPolicy(usages=frozenset({KeyUsage.SIGN}),
+                      secure_world_only=True))
+        environment = SecureExecutionEnvironment(
+            keystore=keystore, installer_key=vendor.public_key,
+            invocation_budget=500)
+        boot_rom = SecureBootROM(vendor_key=vendor.public_key)
+        chain = reference_chain(vendor)
+        return environment, vendor, boot_rom, chain
+
+    def test_trojan_key_theft_blocked(self, defended_device):
+        environment, *_ = defended_device
+        outcome = trojan_key_theft(environment, "payment-key")
+        assert outcome.blocked
+        assert outcome.loot is None
+        assert outcome.category == "privacy"
+
+    def test_application_patching_blocked(self, defended_device):
+        environment, vendor, *_ = defended_device
+        outcome = application_patching(environment, vendor.key,
+                                       "payment-key")
+        assert outcome.blocked
+        assert outcome.category == "integrity"
+
+    def test_invocation_flood_contained(self, defended_device):
+        environment, *_ = defended_device
+        outcome = invocation_flood(environment, flood_size=2000)
+        assert outcome.blocked
+        assert "contained after 500" in outcome.detail
+
+    def test_firmware_tampering_blocked(self, defended_device):
+        environment, vendor, boot_rom, chain = defended_device
+        outcome = firmware_tampering(boot_rom, chain)
+        assert outcome.blocked
+
+    def test_unsigned_secure_install_blocked(self, defended_device):
+        environment, *_ = defended_device
+        outcome = unsigned_secure_install(environment)
+        assert outcome.blocked
+
+    def test_full_campaign_all_blocked(self, defended_device):
+        environment, vendor, boot_rom, chain = defended_device
+        outcomes = run_standard_campaign(
+            environment, vendor.key, boot_rom, chain, "payment-key")
+        assert len(outcomes) == 5
+        assert all(outcome.blocked for outcome in outcomes)
+        categories = {outcome.category for outcome in outcomes}
+        assert categories == {"privacy", "integrity", "availability"}
+
+    def test_undefended_device_falls(self, rsa_512):
+        """Ablation: without world separation the trojan succeeds —
+        the §3.4 motivation for the secure execution environment."""
+        vendor = VendorSigner.create(seed=9)
+        keystore = SecureKeyStore.provision("naive-device")
+        keystore.install(
+            "payment-key", rsa_512,
+            KeyPolicy(usages=frozenset({KeyUsage.SIGN}),
+                      secure_world_only=False))  # no world gate
+        environment = SecureExecutionEnvironment(
+            keystore=keystore, installer_key=vendor.public_key)
+        outcome = trojan_key_theft(environment, "payment-key")
+        assert not outcome.blocked
+        assert outcome.loot is not None

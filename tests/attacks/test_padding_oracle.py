@@ -1,0 +1,87 @@
+"""Vaudenay padding-oracle attack against the flawed WTLS decoder."""
+
+import pytest
+
+from repro.attacks.padding_oracle import (
+    OracleStats,
+    decrypt_block,
+    make_wtls_oracle,
+    recover_plaintext,
+)
+from repro.protocols.ciphersuites import RSA_WITH_3DES_SHA
+from repro.protocols.wtls import WTLSRecordDecoder, WTLSRecordEncoder
+
+KEY = bytes(range(24))
+MAC_KEY = bytes(range(20))
+IV = bytes(8)
+SECRET = b"PIN=4711 transfer 5000 EUR now"
+
+
+@pytest.fixture()
+def captured_record():
+    encoder = WTLSRecordEncoder(RSA_WITH_3DES_SHA, KEY, MAC_KEY, IV)
+    record = encoder.encode(SECRET)
+    return record[6:]  # CBC body (header stripped)
+
+
+@pytest.fixture()
+def vulnerable_decoder():
+    return WTLSRecordDecoder(RSA_WITH_3DES_SHA, KEY, MAC_KEY, IV,
+                             distinguishable_errors=True)
+
+
+@pytest.fixture()
+def hardened_decoder():
+    return WTLSRecordDecoder(RSA_WITH_3DES_SHA, KEY, MAC_KEY, IV)
+
+
+class TestPaddingOracle:
+    def test_recovers_payload(self, captured_record, vulnerable_decoder):
+        oracle = make_wtls_oracle(vulnerable_decoder)
+        plaintext = recover_plaintext(oracle, captured_record, 8)
+        # All blocks after the first are recovered: the tail of the
+        # secret, the MAC, and the padding.
+        assert SECRET[8:] in plaintext
+
+    def test_query_complexity(self, captured_record, vulnerable_decoder):
+        """~128 expected queries per byte, as Vaudenay reports."""
+        stats = OracleStats()
+        oracle = make_wtls_oracle(vulnerable_decoder)
+        recover_plaintext(oracle, captured_record, 8, stats)
+        blocks_recovered = len(captured_record) // 8 - 1
+        per_byte = stats.queries / (8 * blocks_recovered)
+        assert 60 < per_byte < 260
+
+    def test_single_block_preimage(self, captured_record,
+                                   vulnerable_decoder):
+        from repro.crypto.bitops import xor_bytes
+        from repro.crypto.tdes import TripleDES
+
+        oracle = make_wtls_oracle(vulnerable_decoder)
+        target = captured_record[8:16]
+        preimage = decrypt_block(oracle, target, 8)
+        assert TripleDES(KEY).decrypt_block(target) == preimage
+        assert xor_bytes(preimage, captured_record[:8]) == SECRET[8:16]
+
+    def test_unified_errors_defeat_attack(self, captured_record,
+                                          hardened_decoder):
+        """The countermeasure: with one error for padding and MAC, the
+        attacker's oracle degenerates and is detected."""
+        oracle = make_wtls_oracle(hardened_decoder)
+        with pytest.raises(RuntimeError, match="countermeasure"):
+            decrypt_block(oracle, captured_record[8:16], 8)
+
+    def test_attack_never_touches_key(self, captured_record,
+                                      vulnerable_decoder, monkeypatch):
+        """Sanity: the oracle interface exposes only error behaviour."""
+        calls = {"count": 0}
+        original = vulnerable_decoder.decode
+
+        def counting_decode(record):
+            calls["count"] += 1
+            return original(record)
+
+        monkeypatch.setattr(vulnerable_decoder, "decode", counting_decode)
+        oracle = make_wtls_oracle(vulnerable_decoder)
+        decrypt_block(oracle, captured_record[8:16], 8)
+        assert calls["count"] > 100  # all interaction went via decode()

@@ -1,0 +1,190 @@
+"""Timing and power attacks with their countermeasures (§3.4)."""
+
+import pytest
+
+from repro.attacks.countermeasures import (
+    BlindedRSA,
+    constant_time_decrypt_raw,
+)
+from repro.attacks.power import (
+    MaskedAES,
+    acquire_aes_traces,
+    acquire_des_traces,
+    cpa_attack_aes,
+    dpa_attack_des,
+)
+from repro.attacks.timing import (
+    TimingAttack,
+    exponent_hamming_weight_from_trace,
+    measure_sqm,
+    rsa_verifier,
+)
+from repro.crypto.aes import AES
+from repro.crypto.des import DES, expand_key
+from repro.crypto.modmath import OperationTimer, modexp_sqm
+from repro.crypto.primes import generate_prime
+from repro.crypto.rng import DeterministicDRBG
+
+
+@pytest.fixture(scope="module")
+def timing_victim():
+    """A small RSA-like victim: 64-bit factors, 48-bit secret exponent."""
+    rng = DeterministicDRBG(77)
+    p = generate_prime(32, rng)
+    q = generate_prime(32, rng)
+    n = p * q
+    d = rng.randrange(1 << 47, 1 << 48)
+    return n, d
+
+
+class TestTimingAttack:
+    def test_recovers_exponent(self, timing_victim):
+        n, d = timing_victim
+        probe = (12345 % n, pow(12345, d, n))
+        attack = TimingAttack(
+            n, lambda base: measure_sqm(base, d, n),
+            rsa_verifier(n, 65537, probe))
+        result = attack.run(exponent_bits=48, samples=800)
+        assert result.succeeded
+        assert result.recovered_exponent == d
+
+    def test_fails_with_too_few_samples(self, timing_victim):
+        """Timing attacks have a sample-complexity floor."""
+        n, d = timing_victim
+        probe = (12345 % n, pow(12345, d, n))
+        attack = TimingAttack(
+            n, lambda base: measure_sqm(base, d, n),
+            rsa_verifier(n, 65537, probe))
+        result = attack.run(exponent_bits=48, samples=20, max_retries=2)
+        assert not result.succeeded
+
+    def test_blinding_defeats_attack(self, timing_victim):
+        """Kocher's countermeasure: blinded exponentiation decorrelates
+        time from the chosen base even on the leaky multiplier."""
+        from repro.crypto.rsa import RSAPrivateKey
+        from repro.crypto.modmath import invmod
+
+        n, d = timing_victim
+        # Build a private key object around the victim parameters.
+        rng = DeterministicDRBG(77)
+        p = generate_prime(32, rng)
+        q = generate_prime(32, rng)
+        key = RSAPrivateKey(n=p * q, e=65537, d=d, p=p, q=q)
+        blinded = BlindedRSA(key, DeterministicDRBG("blind"))
+
+        def oracle(base):
+            timer = OperationTimer()
+            blinded.decrypt_raw(base, timer=timer)
+            return float(timer.total)
+
+        probe = (12345 % key.n, pow(12345, d, key.n))
+        attack = TimingAttack(key.n, oracle,
+                              rsa_verifier(key.n, 65537, probe))
+        result = attack.run(exponent_bits=48, samples=800, max_retries=4)
+        assert not result.succeeded
+
+    def test_hamming_weight_leak(self, timing_victim):
+        n, d = timing_victim
+        timer = OperationTimer()
+        modexp_sqm(5, d, n, timer)
+        assert exponent_hamming_weight_from_trace(
+            timer.per_operation, 48) == bin(d).count("1")
+
+    def test_ladder_hides_hamming_weight(self, timing_victim):
+        """The constant-sequence countermeasure removes the SPA leak."""
+        n, _ = timing_victim
+        dense, sparse = (1 << 48) - 1, (1 << 47) + 1  # both 48 bits
+        timer_dense, timer_sparse = OperationTimer(), OperationTimer()
+        from repro.crypto.modmath import modexp_ladder
+
+        modexp_ladder(5, dense, n, timer_dense)
+        modexp_ladder(5, sparse, n, timer_sparse)
+        assert len(timer_dense.per_operation) == \
+            len(timer_sparse.per_operation)
+
+    def test_constant_time_wrapper_correct(self, rsa_384):
+        ciphertext = 0xDEADBEEF % rsa_384.n
+        assert constant_time_decrypt_raw(rsa_384, ciphertext) == \
+            pow(ciphertext, rsa_384.d, rsa_384.n)
+
+
+class TestDPAonDES:
+    KEY = bytes.fromhex("0131D9619DC1376E")
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return acquire_des_traces(self.KEY, 300, seed=1)
+
+    def test_round_key_recovered(self, traces):
+        result = dpa_attack_des(traces)
+        assert result.round_key == expand_key(self.KEY)[0]
+
+    def test_full_key_recovered(self, traces):
+        plaintext = bytes(8)
+        expected_ct = DES(self.KEY).encrypt_block(plaintext)
+        result = dpa_attack_des(traces, known_pair=(plaintext, expected_ct))
+        assert result.succeeded
+        # Parity bits are unconstrained; the recovered key must be
+        # functionally identical.
+        assert DES(result.full_key).encrypt_block(plaintext) == expected_ct
+
+    def test_survives_measurement_noise(self):
+        noisy = acquire_des_traces(self.KEY, 800, seed=2, noise_sigma=1.0)
+        result = dpa_attack_des(noisy)
+        assert result.round_key == expand_key(self.KEY)[0]
+
+    def test_difference_of_means_variant_runs(self, traces):
+        """Kocher's original single-bit DoM — recovers *most* S-boxes
+        but is allowed ghost peaks (that weakness is the point)."""
+        result = dpa_attack_des(traces, statistic="dom")
+        true_key = expand_key(self.KEY)[0]
+        matching_boxes = sum(
+            ((result.round_key >> (6 * i)) & 0x3F)
+            == ((true_key >> (6 * i)) & 0x3F)
+            for i in range(8))
+        assert matching_boxes >= 5
+
+    def test_invalid_statistic(self, traces):
+        with pytest.raises(ValueError):
+            dpa_attack_des(traces, statistic="magic")
+
+
+class TestCPAonAES:
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+    def test_key_recovered(self):
+        traces = acquire_aes_traces(self.KEY, 150, seed=3)
+        result = cpa_attack_aes(traces)
+        assert result.key == self.KEY
+        assert result.margin_over_noise(0.9)  # noiseless: r = 1.0
+
+    def test_key_recovered_with_noise(self):
+        traces = acquire_aes_traces(self.KEY, 600, seed=4, noise_sigma=1.5)
+        result = cpa_attack_aes(traces)
+        assert result.key == self.KEY
+
+    def test_masking_defeats_cpa(self):
+        """First-order masking: identical campaign, key not recovered."""
+        traces = acquire_aes_traces(self.KEY, 300, seed=5,
+                                    cipher_factory=MaskedAES)
+        result = cpa_attack_aes(traces)
+        assert result.key != self.KEY
+        wrong_bytes = sum(a != b for a, b in zip(result.key, self.KEY))
+        assert wrong_bytes >= 12  # essentially everything is noise
+
+    def test_masked_aes_functionally_identical(self):
+        plaintext = bytes(range(16))
+        assert MaskedAES(self.KEY).encrypt_block(plaintext) == \
+            AES(self.KEY).encrypt_block(plaintext)
+
+    def test_more_noise_needs_more_traces(self):
+        """At high noise, 40 traces fail where 600 succeed — the
+        standard DPA trace-count/noise trade-off."""
+        few = cpa_attack_aes(
+            acquire_aes_traces(self.KEY, 40, seed=6, noise_sigma=3.0))
+        many = cpa_attack_aes(
+            acquire_aes_traces(self.KEY, 900, seed=6, noise_sigma=3.0))
+        few_correct = sum(a == b for a, b in zip(few.key, self.KEY))
+        many_correct = sum(a == b for a, b in zip(many.key, self.KEY))
+        assert many_correct > few_correct
+        assert many_correct >= 14

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite.
+
+Key generation dominates test runtime in pure Python, so the expensive
+artifacts (CA, server/client credentials, a provisioned appliance) are
+session-scoped and deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.appliance import provision_appliance
+from repro.crypto.rng import DeterministicDRBG
+from repro.crypto.rsa import generate_keypair
+from repro.protocols.certificates import CertificateAuthority
+from repro.protocols.handshake import ClientConfig, ServerConfig
+
+
+@pytest.fixture(scope="session")
+def ca():
+    """A session-wide certificate authority."""
+    return CertificateAuthority("TestRootCA", DeterministicDRBG("ca-seed"))
+
+
+@pytest.fixture(scope="session")
+def server_credentials(ca):
+    """(private_key, certificate) for 'server.example'."""
+    return ca.issue("server.example", DeterministicDRBG("server-seed"))
+
+
+@pytest.fixture(scope="session")
+def client_credentials(ca):
+    """(private_key, certificate) for 'client.device'."""
+    return ca.issue("client.device", DeterministicDRBG("client-seed"))
+
+
+@pytest.fixture(scope="session")
+def rsa_512():
+    """A session-wide 512-bit RSA key pair."""
+    return generate_keypair(512, DeterministicDRBG("rsa512-seed"))
+
+
+@pytest.fixture(scope="session")
+def rsa_384():
+    """A session-wide 384-bit RSA key pair (fast paths)."""
+    return generate_keypair(384, DeterministicDRBG("rsa384-seed"))
+
+
+@pytest.fixture()
+def drbg():
+    """A fresh deterministic RNG per test."""
+    return DeterministicDRBG("per-test")
+
+
+@pytest.fixture()
+def client_config(ca, client_credentials):
+    """A fresh client handshake configuration per test."""
+    key, cert = client_credentials
+    return ClientConfig(
+        rng=DeterministicDRBG("client-cfg"), ca=ca,
+        expected_server="server.example",
+        certificate=cert, private_key=key,
+    )
+
+
+@pytest.fixture()
+def server_config(ca, server_credentials):
+    """A fresh server handshake configuration per test."""
+    key, cert = server_credentials
+    return ServerConfig(
+        rng=DeterministicDRBG("server-cfg"), certificate=cert,
+        private_key=key, ca=ca,
+    )
+
+
+@pytest.fixture(scope="session")
+def appliance():
+    """A provisioned, booted, unlocked appliance (shared, read-mostly)."""
+    device = provision_appliance(seed=11)
+    device.boot()
+    device.unlock("owner", device._finger_simulator.read("owner"))
+    return device

@@ -1,0 +1,157 @@
+"""Battery-aware adaptation and the malware filter."""
+
+import pytest
+
+from repro.core.battery_aware import (
+    BALANCED,
+    ECONOMY,
+    FULL_STRENGTH,
+    BatteryAwarePolicy,
+    MissionSimulator,
+    compare_policies,
+)
+from repro.core.keystore import SecureKeyStore, World
+from repro.core.malware_filter import (
+    DEFAULT_SIGNATURES,
+    MalwareDetected,
+    MalwareFilter,
+    Signature,
+    install_with_scan,
+)
+from repro.core.secure_boot import VendorSigner
+from repro.core.secure_execution import (
+    SecureExecutionEnvironment,
+    TrustedApplication,
+)
+from repro.hardware.accelerators import CryptoAccelerator
+from repro.hardware.battery import Battery
+from repro.hardware.processors import ARM7
+
+
+class TestBatteryAwarePolicy:
+    def test_full_strength_when_fresh(self):
+        policy = BatteryAwarePolicy()
+        assert policy.choose_suite(1.0) == FULL_STRENGTH
+
+    def test_steps_down_with_charge(self):
+        policy = BatteryAwarePolicy()
+        assert policy.choose_suite(0.4) == BALANCED
+        assert policy.choose_suite(0.1) == ECONOMY
+
+    def test_minimum_strength_floor(self):
+        policy = BatteryAwarePolicy(minimum_strength_bits=100)
+        # ECONOMY (64-bit) is below the floor; the policy must hold at
+        # a stronger suite even when nearly empty.
+        choice = policy.choose_suite(0.05)
+        assert choice.strength_bits >= 100
+
+    def test_mission_uses_ladder(self):
+        simulator = MissionSimulator(battery=Battery(100.0))
+        report = simulator.run(BatteryAwarePolicy())
+        assert len(report.suites_used) >= 2  # stepped down at least once
+        assert report.transactions_completed > 0
+
+    def test_resumption_reduces_handshakes(self):
+        per_transaction = BatteryAwarePolicy(
+            resume_sessions=False, transactions_per_session=1)
+        amortised = BatteryAwarePolicy(
+            resume_sessions=True, transactions_per_session=20)
+        no_resume = MissionSimulator(battery=Battery(100.0)).run(
+            per_transaction)
+        with_resume = MissionSimulator(battery=Battery(100.0)).run(
+            amortised)
+        assert with_resume.handshakes_performed < \
+            no_resume.handshakes_performed
+        assert with_resume.transactions_completed > \
+            no_resume.transactions_completed
+
+    def test_policy_comparison_dominance(self):
+        outcomes = compare_policies(battery_kj=0.1)
+        naive = outcomes["naive (full handshake per transaction)"]
+        resumption = outcomes["resumption only"]
+        adaptive = outcomes["battery-aware (resumption + suite adaptation)"]
+        assert naive < resumption <= adaptive
+        assert adaptive > 2 * naive  # integer-factor lifetime gain
+
+    def test_accelerator_extends_mission(self):
+        software = MissionSimulator(battery=Battery(50.0))
+        accelerated = MissionSimulator(
+            battery=Battery(50.0), accelerator=CryptoAccelerator(ARM7))
+        policy = BatteryAwarePolicy()
+        assert accelerated.run(policy).transactions_completed > \
+            software.run(policy).transactions_completed
+
+
+class TestMalwareFilter:
+    @pytest.fixture()
+    def environment(self):
+        vendor = VendorSigner.create(seed=60)
+        return SecureExecutionEnvironment(
+            keystore=SecureKeyStore.provision("mf-device"),
+            installer_key=vendor.public_key)
+
+    def test_clean_app_installs(self, environment):
+        scanner = MalwareFilter()
+        app = TrustedApplication("calc", b"harmless calculator",
+                                 lambda api: 42)
+        verdict = install_with_scan(environment, scanner, app)
+        assert verdict.clean
+        assert environment.invoke("calc") == 42
+
+    def test_signature_match_refused(self, environment):
+        scanner = MalwareFilter()
+        worm = TrustedApplication(
+            "free-game", b"fun game \xde\xadCABIR spreading code",
+            lambda api: None)
+        with pytest.raises(MalwareDetected, match="Cabir"):
+            install_with_scan(environment, scanner, worm)
+        assert ("free-game", scanner.quarantine[0][1]) == \
+            scanner.quarantine[0]
+
+    def test_heuristics_catch_keystore_probe(self, environment):
+        scanner = MalwareFilter()
+        trojan = TrustedApplication(
+            "wallpaper", b"pretty pictures + read device-identity-key",
+            lambda api: None)
+        with pytest.raises(MalwareDetected, match="heuristics"):
+            install_with_scan(environment, scanner, trojan)
+
+    def test_single_weak_heuristic_passes(self, environment):
+        """One low-score trigger stays under the threshold (precision:
+        we do not block every app that mentions a busy loop)."""
+        scanner = MalwareFilter()
+        app = TrustedApplication(
+            "game-loop", b"renders in a busy loop each frame",
+            lambda api: "ok")
+        verdict = install_with_scan(environment, scanner, app)
+        assert verdict.clean
+        assert verdict.heuristic_score == 1
+
+    def test_signature_update_path(self, environment):
+        scanner = MalwareFilter()
+        new_family = b"\x99NEWWORM\x99"
+        app = TrustedApplication("carrier", b"data " + new_family,
+                                 lambda api: None)
+        # Before the update the sample passes...
+        assert scanner.scan(app.payload).clean
+        scanner.add_signature(Signature("NewWorm", new_family))
+        # ...after it, the same sample is refused.
+        with pytest.raises(MalwareDetected):
+            install_with_scan(environment, scanner, app)
+
+    def test_quarantined_app_not_installed(self, environment):
+        scanner = MalwareFilter()
+        worm = TrustedApplication("w", DEFAULT_SIGNATURES[0].pattern,
+                                  lambda api: None)
+        with pytest.raises(MalwareDetected):
+            install_with_scan(environment, scanner, worm)
+        from repro.core.secure_execution import SecurityViolation
+
+        with pytest.raises(SecurityViolation):
+            environment.invoke("w")
+
+    def test_scan_counter(self):
+        scanner = MalwareFilter()
+        scanner.scan(b"a")
+        scanner.scan(b"b")
+        assert scanner.scans == 2

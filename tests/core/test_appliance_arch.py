@@ -1,0 +1,142 @@
+"""The composed appliance and the Figure 6 base architecture."""
+
+import pytest
+
+from repro.core.appliance import (
+    ApplianceLocked,
+    provision_appliance,
+)
+from repro.core.base_architecture import (
+    SecureMemory,
+    reference_architecture,
+)
+from repro.core.keystore import World
+from repro.core.secure_boot import BootStage
+from repro.hardware.workloads import BulkWorkload, HandshakeWorkload
+
+
+class TestBaseArchitecture:
+    def test_engine_used_when_capable(self):
+        architecture = reference_architecture(with_engine=True)
+        architecture.execute(BulkWorkload(cipher="3DES"))
+        assert architecture.engine_executions == 1
+        assert architecture.software_executions == 0
+
+    def test_software_fallback_for_unknown_cipher(self):
+        # RC2 is not in the reference accelerator's algorithm set, so
+        # the §3.1 flexibility fallback must route it to software.
+        architecture = reference_architecture(with_engine=True)
+        architecture.execute(BulkWorkload(cipher="RC2"))
+        assert architecture.software_executions == 1
+        assert architecture.engine_executions == 0
+
+    def test_engine_beats_software(self):
+        with_engine = reference_architecture(with_engine=True)
+        software_only = reference_architecture(with_engine=False)
+        workload = BulkWorkload(kilobytes=64.0, packets=50)
+        assert with_engine.execute(workload).time_s < \
+            software_only.execute(workload).time_s
+
+    def test_firmware_api_services(self):
+        architecture = reference_architecture()
+        assert len(architecture.api.random_bytes(16)) == 16
+        report = architecture.api.run_handshake(HandshakeWorkload())
+        assert report.time_s > 0
+
+    def test_secure_memory_world_enforcement(self):
+        memory = SecureMemory()
+        memory.write(0, b"key material", World.SECURE)
+        assert memory.read(0, World.SECURE) == b"key material"
+        with pytest.raises(PermissionError):
+            memory.read(0, World.NORMAL)
+        with pytest.raises(PermissionError):
+            memory.write(4, b"x", World.NORMAL)
+        assert memory.violations == 2
+
+    def test_secure_memory_bounds(self):
+        memory = SecureMemory(size_bytes=8)
+        with pytest.raises(ValueError):
+            memory.write(5, b"too much data", World.SECURE)
+
+
+class TestApplianceLifecycle:
+    def test_provision_boot_unlock(self):
+        device = provision_appliance(seed=21)
+        report = device.boot()
+        assert report.succeeded
+        assert device.unlock("owner",
+                             device._finger_simulator.read("owner"))
+
+    def test_services_locked_before_boot(self):
+        device = provision_appliance(seed=22)
+        with pytest.raises(ApplianceLocked):
+            device.unlock("owner", device._finger_simulator.read("owner"))
+        with pytest.raises(ApplianceLocked):
+            device.run_secure_transaction()
+
+    def test_services_locked_before_unlock(self):
+        device = provision_appliance(seed=23)
+        device.boot()
+        with pytest.raises(ApplianceLocked):
+            device.run_secure_transaction()
+
+    def test_impostor_cannot_unlock(self):
+        device = provision_appliance(seed=24)
+        device.boot()
+        assert not device.unlock(
+            "owner", device._finger_simulator.read("intruder"))
+        with pytest.raises(ApplianceLocked):
+            device.run_secure_transaction()
+
+    def test_tampered_firmware_bricks_secure_services(self):
+        device = provision_appliance(seed=25)
+        stage = device.boot_chain[1]
+        device.boot_chain[1] = BootStage(
+            stage.name, stage.image + b"rootkit", stage.signature)
+        report = device.boot()
+        assert not report.succeeded
+        with pytest.raises(ApplianceLocked):
+            device.unlock("owner", device._finger_simulator.read("owner"))
+
+    def test_transaction_drains_battery(self, appliance):
+        before = appliance.platform.battery.remaining_j
+        report = appliance.run_secure_transaction(kilobytes=5.0, packets=4)
+        assert report.time_s > 0
+        assert appliance.platform.battery.remaining_j < before
+
+    def test_layer_stack_sound(self, appliance):
+        assert appliance.layer_stack_violations() == []
+
+    def test_tls_config_requires_unlock(self, ca):
+        device = provision_appliance(seed=26, ca=ca)
+        device.boot()
+        with pytest.raises(ApplianceLocked):
+            device.tls_client_config(ca)
+
+    def test_end_to_end_secure_session(self, ca, server_credentials):
+        """The appliance opens a real mini-TLS session to a server."""
+        from repro.protocols.handshake import ServerConfig
+        from repro.protocols.tls import connect
+        from repro.crypto.rng import DeterministicDRBG
+
+        device = provision_appliance(seed=27, ca=ca)
+        device.boot()
+        device.unlock("owner", device._finger_simulator.read("owner"))
+        key, cert = server_credentials
+        server = ServerConfig(rng=DeterministicDRBG("appl-srv"),
+                              certificate=cert, private_key=key)
+        client_cfg = device.tls_client_config(
+            ca, expected_server="server.example")
+        conn_c, conn_s = connect(client_cfg, server)
+        conn_c.send(b"buy 1 ringtone")
+        assert conn_s.receive() == b"buy 1 ringtone"
+
+    def test_device_certificate_issued(self, ca):
+        device = provision_appliance(seed=28, ca=ca)
+        assert device.certificate is not None
+        ca.validate(device.certificate, now=0,
+                    expected_subject="handset-0001")
+
+    def test_keystore_populated(self, appliance):
+        assert "device-identity-key" in appliance.keystore
+        assert "drm-device-key" in appliance.keystore

@@ -1,0 +1,229 @@
+"""The §3 challenge models: gap surface, battery life, evolution,
+concerns, layers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.battery_life import (
+    battery_gap_series,
+    figure4_report,
+    simulate_transactions,
+    transactions_until_empty,
+)
+from repro.core.concerns import (
+    Concern,
+    PROFILES,
+    coverage_table,
+    verify_mechanisms_importable,
+)
+from repro.core.evolution import (
+    EVENTS,
+    algorithm_introduction,
+    cumulative_revisions,
+    domain_cadence,
+    events_for,
+    mean_revision_interval,
+    protocols,
+    required_algorithms_by,
+)
+from repro.core.gap import (
+    compute_surface,
+    gap_factor,
+    max_sustainable_rate_mbps,
+    stronger_crypto_demand,
+    widening_gap_series,
+)
+from repro.core.layers import (
+    SecurityLayer,
+    default_stack,
+    dependency_edges,
+    validate_stack,
+)
+from repro.hardware.energy import EnergyModel
+from repro.hardware.processors import ARM7, PENTIUM4, STRONGARM_SA1100
+
+
+class TestGapSurface:
+    def test_anchor_point_in_surface(self):
+        surface = compute_surface()
+        demand = surface.demand(10.0, 1.0)
+        # bulk 651.3 + 1 s handshake ~ 58 -> ~709 MIPS
+        assert demand == pytest.approx(651.3 + 58.0, abs=1.0)
+
+    def test_desktop_covers_most_embedded_almost_none(self):
+        surface = compute_surface()
+        assert surface.feasible_fraction(PENTIUM4) > 0.8
+        assert surface.feasible_fraction(ARM7) < 0.05
+        assert 0.0 < surface.feasible_fraction(STRONGARM_SA1100) < 0.5
+
+    def test_infeasible_points_above_plane(self):
+        surface = compute_surface()
+        for point in surface.infeasible_for(STRONGARM_SA1100):
+            assert point.demand_mips > STRONGARM_SA1100.mips
+
+    def test_unknown_grid_point(self):
+        with pytest.raises(KeyError):
+            compute_surface().demand(123.0, 456.0)
+
+    def test_sustainable_rate_frontier(self):
+        rate = max_sustainable_rate_mbps(STRONGARM_SA1100, latency_s=1.0)
+        assert 0.0 < rate < 10.0  # the paper's WLAN scenario is infeasible
+
+    def test_handshake_can_consume_everything(self):
+        assert max_sustainable_rate_mbps(ARM7, latency_s=0.1) == 0.0
+
+    def test_gap_factor_above_one_in_wlan_scenario(self):
+        assert gap_factor(STRONGARM_SA1100, 10.0, 0.5) > 1.0
+
+    def test_crt_narrows_gap(self):
+        plain = gap_factor(STRONGARM_SA1100, 1.0, 0.1, use_crt=False)
+        crt = gap_factor(STRONGARM_SA1100, 1.0, 0.1, use_crt=True)
+        assert crt < plain
+
+    def test_widening_gap_is_monotone(self):
+        """§3.2: data-rate growth outpaces embedded MIPS growth."""
+        series = widening_gap_series()
+        factors = [factor for _, factor in series]
+        # Early years can dip (MIPS growth briefly beats the fixed
+        # handshake term); once bulk traffic dominates the gap widens
+        # monotonically and ends clearly worse than it started.
+        assert factors[2:] == sorted(factors[2:])
+        assert factors[-1] > 1.4 * factors[0]
+
+    def test_stronger_crypto_widens_gap(self):
+        demands = stronger_crypto_demand()
+        values = [demand for _, demand in demands]
+        assert values == sorted(values)
+        assert values[-1] > 8 * values[0]  # 2048 vs 512 is cubic
+
+
+class TestBatteryLife:
+    def test_figure4_headline(self):
+        report = figure4_report()
+        assert report.plain_transactions == 726_256
+        assert report.secure_transactions == 334_190
+        assert report.less_than_half
+
+    def test_simulation_matches_closed_form(self):
+        model = EnergyModel()
+        for secure in (False, True):
+            closed = transactions_until_empty(model, 0.5, secure=secure)
+            simulated = simulate_transactions(model, 0.5, secure=secure)
+            assert simulated == closed
+
+    def test_scaling_with_battery(self):
+        model = EnergyModel()
+        small = transactions_until_empty(model, 13.0, secure=True)
+        large = transactions_until_empty(model, 26.0, secure=True)
+        assert large == pytest.approx(2 * small, abs=1)
+
+    def test_battery_gap_series_declines(self):
+        """Demand growth (25 %/yr) beats capacity growth (6.5 %/yr)."""
+        series = battery_gap_series()
+        supported = [count for _, count in series]
+        assert supported[-1] < supported[0]
+
+    def test_battery_gap_closes_if_capacity_wins(self):
+        series = battery_gap_series(capacity_growth=0.30,
+                                    workload_growth=0.05)
+        supported = [count for _, count in series]
+        assert supported[-1] > supported[0]
+
+
+class TestEvolution:
+    def test_four_protocols_tracked(self):
+        assert set(protocols()) == {"SSL/TLS", "IPSec", "WTLS", "MET"}
+
+    def test_events_sorted(self):
+        for protocol in protocols():
+            years = [e.year for e in events_for(protocol)]
+            assert years == sorted(years)
+
+    def test_cumulative_revisions_monotone(self):
+        for protocol in protocols():
+            counts = [c for _, c in cumulative_revisions(protocol)]
+            assert counts == sorted(counts)
+            assert counts[-1] == len(events_for(protocol))
+
+    def test_wireless_churns_faster(self):
+        """§3.1: 'the evolutionary trend is much more pronounced ...
+        in the wireless domain'."""
+        cadence = domain_cadence()
+        assert cadence["wireless"] < cadence["wired"]
+
+    def test_aes_introduction_is_june_2002_tls(self):
+        """Figure 2's called-out event."""
+        event = algorithm_introduction("AES")
+        assert event.protocol == "IPSec" or event.year <= 2002.5
+        tls_aes = [e for e in events_for("SSL/TLS")
+                   if "AES" in e.adds_algorithms]
+        assert tls_aes and tls_aes[0].year == 2002.5
+
+    def test_required_algorithms_grow(self):
+        assert len(required_algorithms_by(1995.0)) < \
+            len(required_algorithms_by(2002.9))
+        # AES enters, RC2 is retired by WAP 2.0 (drops tracked too).
+        assert "AES" in required_algorithms_by(2002.9)
+        assert "RC2" not in required_algorithms_by(2002.9)
+
+    def test_interval_none_for_single_event(self):
+        assert mean_revision_interval("nonexistent") is None
+
+    def test_event_domains_valid(self):
+        assert all(e.domain in ("wired", "wireless") for e in EVENTS)
+
+
+class TestConcerns:
+    def test_all_seven_profiled(self):
+        assert set(PROFILES) == set(Concern)
+
+    def test_every_concern_has_threats_and_mechanism(self):
+        for profile in PROFILES.values():
+            assert profile.threats
+            assert profile.mechanism_modules
+
+    def test_mechanisms_exist(self):
+        assert verify_mechanisms_importable() == []
+
+    def test_coverage_table_shape(self):
+        rows = coverage_table()
+        assert len(rows) == 7
+        assert all(len(row) == 3 for row in rows)
+
+
+class TestLayers:
+    def test_default_stack_sound(self):
+        assert validate_stack(default_stack()) == []
+
+    def test_dependency_edges_all_resolved(self):
+        for _, _, provider in dependency_edges(default_stack()):
+            assert provider != "<unsatisfied>"
+
+    def test_reordered_stack_violates(self):
+        stack = default_stack()
+        reordered = [stack[-1]] + stack[:-1]
+        assert validate_stack(reordered)
+
+    def test_missing_layer_detected(self):
+        stack = default_stack()
+        del stack[1]  # remove the crypto foundation
+        violations = validate_stack(stack)
+        assert any("crypto-primitives" in v for v in violations)
+
+    @settings(max_examples=30, deadline=None)
+    @given(order=st.permutations(range(5)))
+    def test_property_hardware_must_be_first(self, order):
+        """Any permutation that displaces the hardware layer from the
+        bottom violates the foundation property."""
+        stack = default_stack()
+        shuffled = [stack[i] for i in order]
+        violations = validate_stack(shuffled)
+        if order[0] != 0 or list(order) != sorted(order):
+            # Either hardware is not first, or some layer precedes its
+            # prerequisites.  Hardware-not-first always violates because
+            # every other layer transitively needs it.
+            if order[0] != 0:
+                assert violations
+        else:
+            assert violations == []

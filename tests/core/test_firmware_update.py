@@ -1,0 +1,136 @@
+"""OTA firmware updates: authenticity, anti-rollback, atomicity."""
+
+import pytest
+
+from repro.core.firmware_update import (
+    FirmwarePackage,
+    UpdateAgent,
+    UpdateRejected,
+    build_package,
+)
+from repro.core.secure_boot import (
+    SecureBootROM,
+    VendorSigner,
+    reference_chain,
+)
+from repro.crypto.registry import default_registry
+from repro.protocols.ciphersuites import suites_for_registry
+
+
+@pytest.fixture()
+def vendor():
+    return VendorSigner.create(seed=44)
+
+
+@pytest.fixture()
+def device(vendor):
+    chain = reference_chain(vendor)
+    registry = default_registry()
+    agent = UpdateAgent(vendor_public=vendor.public_key,
+                        boot_chain=chain, registry=registry)
+    rom = SecureBootROM(vendor_key=vendor.public_key)
+    return agent, rom, registry
+
+
+class TestFirmwareUpdate:
+    def test_update_applies_and_boots(self, vendor, device):
+        agent, rom, _ = device
+        package = build_package(
+            vendor, version=2,
+            stage_images=[("os-kernel", b"KRN v2: now with AES")],
+            enables_algorithms=("AES",))
+        agent.apply(package)
+        assert agent.installed_version == 2
+        report = rom.boot(agent.boot_chain)
+        assert report.succeeded  # re-signed stages pass measured boot
+        assert any(stage.image == b"KRN v2: now with AES"
+                   for stage in agent.boot_chain)
+
+    def test_update_unlocks_aes_negotiation(self, vendor, device):
+        """The Figure 2 story end to end: ship without AES, update,
+        negotiate AES."""
+        agent, _, registry = device
+        before = {suite.name for suite in suites_for_registry(registry)}
+        assert "RSA_WITH_AES_128_CBC_SHA" not in before
+        agent.apply(build_package(
+            vendor, version=2,
+            stage_images=[("os-kernel", b"KRN v2")],
+            enables_algorithms=("AES",)))
+        after = {suite.name for suite in suites_for_registry(registry)}
+        assert "RSA_WITH_AES_128_CBC_SHA" in after
+
+    def test_foreign_vendor_rejected(self, device):
+        agent, _, _ = device
+        impostor = VendorSigner.create(seed=99)
+        package = build_package(
+            impostor, version=2,
+            stage_images=[("os-kernel", b"evil kernel")])
+        with pytest.raises(UpdateRejected, match="signature"):
+            agent.apply(package)
+        assert agent.installed_version == 1
+
+    def test_rollback_rejected(self, vendor, device):
+        agent, _, _ = device
+        agent.apply(build_package(
+            vendor, version=3, stage_images=[("os-kernel", b"KRN v3")]))
+        old = build_package(
+            vendor, version=2, stage_images=[("os-kernel", b"KRN v2")])
+        with pytest.raises(UpdateRejected, match="rollback"):
+            agent.apply(old)
+        assert agent.installed_version == 3
+
+    def test_same_version_rejected(self, vendor, device):
+        agent, _, _ = device
+        package = build_package(
+            vendor, version=1, stage_images=[("os-kernel", b"KRN v1b")])
+        with pytest.raises(UpdateRejected, match="rollback"):
+            agent.apply(package)
+
+    def test_tampered_manifest_rejected(self, vendor, device):
+        agent, _, _ = device
+        good = build_package(
+            vendor, version=2, stage_images=[("os-kernel", b"KRN v2")])
+        tampered = FirmwarePackage(
+            version=5,  # attacker bumps the version field
+            stage_images=good.stage_images,
+            enables_algorithms=good.enables_algorithms,
+            stage_signatures=good.stage_signatures,
+            package_signature=good.package_signature)
+        with pytest.raises(UpdateRejected, match="signature"):
+            agent.apply(tampered)
+
+    def test_tampered_stage_rejected_atomically(self, vendor, device):
+        """A package whose second stage is corrupt must not apply its
+        first stage either."""
+        agent, _, _ = device
+        good = build_package(
+            vendor, version=2,
+            stage_images=[("bootloader", b"BL v2"),
+                          ("os-kernel", b"KRN v2")])
+        images = list(good.stage_images)
+        images[1] = ("os-kernel", b"KRN v2 CORRUPTED")
+        tampered = FirmwarePackage(
+            version=2, stage_images=tuple(images),
+            enables_algorithms=(), stage_signatures=good.stage_signatures,
+            package_signature=good.package_signature)
+        original_chain = [stage.image for stage in agent.boot_chain]
+        with pytest.raises(UpdateRejected):
+            agent.apply(tampered)
+        assert [stage.image for stage in agent.boot_chain] == \
+            original_chain
+
+    def test_unknown_stage_rejected(self, vendor, device):
+        agent, _, _ = device
+        package = build_package(
+            vendor, version=2,
+            stage_images=[("nonexistent-stage", b"???")])
+        with pytest.raises(UpdateRejected, match="unknown stage"):
+            agent.apply(package)
+
+    def test_history_recorded(self, vendor, device):
+        agent, _, _ = device
+        agent.apply(build_package(
+            vendor, version=2, stage_images=[("os-kernel", b"v2")]))
+        agent.apply(build_package(
+            vendor, version=3, stage_images=[("os-kernel", b"v3")]))
+        assert agent.history == [2, 3]

@@ -1,0 +1,220 @@
+"""Keystore, secure boot, and the secure execution environment."""
+
+import pytest
+
+from repro.core.keystore import (
+    AccessDenied,
+    KeyPolicy,
+    KeyUsage,
+    SecureKeyStore,
+    World,
+)
+from repro.core.secure_boot import (
+    BootStage,
+    SecureBootROM,
+    VendorSigner,
+    expected_measurement,
+    reference_chain,
+)
+from repro.core.secure_execution import (
+    InvocationBudgetExceeded,
+    MeasurementMismatch,
+    SecureExecutionEnvironment,
+    SecurityViolation,
+    TrustedApplication,
+    sign_application,
+)
+from repro.crypto.rng import DeterministicDRBG
+from repro.crypto.rsa import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def vendor():
+    return VendorSigner.create(seed=3)
+
+
+@pytest.fixture()
+def keystore(rsa_512):
+    store = SecureKeyStore.provision("unit-test-device")
+    store.install(
+        "identity", rsa_512,
+        KeyPolicy(usages=frozenset({KeyUsage.SIGN, KeyUsage.DECRYPT})))
+    store.install(
+        "session-master", bytes(range(16)),
+        KeyPolicy(usages=frozenset({KeyUsage.MAC, KeyUsage.DECRYPT,
+                                    KeyUsage.WRAP}),
+                  exportable=True))
+    return store
+
+
+@pytest.fixture()
+def environment(keystore, vendor):
+    return SecureExecutionEnvironment(
+        keystore=keystore, installer_key=vendor.public_key,
+        invocation_budget=50)
+
+
+class TestKeyStore:
+    def test_secure_world_can_sign(self, keystore, rsa_512):
+        signature = keystore.sign("identity", b"msg", World.SECURE)
+        rsa_512.public.verify(b"msg", signature)
+
+    def test_normal_world_denied(self, keystore):
+        with pytest.raises(AccessDenied):
+            keystore.sign("identity", b"msg", World.NORMAL)
+        assert keystore.denied_accesses == 1
+
+    def test_usage_policy_enforced(self, keystore):
+        with pytest.raises(AccessDenied):
+            keystore.mac("identity", b"msg", World.SECURE)  # RSA key, MAC use
+
+    def test_unknown_key(self, keystore):
+        with pytest.raises(AccessDenied):
+            keystore.sign("ghost", b"msg", World.SECURE)
+
+    def test_mac_operation(self, keystore):
+        tag = keystore.mac("session-master", b"data", World.SECURE)
+        assert len(tag) == 20
+
+    def test_session_key_derivation_stable(self, keystore):
+        a = keystore.unwrap_symmetric("session-master", World.SECURE, "tls")
+        b = keystore.unwrap_symmetric("session-master", World.SECURE, "tls")
+        c = keystore.unwrap_symmetric("session-master", World.SECURE, "wep")
+        assert a == b
+        assert a != c
+
+    def test_wrapped_export_import(self, keystore):
+        blob = keystore.export_wrapped("session-master", World.SECURE)
+        assert blob != bytes(range(16))  # encrypted, not plaintext
+        keystore.import_wrapped(
+            "restored", blob,
+            KeyPolicy(usages=frozenset({KeyUsage.MAC})), World.SECURE)
+        assert keystore.mac("restored", b"x", World.SECURE) == \
+            keystore.mac("session-master", b"x", World.SECURE)
+
+    def test_non_exportable_key_stays(self, keystore, rsa_512):
+        keystore.install(
+            "locked", bytes(16),
+            KeyPolicy(usages=frozenset({KeyUsage.WRAP}), exportable=False))
+        with pytest.raises(AccessDenied):
+            keystore.export_wrapped("locked", World.SECURE)
+
+    def test_import_needs_secure_world(self, keystore):
+        blob = keystore.export_wrapped("session-master", World.SECURE)
+        with pytest.raises(AccessDenied):
+            keystore.import_wrapped(
+                "x", blob, KeyPolicy(usages=frozenset()), World.NORMAL)
+
+    def test_root_key_device_unique(self):
+        a = SecureKeyStore.provision("device-a")
+        b = SecureKeyStore.provision("device-b")
+        assert a.root_key != b.root_key
+
+
+class TestSecureBoot:
+    def test_genuine_chain_boots(self, vendor):
+        rom = SecureBootROM(vendor_key=vendor.public_key)
+        report = rom.boot(reference_chain(vendor))
+        assert report.succeeded
+        assert report.stages_verified == ["bootloader", "os-kernel",
+                                          "baseband"]
+
+    def test_measurement_is_deterministic(self, vendor):
+        chain = reference_chain(vendor)
+        rom = SecureBootROM(vendor_key=vendor.public_key)
+        report = rom.boot(chain)
+        assert report.measurement == expected_measurement(chain)
+
+    def test_tampered_image_halts(self, vendor):
+        chain = reference_chain(vendor)
+        bad = BootStage(chain[1].name, chain[1].image + b"!",
+                        chain[1].signature)
+        rom = SecureBootROM(vendor_key=vendor.public_key)
+        report = rom.boot([chain[0], bad, chain[2]])
+        assert not report.succeeded
+        assert report.stages_verified == ["bootloader"]
+        assert "os-kernel" in report.failure
+
+    def test_foreign_signature_rejected(self, vendor):
+        impostor = VendorSigner.create(seed=99)
+        foreign_stage = impostor.sign_stage("bootloader", b"evil loader")
+        rom = SecureBootROM(vendor_key=vendor.public_key)
+        assert not rom.boot([foreign_stage]).succeeded
+
+    def test_measurement_distinguishes_chains(self, vendor):
+        chain = reference_chain(vendor)
+        variant = [chain[0],
+                   vendor.sign_stage("os-kernel", b"KRN v2"),
+                   chain[2]]
+        assert expected_measurement(chain) != expected_measurement(variant)
+
+    def test_reordered_chain_changes_measurement(self, vendor):
+        chain = reference_chain(vendor)
+        reordered = [chain[1], chain[0], chain[2]]
+        assert expected_measurement(chain) != \
+            expected_measurement(reordered)
+
+
+class TestSecureExecution:
+    def test_normal_app_runs(self, environment):
+        app = TrustedApplication("game", b"tetris", lambda api: "score")
+        environment.install(app)
+        assert environment.invoke("game") == "score"
+
+    def test_normal_app_cannot_touch_keys(self, environment):
+        app = TrustedApplication(
+            "sneaky", b"sneaky", lambda api: api.sign("identity", b"x"))
+        environment.install(app)
+        with pytest.raises(SecurityViolation):
+            environment.invoke("sneaky")
+        assert environment.violations_by("sneaky")
+
+    def test_signed_app_in_secure_world_uses_keys(self, environment, vendor,
+                                                  rsa_512):
+        app = sign_application(
+            vendor.key, "wallet", b"wallet v1",
+            lambda api: api.sign("identity", b"pay"))
+        environment.install(app, world=World.SECURE)
+        signature = environment.invoke("wallet")
+        rsa_512.public.verify(b"pay", signature)
+
+    def test_unsigned_secure_install_rejected(self, environment):
+        rogue = TrustedApplication("rogue", b"rogue", lambda api: None,
+                                   signature=b"\x00" * 64)
+        with pytest.raises(SecurityViolation):
+            environment.install(rogue, world=World.SECURE)
+
+    def test_patched_app_refused(self, environment, vendor):
+        app = sign_application(vendor.key, "bank", b"bank v1",
+                               lambda api: "ok")
+        environment.install(app, world=World.SECURE)
+        app.payload = b"bank v1 PATCHED"
+        with pytest.raises(MeasurementMismatch):
+            environment.invoke("bank")
+
+    def test_invocation_budget(self, environment):
+        app = TrustedApplication("spinner", b"spin", lambda api: None)
+        environment.install(app)
+        for _ in range(environment.invocation_budget):
+            environment.invoke("spinner")
+        with pytest.raises(InvocationBudgetExceeded):
+            environment.invoke("spinner")
+
+    def test_unknown_app(self, environment):
+        with pytest.raises(SecurityViolation):
+            environment.invoke("ghost")
+
+    def test_session_key_service(self, environment, vendor):
+        app = sign_application(
+            vendor.key, "vpn", b"vpn v1",
+            lambda api: api.session_key("session-master", "esp"))
+        environment.install(app, world=World.SECURE)
+        key = environment.invoke("vpn")
+        assert len(key) == 16
+
+    def test_world_introspection(self, environment, vendor):
+        environment.install(TrustedApplication("n", b"n", lambda api: None))
+        app = sign_application(vendor.key, "s", b"s", lambda api: None)
+        environment.install(app, world=World.SECURE)
+        assert environment.world_of("n") is World.NORMAL
+        assert environment.world_of("s") is World.SECURE

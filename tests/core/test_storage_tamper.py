@@ -1,0 +1,168 @@
+"""Secure storage (sealed flash) and tamper response (zeroization)."""
+
+import pytest
+
+from repro.core.keystore import KeyPolicy, KeyUsage, SecureKeyStore, World
+from repro.core.secure_storage import (
+    FlashDevice,
+    SecureStorage,
+    StorageTampered,
+    theft_scenario,
+)
+from repro.core.tamper_response import (
+    DEFAULT_SENSORS,
+    EnvironmentEvent,
+    ProbingAttacker,
+    TamperMesh,
+    TamperResponder,
+    glitching_is_subthreshold,
+)
+from repro.crypto.rng import DeterministicDRBG
+
+
+@pytest.fixture()
+def storage():
+    keystore = SecureKeyStore.provision("storage-test")
+    return SecureStorage(
+        flash=FlashDevice(), keystore=keystore,
+        rng=DeterministicDRBG("storage-test"))
+
+
+class TestSecureStorage:
+    def test_roundtrip(self, storage):
+        storage.store("certificate", b"device certificate bytes")
+        assert storage.load("certificate") == b"device certificate bytes"
+
+    def test_flash_never_holds_plaintext(self, storage):
+        storage.store("pin", b"super secret PIN 9876")
+        for blob in storage.flash.dump().values():
+            assert b"9876" not in blob
+            assert b"PIN" not in blob
+
+    def test_records_encrypted_differently(self, storage):
+        storage.store("a", b"same plaintext")
+        storage.store("b", b"same plaintext")
+        dump = storage.flash.dump()
+        assert dump["a"] != dump["b"]  # fresh IVs
+
+    def test_tamper_detected(self, storage):
+        storage.store("pin", b"1234")
+        blob = bytearray(storage.flash.read("pin"))
+        blob[18] ^= 0x01
+        storage.flash.program("pin", bytes(blob))
+        with pytest.raises(StorageTampered, match="authentication"):
+            storage.load("pin")
+
+    def test_record_swap_detected(self, storage):
+        """Moving a validly sealed blob under another name fails: the
+        MAC binds the record name."""
+        storage.store("pin", b"1234")
+        storage.store("note", b"hello")
+        blob = storage.flash.read("pin")
+        storage.flash.program("note", blob)
+        with pytest.raises(StorageTampered):
+            storage.load("note")
+
+    def test_rollback_detected(self, storage):
+        storage.store("counter", b"\x03")
+        old = storage.flash.read("counter")
+        storage.store("counter", b"\x00")
+        storage.flash.program("counter", old)
+        with pytest.raises(StorageTampered, match="rolled back"):
+            storage.load("counter")
+
+    def test_missing_record(self, storage):
+        storage.store("x", b"data")
+        storage.flash.blobs.clear()
+        with pytest.raises(StorageTampered, match="missing"):
+            storage.load("x")
+
+    def test_update_then_load_latest(self, storage):
+        storage.store("cfg", b"v1")
+        storage.store("cfg", b"v2")
+        assert storage.load("cfg") == b"v2"
+
+    def test_foreign_device_cannot_unseal(self):
+        """Blobs sealed by one device are garbage to another (die-unique
+        root keys) — stolen flash is useless in a donor board."""
+        victim = SecureStorage(
+            flash=FlashDevice(),
+            keystore=SecureKeyStore.provision("victim"),
+            rng=DeterministicDRBG("v"))
+        victim.store("pin", b"1234")
+        blob = victim.flash.read("pin")
+        donor = SecureStorage(
+            flash=FlashDevice(),
+            keystore=SecureKeyStore.provision("donor"),
+            rng=DeterministicDRBG("d"))
+        donor.flash.program("pin", blob)
+        donor._versions["pin"] = 1  # even knowing the version...
+        with pytest.raises(StorageTampered):
+            donor.load("pin")
+
+    def test_theft_scenario(self):
+        outcome = theft_scenario()
+        assert outcome == {
+            "plaintext_visible": False,
+            "forge_accepted": False,
+            "rollback_accepted": False,
+        }
+
+
+class TestTamperResponse:
+    @pytest.fixture()
+    def protected(self):
+        keystore = SecureKeyStore.provision("tamper-test")
+        keystore.install(
+            "master", bytes(range(16)),
+            KeyPolicy(usages=frozenset({KeyUsage.MAC})))
+        responder = TamperResponder(mesh=TamperMesh(), keystore=keystore)
+        return keystore, responder
+
+    def test_normal_operation_no_trip(self, protected):
+        keystore, responder = protected
+        assert not responder.deliver(EnvironmentEvent("voltage", 0.05))
+        assert not responder.zeroised
+        keystore.mac("master", b"still works", World.SECURE)
+
+    def test_probing_zeroises_keys(self, protected):
+        keystore, responder = protected
+        attacker = ProbingAttacker()
+        outcome = attacker.run(responder, keystore)
+        assert outcome["sensors_tripped"]  # mesh caught the campaign
+        assert outcome["keys_recovered"] == []
+        assert not outcome["root_key_intact"]
+        assert responder.zeroised
+
+    def test_unprotected_device_loses_keys(self, protected):
+        keystore, _ = protected
+        outcome = ProbingAttacker().run(None, keystore)
+        assert outcome["keys_recovered"] == ["master"]
+        assert outcome["root_key_intact"]
+
+    def test_zeroised_keystore_denies_everything(self, protected):
+        keystore, responder = protected
+        responder.deliver(EnvironmentEvent("mesh", 1.0))
+        from repro.core.keystore import AccessDenied
+
+        with pytest.raises(AccessDenied):
+            keystore.mac("master", b"x", World.SECURE)
+
+    def test_big_glitch_caught_small_glitch_passes(self):
+        """The layered-defence point: the mesh stops coarse glitching,
+        sub-threshold glitches require the algorithmic countermeasure
+        (CRT verification, tested in the fault suite)."""
+        mesh = TamperMesh()
+        assert not glitching_is_subthreshold(
+            EnvironmentEvent("voltage", 0.5), mesh)
+        assert glitching_is_subthreshold(
+            EnvironmentEvent("voltage", 0.1), TamperMesh())
+
+    def test_sensor_catalogue(self):
+        kinds = {sensor.kind for sensor in DEFAULT_SENSORS}
+        assert kinds == {"voltage", "clock", "temperature", "light", "mesh"}
+
+    def test_response_logged(self, protected):
+        _, responder = protected
+        responder.deliver(EnvironmentEvent("light", 2.0))
+        assert any("light" in entry for entry in responder.response_log)

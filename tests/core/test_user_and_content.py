@@ -1,0 +1,199 @@
+"""Biometrics (user identification) and DRM (content security)."""
+
+import pytest
+
+from repro.core.biometrics import (
+    BiometricMatcher,
+    FingerSimulator,
+    distance,
+    equal_error_rate,
+    evaluate_matcher,
+    roc_sweep,
+)
+from repro.core.drm import (
+    ContentProvider,
+    DRMAgent,
+    License,
+    LicenseInvalid,
+    RightsViolation,
+    UsageRules,
+)
+from repro.core.keystore import SecureKeyStore
+from repro.crypto.rng import DeterministicDRBG
+from repro.crypto.rsa import generate_keypair
+
+
+class TestBiometrics:
+    @pytest.fixture()
+    def enrolled(self):
+        simulator = FingerSimulator(seed=1)
+        matcher = BiometricMatcher(threshold=2.5)
+        matcher.enroll("alice", [simulator.read("alice") for _ in range(5)])
+        return simulator, matcher
+
+    def test_genuine_user_accepted(self, enrolled):
+        simulator, matcher = enrolled
+        accepted = sum(
+            matcher.verify("alice", simulator.read("alice"))
+            for _ in range(50))
+        assert accepted >= 48  # FRR low at the default threshold
+
+    def test_impostor_rejected(self, enrolled):
+        simulator, matcher = enrolled
+        accepted = sum(
+            matcher.verify("alice", simulator.read(f"mallory-{i}"))
+            for i in range(50))
+        assert accepted == 0  # identities are far apart vs. noise
+
+    def test_unenrolled_subject_rejected(self, enrolled):
+        simulator, matcher = enrolled
+        assert not matcher.verify("nobody", simulator.read("nobody"))
+
+    def test_counters(self, enrolled):
+        simulator, matcher = enrolled
+        matcher.verify("alice", simulator.read("alice"))
+        matcher.verify("alice", simulator.read("mallory-0"))
+        assert matcher.attempts == 2
+        assert matcher.rejections >= 1
+
+    def test_far_frr_tradeoff(self):
+        """Loose thresholds accept impostors; tight ones reject genuine
+        users — the designer's trade-off curve."""
+        simulator = FingerSimulator(seed=2)
+        tight = evaluate_matcher(simulator, threshold=0.5,
+                                 genuine_trials=60, impostor_trials=60)
+        loose = evaluate_matcher(simulator, threshold=6.0,
+                                 genuine_trials=60, impostor_trials=60)
+        assert tight.frr > loose.frr
+        assert loose.far > tight.far
+
+    def test_roc_sweep_and_eer(self):
+        simulator = FingerSimulator(seed=3)
+        curve = roc_sweep(simulator,
+                          thresholds=[0.5, 1.0, 1.5, 2.0, 3.0, 4.5])
+        eer = equal_error_rate(curve)
+        assert eer in curve
+        fars = [point.far for point in curve]
+        assert fars == sorted(fars)  # FAR grows with threshold
+
+    def test_enrollment_requires_samples(self):
+        with pytest.raises(ValueError):
+            BiometricMatcher().enroll("x", [])
+
+    def test_distance_zero_for_identical(self):
+        assert distance((1.0, 2.0), (1.0, 2.0)) == 0.0
+
+    def test_readings_deterministic_per_seed(self):
+        a = FingerSimulator(seed=4).read("bob")
+        b = FingerSimulator(seed=4).read("bob")
+        assert a == b
+
+
+class TestDRM:
+    @pytest.fixture()
+    def world(self):
+        rng = DeterministicDRBG("drm-world")
+        provider_key = generate_keypair(512, DeterministicDRBG("provider"))
+        provider = ContentProvider(signing_key=provider_key, rng=rng)
+        device_key = generate_keypair(512, DeterministicDRBG("device"))
+        keystore = SecureKeyStore.provision("drm-device")
+        DRMAgent.provision_device_key(keystore, device_key)
+        agent = DRMAgent(device_id="handset-7", keystore=keystore,
+                         provider_public=provider_key.public)
+        content = provider.package("song-1", b"MP3 bytes " * 40)
+        return provider, agent, content, device_key
+
+    def test_play_with_valid_license(self, world):
+        provider, agent, content, device_key = world
+        license_ = provider.issue_license(
+            "song-1", "handset-7", device_key.public,
+            UsageRules(max_plays=3))
+        assert agent.play(content, license_) == b"MP3 bytes " * 40
+
+    def test_play_count_enforced(self, world):
+        provider, agent, content, device_key = world
+        license_ = provider.issue_license(
+            "song-1", "handset-7", device_key.public,
+            UsageRules(max_plays=2))
+        agent.play(content, license_)
+        agent.play(content, license_)
+        assert agent.plays_remaining(license_) == 0
+        with pytest.raises(RightsViolation):
+            agent.play(content, license_)
+
+    def test_expiry_enforced(self, world):
+        provider, agent, content, device_key = world
+        license_ = provider.issue_license(
+            "song-1", "handset-7", device_key.public,
+            UsageRules(expires_at=10))
+        agent.clock = 11
+        with pytest.raises(RightsViolation):
+            agent.play(content, license_)
+
+    def test_no_copy_enforced(self, world):
+        provider, agent, content, device_key = world
+        license_ = provider.issue_license(
+            "song-1", "handset-7", device_key.public,
+            UsageRules(max_plays=None, allow_export=False))
+        with pytest.raises(RightsViolation):
+            agent.export_copy(content, license_)
+
+    def test_export_allowed_when_licensed(self, world):
+        provider, agent, content, device_key = world
+        license_ = provider.issue_license(
+            "song-1", "handset-7", device_key.public,
+            UsageRules(allow_export=True))
+        assert agent.export_copy(content, license_) == b"MP3 bytes " * 40
+
+    def test_license_bound_to_device(self, world):
+        provider, agent, content, device_key = world
+        other_device = generate_keypair(512, DeterministicDRBG("other"))
+        foreign = provider.issue_license(
+            "song-1", "handset-8", other_device.public,
+            UsageRules(max_plays=1))
+        with pytest.raises(LicenseInvalid):
+            agent.play(content, foreign)
+
+    def test_tampered_rules_rejected(self, world):
+        """Attacker upgrades max_plays in a signed license."""
+        provider, agent, content, device_key = world
+        license_ = provider.issue_license(
+            "song-1", "handset-7", device_key.public,
+            UsageRules(max_plays=1))
+        tampered = License(
+            content_id=license_.content_id,
+            device_id=license_.device_id,
+            wrapped_content_key=license_.wrapped_content_key,
+            rules=UsageRules(max_plays=1_000_000),
+            signature=license_.signature,
+        )
+        with pytest.raises(LicenseInvalid):
+            agent.play(content, tampered)
+
+    def test_wrong_content_rejected(self, world):
+        provider, agent, content, device_key = world
+        provider.package("song-2", b"other")
+        license_2 = provider.issue_license(
+            "song-2", "handset-7", device_key.public, UsageRules())
+        with pytest.raises(LicenseInvalid):
+            agent.play(content, license_2)
+
+    def test_unlimited_plays(self, world):
+        provider, agent, content, device_key = world
+        license_ = provider.issue_license(
+            "song-1", "handset-7", device_key.public,
+            UsageRules(max_plays=None))
+        for _ in range(5):
+            agent.play(content, license_)
+        assert agent.plays_remaining(license_) is None
+
+    def test_content_key_never_in_distribution(self, world):
+        """The protected file and the license never expose the content
+        key or plaintext."""
+        provider, agent, content, device_key = world
+        license_ = provider.issue_license(
+            "song-1", "handset-7", device_key.public, UsageRules())
+        raw_key = provider._content_keys["song-1"]
+        assert raw_key not in content.ciphertext
+        assert raw_key not in license_.wrapped_content_key
+        assert b"MP3 bytes" not in content.ciphertext

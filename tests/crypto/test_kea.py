@@ -1,0 +1,75 @@
+"""KEA dual Diffie-Hellman key exchange."""
+
+import pytest
+
+from repro.crypto.dh import DHGroup
+from repro.crypto.errors import ParameterError
+from repro.crypto.kea import KEAKeyPair, KEAParty
+from repro.crypto.rng import DeterministicDRBG
+
+
+@pytest.fixture(scope="module")
+def group():
+    return DHGroup.oakley1()
+
+
+@pytest.fixture()
+def parties(group):
+    alice = KEAParty(group, DeterministicDRBG("kea-alice"))
+    bob = KEAParty(group, DeterministicDRBG("kea-bob"))
+    return alice, bob
+
+
+class TestKEA:
+    def test_agreement(self, parties):
+        alice, bob = parties
+        alice_secret = alice.shared_secret(bob.static.public,
+                                           bob.ephemeral.public)
+        bob_secret = bob.shared_secret(alice.static.public,
+                                       alice.ephemeral.public)
+        assert alice_secret == bob_secret
+
+    def test_shared_key_derivation(self, parties):
+        alice, bob = parties
+        assert alice.shared_key(bob.static.public, bob.ephemeral.public,
+                                24) == \
+            bob.shared_key(alice.static.public, alice.ephemeral.public, 24)
+
+    def test_ephemeral_refresh_changes_key(self, parties):
+        alice, bob = parties
+        first = alice.shared_key(bob.static.public, bob.ephemeral.public)
+        bob_new_public = bob.new_exchange()
+        alice.new_exchange()
+        second = alice.shared_key(bob.static.public, bob_new_public)
+        assert first != second  # freshness from the ephemeral half
+
+    def test_static_half_authenticates(self, group, parties):
+        """A MITM substituting its own static key changes the secret —
+        the property that lets certificates authenticate the exchange."""
+        alice, bob = parties
+        mallory = KEAParty(group, DeterministicDRBG("kea-mallory"))
+        legit = alice.shared_secret(bob.static.public, bob.ephemeral.public)
+        spoofed = alice.shared_secret(mallory.static.public,
+                                      bob.ephemeral.public)
+        assert legit != spoofed
+
+    @pytest.mark.parametrize("degenerate", [0, 1])
+    def test_degenerate_static_rejected(self, parties, degenerate):
+        alice, bob = parties
+        with pytest.raises(ParameterError):
+            alice.shared_secret(degenerate, bob.ephemeral.public)
+
+    def test_degenerate_ephemeral_rejected(self, group, parties):
+        alice, bob = parties
+        with pytest.raises(ParameterError):
+            alice.shared_secret(bob.static.public, group.p - 1)
+
+    def test_keypair_generation_in_range(self, group):
+        pair = KEAKeyPair.generate(group, DeterministicDRBG("kp"))
+        assert 0 < pair.public < group.p
+        assert 2 <= pair.private <= group.p - 2
+
+    def test_deterministic_from_seed(self, group):
+        a = KEAParty(group, DeterministicDRBG("same-seed"))
+        b = KEAParty(group, DeterministicDRBG("same-seed"))
+        assert a.static.public == b.static.public

@@ -1,0 +1,183 @@
+"""RSA, Diffie–Hellman, and primality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dh import DHGroup, DHParty
+from repro.crypto.errors import (
+    DecryptionError,
+    ParameterError,
+    SignatureError,
+)
+from repro.crypto.primes import generate_prime, generate_safe_prime, is_prime
+from repro.crypto.rng import DeterministicDRBG
+from repro.crypto.rsa import RSAPublicKey, generate_keypair
+
+
+class TestPrimes:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 97, 7919, 104729,
+                                   2**31 - 1, 2**61 - 1])
+    def test_known_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 100, 7917, 2**31, 2**61 - 2,
+                                   3215031751])  # strong pseudoprime base 2..7
+    def test_known_composites(self, n):
+        assert not is_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        for carmichael in (561, 1105, 1729, 2465, 41041, 825265):
+            assert not is_prime(carmichael)
+
+    def test_generate_prime_properties(self):
+        rng = DeterministicDRBG(1)
+        p = generate_prime(64, rng)
+        assert p.bit_length() == 64
+        assert p % 2 == 1
+        assert is_prime(p)
+
+    def test_generate_prime_deterministic(self):
+        assert generate_prime(48, DeterministicDRBG(9)) == \
+            generate_prime(48, DeterministicDRBG(9))
+
+    def test_generate_prime_too_small(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, DeterministicDRBG(0))
+
+    def test_safe_prime(self):
+        p = generate_safe_prime(40, DeterministicDRBG(2))
+        assert is_prime(p)
+        assert is_prime((p - 1) // 2)
+
+
+class TestRSAKeygen:
+    def test_modulus_exact_bits(self, rsa_512):
+        assert rsa_512.n.bit_length() == 512
+
+    def test_key_equation(self, rsa_512):
+        phi = (rsa_512.p - 1) * (rsa_512.q - 1)
+        assert (rsa_512.e * rsa_512.d) % phi == 1
+
+    def test_factors_multiply(self, rsa_512):
+        assert rsa_512.p * rsa_512.q == rsa_512.n
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ParameterError):
+            generate_keypair(32, DeterministicDRBG(0))
+
+
+class TestRSAEncryption:
+    def test_roundtrip(self, rsa_512, drbg):
+        ct = rsa_512.public.encrypt(b"secret", drbg)
+        assert rsa_512.decrypt(ct) == b"secret"
+
+    def test_randomised_padding(self, rsa_512, drbg):
+        a = rsa_512.public.encrypt(b"same message", drbg)
+        b = rsa_512.public.encrypt(b"same message", drbg)
+        assert a != b
+        assert rsa_512.decrypt(a) == rsa_512.decrypt(b)
+
+    def test_max_length_enforced(self, rsa_512, drbg):
+        too_long = bytes(rsa_512.byte_length - 10)
+        with pytest.raises(ParameterError):
+            rsa_512.public.encrypt(too_long, drbg)
+
+    def test_tampered_ciphertext_fails(self, rsa_512, drbg):
+        ct = bytearray(rsa_512.public.encrypt(b"secret", drbg))
+        ct[-1] ^= 0x55
+        with pytest.raises(DecryptionError):
+            rsa_512.decrypt(bytes(ct))
+
+    def test_wrong_length_ciphertext(self, rsa_512):
+        with pytest.raises(DecryptionError):
+            rsa_512.decrypt(b"short")
+
+    def test_raw_range_check(self, rsa_512):
+        with pytest.raises(ParameterError):
+            rsa_512.public.encrypt_raw(rsa_512.n)
+        with pytest.raises(ParameterError):
+            rsa_512.decrypt_raw(rsa_512.n + 1)
+
+
+class TestRSASignatures:
+    def test_sign_verify(self, rsa_512):
+        signature = rsa_512.sign(b"document")
+        rsa_512.public.verify(b"document", signature)
+
+    def test_wrong_message_rejected(self, rsa_512):
+        signature = rsa_512.sign(b"document")
+        with pytest.raises(SignatureError):
+            rsa_512.public.verify(b"other document", signature)
+
+    def test_tampered_signature_rejected(self, rsa_512):
+        signature = bytearray(rsa_512.sign(b"document"))
+        signature[3] ^= 1
+        with pytest.raises(SignatureError):
+            rsa_512.public.verify(b"document", bytes(signature))
+
+    def test_wrong_key_rejected(self, rsa_512, rsa_384):
+        signature = rsa_512.sign(b"document")
+        with pytest.raises(SignatureError):
+            RSAPublicKey(rsa_384.n, rsa_384.e).verify(
+                b"document"[:10], signature[:rsa_384.byte_length])
+
+    def test_crt_and_plain_signatures_agree(self, rsa_512):
+        assert rsa_512.sign(b"msg", use_crt=True) == \
+            rsa_512.sign(b"msg", use_crt=False)
+
+
+class TestDH:
+    def test_oakley_group_valid(self):
+        DHGroup.oakley1().validate()
+
+    def test_shared_secret_agreement(self):
+        group = DHGroup.oakley1()
+        alice = DHParty(group, DeterministicDRBG(1))
+        bob = DHParty(group, DeterministicDRBG(2))
+        assert alice.shared_secret(bob.public) == \
+            bob.shared_secret(alice.public)
+
+    def test_shared_key_length(self):
+        group = DHGroup.oakley1()
+        alice = DHParty(group, DeterministicDRBG(1))
+        bob = DHParty(group, DeterministicDRBG(2))
+        assert len(alice.shared_key(bob.public, 24)) == 24
+
+    @pytest.mark.parametrize("degenerate", [0, 1])
+    def test_degenerate_public_rejected(self, degenerate):
+        group = DHGroup.oakley1()
+        alice = DHParty(group, DeterministicDRBG(1))
+        with pytest.raises(ParameterError):
+            alice.shared_secret(degenerate)
+
+    def test_p_minus_one_rejected(self):
+        group = DHGroup.oakley1()
+        alice = DHParty(group, DeterministicDRBG(1))
+        with pytest.raises(ParameterError):
+            alice.shared_secret(group.p - 1)
+
+    def test_generated_group(self):
+        group = DHGroup.generate(48, DeterministicDRBG(3))
+        group.validate()
+        alice = DHParty(group, DeterministicDRBG(4))
+        bob = DHParty(group, DeterministicDRBG(5))
+        assert alice.shared_secret(bob.public) == \
+            bob.shared_secret(alice.public)
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ParameterError):
+            DHGroup(p=100, g=2).validate()
+
+
+@settings(max_examples=15, deadline=None)
+@given(message=st.binary(min_size=1, max_size=37))
+def test_rsa_roundtrip_property(rsa_512, message):
+    rng = DeterministicDRBG(message)
+    assert rsa_512.decrypt(rsa_512.public.encrypt(message, rng)) == message
+
+
+@settings(max_examples=10, deadline=None)
+@given(message=st.binary(min_size=0, max_size=120))
+def test_rsa_signature_property(rsa_512, message):
+    rsa_512.public.verify(message, rsa_512.sign(message))

@@ -1,0 +1,189 @@
+"""The §4.2 architecture ladder and platform composition."""
+
+import pytest
+
+from repro.hardware.accelerators import (
+    CryptoAccelerator,
+    SoftwareEngine,
+    UnsupportedWorkload,
+    architecture_ladder,
+)
+from repro.hardware.battery import Battery, BatteryEmpty
+from repro.hardware.isa_extensions import ISAExtensionEngine
+from repro.hardware.platform_builder import (
+    HardwarePlatform,
+    pda_platform,
+    phone_platform,
+    sensor_node_platform,
+)
+from repro.hardware.processors import ARM7, STRONGARM_SA1100
+from repro.hardware.protocol_engine import ProtocolEngine
+from repro.hardware.workloads import (
+    BulkWorkload,
+    HandshakeWorkload,
+    SessionWorkload,
+)
+
+SESSION = SessionWorkload(
+    handshake=HandshakeWorkload(),
+    bulk=BulkWorkload(kilobytes=100.0, packets=80),
+)
+
+
+class TestLadder:
+    def test_efficiency_strictly_improves(self):
+        """§4.2's headline: each rung is faster AND cheaper in energy."""
+        reports = [engine.execute(SESSION)
+                   for engine in architecture_ladder(STRONGARM_SA1100)]
+        times = [r.time_s for r in reports]
+        energies = [r.energy_mj for r in reports]
+        assert times == sorted(times, reverse=True)
+        assert energies == sorted(energies, reverse=True)
+
+    def test_flexibility_ladder_inverts(self):
+        """...while flexibility moves the other way (the §3.1 tension).
+        The programmable protocol engine is the §4.2.3 compromise: more
+        flexible than fixed-function hardware, still efficient."""
+        software, isa, accel, engine = architecture_ladder(STRONGARM_SA1100)
+        assert software.flexibility > isa.flexibility > engine.flexibility \
+            > accel.flexibility
+
+    def test_host_offload_decreases(self):
+        reports = [engine.execute(SESSION)
+                   for engine in architecture_ladder(STRONGARM_SA1100)]
+        host = [r.host_instructions for r in reports]
+        assert host == sorted(host, reverse=True)
+
+
+class TestSoftwareEngine:
+    def test_time_matches_mips(self):
+        engine = SoftwareEngine(ARM7)
+        bulk = BulkWorkload(kilobytes=10.0, packets=1)
+        report = engine.execute(bulk)
+        assert report.time_s == pytest.approx(
+            bulk.total_instructions / (ARM7.mips * 1e6))
+
+    def test_supports_everything(self):
+        assert SoftwareEngine(ARM7).supports(
+            BulkWorkload(cipher="AES", mac="MD5"))
+
+
+class TestISAExtensions:
+    def test_speedup_applies_to_crypto_only(self):
+        engine = ISAExtensionEngine(ARM7)
+        software = SoftwareEngine(ARM7)
+        bulk = BulkWorkload(cipher="3DES", kilobytes=50.0, packets=10)
+        assert engine.execute(bulk).time_s < software.execute(bulk).time_s
+
+    def test_des_benefits_most(self):
+        """Permutation instructions help DES more than RC4 (§4.2.1)."""
+        engine = ISAExtensionEngine(ARM7)
+        assert engine.speedups["DES"] > engine.speedups["RC4"]
+
+    def test_handshake_speedup(self):
+        engine = ISAExtensionEngine(ARM7)
+        software = SoftwareEngine(ARM7)
+        handshake = HandshakeWorkload()
+        ratio = software.execute(handshake).time_s / \
+            engine.execute(handshake).time_s
+        assert ratio == pytest.approx(engine.speedups["RSA"], rel=0.01)
+
+
+class TestCryptoAccelerator:
+    def test_unsupported_cipher_raises(self):
+        accel = CryptoAccelerator(ARM7)
+        del accel.bulk_mbps["RC4"]
+        with pytest.raises(UnsupportedWorkload):
+            accel.execute(BulkWorkload(cipher="RC4"))
+
+    def test_supports_check(self):
+        accel = CryptoAccelerator(ARM7)
+        del accel.bulk_mbps["RC4"]
+        assert not accel.supports(BulkWorkload(cipher="RC4"))
+        assert accel.supports(BulkWorkload(cipher="3DES"))
+
+    def test_protocol_work_stays_on_host(self):
+        accel = CryptoAccelerator(ARM7)
+        few_packets = accel.execute(BulkWorkload(kilobytes=10, packets=1))
+        many_packets = accel.execute(BulkWorkload(kilobytes=10, packets=500))
+        assert many_packets.host_instructions > few_packets.host_instructions
+
+    def test_crt_speeds_rsa(self):
+        accel = CryptoAccelerator(ARM7)
+        plain = accel.execute(HandshakeWorkload(use_crt=False))
+        crt = accel.execute(HandshakeWorkload(use_crt=True))
+        assert crt.time_s < plain.time_s
+
+
+class TestProtocolEngine:
+    def test_offloads_protocol_processing(self):
+        """The §4.2.3 differentiator vs. a crypto accelerator."""
+        engine = ProtocolEngine(ARM7)
+        accel = CryptoAccelerator(ARM7)
+        heavy_protocol = BulkWorkload(kilobytes=10, packets=2000)
+        assert engine.execute(heavy_protocol).host_instructions < \
+            accel.execute(heavy_protocol).host_instructions
+
+    def test_programmability_flag(self):
+        assert ProtocolEngine(ARM7, programmable=True).flexibility > \
+            ProtocolEngine(ARM7, programmable=False).flexibility
+
+    def test_session_is_sum_of_parts(self):
+        engine = ProtocolEngine(ARM7)
+        session = SessionWorkload()
+        combined = engine.execute(session)
+        parts = (engine.execute(session.handshake).time_s
+                 + engine.execute(session.bulk).time_s)
+        assert combined.time_s == pytest.approx(parts)
+
+
+class TestPlatform:
+    def test_dispatch_prefers_listed_engine(self):
+        accel = CryptoAccelerator(STRONGARM_SA1100)
+        platform = pda_platform(engines=[accel])
+        assert platform.select_engine(SESSION) is accel
+
+    def test_dispatch_falls_back_to_software(self):
+        accel = CryptoAccelerator(STRONGARM_SA1100)
+        del accel.bulk_mbps["RC4"]
+        platform = pda_platform(engines=[accel])
+        rc4_bulk = BulkWorkload(cipher="RC4")
+        engine = platform.select_engine(rc4_bulk)
+        assert isinstance(engine, SoftwareEngine)
+
+    def test_battery_charged_for_work(self):
+        platform = phone_platform()
+        before = platform.battery.remaining_j
+        platform.run_security_workload(BulkWorkload(kilobytes=100))
+        assert platform.battery.remaining_j < before
+
+    def test_radio_charges_battery(self):
+        platform = sensor_node_platform()
+        before = platform.battery.remaining_j
+        platform.transmit(1.0)
+        platform.receive(1.0)
+        drained_mj = (before - platform.battery.remaining_j) * 1000.0
+        assert drained_mj == pytest.approx(35.8)
+
+    def test_dead_battery_stops_work(self):
+        platform = phone_platform()
+        platform.battery = Battery(capacity_j=0.0001)
+        platform.__post_init__()
+        with pytest.raises(BatteryEmpty):
+            platform.run_security_workload(
+                BulkWorkload(kilobytes=10_000.0))
+
+    def test_sustainable_rate(self):
+        platform = pda_platform()
+        rate = platform.sustainable_data_rate_mbps(521.04)
+        # 235 MIPS / 521.04 instr/byte ~ 3.6 Mbps: the SA-1100 cannot
+        # do 10 Mbps of 3DES+SHA in software (the Figure 3 gap).
+        assert rate < 10.0
+        assert rate == pytest.approx(235e6 / 521.04 * 8 / 1e6, rel=0.01)
+
+    def test_accounting_accumulates(self):
+        platform = phone_platform()
+        platform.run_security_workload(BulkWorkload(kilobytes=1))
+        platform.transmit(1.0)
+        assert platform.energy_spent_mj > 0
+        assert platform.time_spent_s > 0

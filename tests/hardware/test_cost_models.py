@@ -1,0 +1,221 @@
+"""Cycle/energy cost models: the paper-anchored calibration points."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.battery import Battery, BatteryEmpty, battery_capacity_trend
+from repro.hardware.cycles import (
+    BULK_IPB,
+    bulk_ipb,
+    bulk_mips_demand,
+    handshake_cost,
+    handshake_mips_demand,
+    modmult_instructions,
+    rsa_private_instructions,
+    rsa_public_instructions,
+    total_mips_demand,
+)
+from repro.hardware.energy import (
+    RSA_SECURITY_OVERHEAD_MJ_PER_KB,
+    RX_MJ_PER_KB,
+    TX_MJ_PER_KB,
+    EnergyModel,
+)
+from repro.hardware.processors import (
+    ARM7,
+    CATALOG,
+    DRAGONBALL,
+    PENTIUM4,
+    STRONGARM_SA1100,
+    embedded_catalog,
+)
+from repro.hardware.radio import BEARERS, SENSOR_RADIO
+
+
+class TestPaperAnchors:
+    """Every number the paper states must fall out of the model."""
+
+    def test_651_mips_anchor(self):
+        """§3.2: 3DES + SHA at 10 Mbps ~ 651.3 MIPS."""
+        assert bulk_mips_demand(10.0, "3DES", "SHA1") == pytest.approx(
+            651.3, abs=0.05)
+
+    def test_sa1100_handshake_feasibility(self):
+        """§3.2: 235 MIPS sustains 0.5 s and 1 s setups, not 0.1 s."""
+        assert handshake_mips_demand(1.0) <= STRONGARM_SA1100.mips
+        assert handshake_mips_demand(0.5) <= STRONGARM_SA1100.mips
+        assert handshake_mips_demand(0.1) > STRONGARM_SA1100.mips
+
+    def test_processor_mips_ratings(self):
+        """§3.2's published MIPS ratings."""
+        assert PENTIUM4.mips == 2890.0
+        assert STRONGARM_SA1100.mips == 235.0
+        assert DRAGONBALL.mips == 2.7
+        assert 15.0 <= ARM7.mips <= 20.0
+
+    def test_energy_constants(self):
+        """§3.3 / [36]: 21.5, 14.3, 42 mJ/KB."""
+        assert TX_MJ_PER_KB == 21.5
+        assert RX_MJ_PER_KB == 14.3
+        assert RSA_SECURITY_OVERHEAD_MJ_PER_KB == 42.0
+
+    def test_sensor_radio_rate(self):
+        assert SENSOR_RADIO.data_rate_kbps == 10.0
+
+
+class TestCycleModel:
+    def test_demand_linear_in_rate(self):
+        assert bulk_mips_demand(20.0) == pytest.approx(
+            2 * bulk_mips_demand(10.0))
+
+    def test_cipher_ordering(self):
+        """RC4 < AES < DES < 3DES instructions/byte, per the era's code."""
+        assert BULK_IPB["RC4"] < BULK_IPB["AES"] < BULK_IPB["DES"] \
+            < BULK_IPB["3DES"]
+
+    def test_3des_is_triple_des(self):
+        assert BULK_IPB["3DES"] == 3 * BULK_IPB["DES"]
+
+    def test_record_overhead_toggle(self):
+        assert bulk_ipb("3DES", "SHA1", record_overhead=True) > \
+            bulk_ipb("3DES", "SHA1", record_overhead=False)
+
+    def test_modmult_quadratic(self):
+        assert modmult_instructions(2048) == pytest.approx(
+            4 * modmult_instructions(1024))
+
+    def test_rsa_private_cubic(self):
+        assert rsa_private_instructions(2048) == pytest.approx(
+            8 * rsa_private_instructions(1024))
+
+    def test_crt_quarters_cost(self):
+        assert rsa_private_instructions(1024, use_crt=True) == \
+            pytest.approx(rsa_private_instructions(1024) / 4)
+
+    def test_public_far_cheaper_than_private(self):
+        assert rsa_public_instructions(1024) < \
+            rsa_private_instructions(1024) / 20
+
+    def test_handshake_breakdown(self):
+        cost = handshake_cost(1024)
+        assert cost.total_mi == pytest.approx(
+            cost.private_mi + cost.public_mi + cost.protocol_mi)
+        assert cost.private_mi > cost.public_mi  # private op dominates
+
+    def test_handshake_without_mutual_auth_cheaper(self):
+        assert handshake_cost(1024, mutual_auth=False).total_mi < \
+            handshake_cost(1024, mutual_auth=True).total_mi
+
+    def test_total_demand_composition(self):
+        assert total_mips_demand(10.0, 0.5) == pytest.approx(
+            bulk_mips_demand(10.0) + handshake_mips_demand(0.5))
+
+    def test_latency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            handshake_mips_demand(0.0)
+
+
+class TestProcessors:
+    def test_catalog_complete(self):
+        assert len(CATALOG) == 5
+
+    def test_embedded_catalog_sorted(self):
+        mips = [p.mips for p in embedded_catalog()]
+        assert mips == sorted(mips)
+        assert all(p.klass != "desktop" for p in embedded_catalog())
+
+    def test_energy_per_instruction(self):
+        # mW / MIPS = nJ per instruction.
+        assert STRONGARM_SA1100.energy_per_instruction_nj == pytest.approx(
+            400.0 / 235.0)
+
+    def test_timing_helpers(self):
+        assert STRONGARM_SA1100.seconds_for(235.0) == pytest.approx(1.0)
+        assert STRONGARM_SA1100.energy_for_mj(1.0) > 0
+
+
+class TestEnergyModel:
+    def test_figure4_transaction_energy(self):
+        model = EnergyModel()
+        assert model.transaction_mj(1.0, secure=False) == pytest.approx(35.8)
+        assert model.transaction_mj(1.0, secure=True) == pytest.approx(77.8)
+
+    def test_security_overhead_scales(self):
+        model = EnergyModel()
+        assert model.security_mj(2.5) == pytest.approx(105.0)
+
+    def test_derived_bulk_energy_positive_and_ordered(self):
+        model = EnergyModel()
+        assert 0 < model.bulk_crypto_mj("RC4", 1.0) < \
+            model.bulk_crypto_mj("3DES", 1.0)
+
+    def test_derived_rsa_energy_crt_cheaper(self):
+        model = EnergyModel()
+        assert model.rsa_private_mj(1024, use_crt=True) < \
+            model.rsa_private_mj(1024)
+
+
+class TestBattery:
+    def test_drain_and_remaining(self):
+        battery = Battery(capacity_j=1.0)
+        battery.drain_mj(400.0)
+        assert battery.fraction_remaining == pytest.approx(0.6)
+
+    def test_empty_raises(self):
+        battery = Battery(capacity_j=0.001)
+        with pytest.raises(BatteryEmpty):
+            battery.drain_mj(2.0)
+
+    def test_negative_drain_rejected(self):
+        with pytest.raises(ValueError):
+            Battery().drain_mj(-1.0)
+
+    def test_can_supply(self):
+        battery = Battery(capacity_j=0.01)
+        assert battery.can_supply_mj(10.0)
+        assert not battery.can_supply_mj(10.1)
+
+    def test_recharge(self):
+        battery = Battery(capacity_j=1.0)
+        battery.drain_mj(500.0)
+        battery.recharge()
+        assert battery.fraction_remaining == 1.0
+
+    def test_capacity_trend_bounds(self):
+        """§3.3: 5-8 %/yr growth band."""
+        low = battery_capacity_trend(100.0, 10, 0.05)
+        high = battery_capacity_trend(100.0, 10, 0.08)
+        assert low[-1] == pytest.approx(100.0 * 1.05 ** 10)
+        assert high[-1] > low[-1]
+        assert len(low) == 11
+
+    def test_growth_validation(self):
+        with pytest.raises(ValueError):
+            battery_capacity_trend(100.0, 5, 1.5)
+
+
+class TestRadios:
+    def test_bearer_catalog(self):
+        assert "GSM/GPRS (40 Kbps)" in BEARERS
+        assert len(BEARERS) == 5
+
+    def test_faster_radios_cheaper_per_byte(self):
+        rates = sorted(BEARERS.values(), key=lambda r: r.data_rate_kbps)
+        energies = [r.tx_mj_per_kb for r in rates]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_tx_time(self):
+        assert SENSOR_RADIO.tx_time_s(1.0) == pytest.approx(0.8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rate=st.floats(min_value=0.001, max_value=100.0),
+       latency=st.floats(min_value=0.01, max_value=10.0))
+def test_demand_monotonicity(rate, latency):
+    """Demand increases with rate and decreases with allowed latency."""
+    base = total_mips_demand(rate, latency)
+    assert total_mips_demand(rate * 2, latency) > base
+    assert total_mips_demand(rate, latency * 2) < base

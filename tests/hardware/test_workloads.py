@@ -1,0 +1,68 @@
+"""Workload descriptors: instruction accounting identities."""
+
+import pytest
+
+from repro.hardware.cycles import (
+    PACKET_OVERHEAD_INSTR,
+    bulk_ipb,
+    handshake_cost,
+)
+from repro.hardware.workloads import (
+    BulkWorkload,
+    HandshakeWorkload,
+    SessionWorkload,
+)
+
+
+class TestBulkWorkload:
+    def test_crypto_instructions_scale_with_payload(self):
+        small = BulkWorkload(kilobytes=1.0)
+        large = BulkWorkload(kilobytes=10.0)
+        assert large.crypto_instructions == pytest.approx(
+            10 * small.crypto_instructions)
+
+    def test_protocol_instructions_scale_with_packets(self):
+        assert BulkWorkload(packets=7).protocol_instructions == \
+            7 * PACKET_OVERHEAD_INSTR
+
+    def test_total_is_sum(self):
+        workload = BulkWorkload(kilobytes=3.0, packets=4)
+        assert workload.total_instructions == pytest.approx(
+            workload.crypto_instructions + workload.protocol_instructions)
+
+    def test_crypto_matches_ipb_table(self):
+        workload = BulkWorkload(cipher="RC4", mac="MD5", kilobytes=2.0)
+        assert workload.crypto_instructions == pytest.approx(
+            bulk_ipb("RC4", "MD5", record_overhead=False) * 2048.0)
+
+    def test_null_cipher_costs_only_mac(self):
+        null = BulkWorkload(cipher="NULL", mac="SHA1", kilobytes=1.0,
+                            packets=0)
+        sha_only = bulk_ipb("NULL", "SHA1", record_overhead=False) * 1024.0
+        assert null.total_instructions == pytest.approx(sha_only)
+
+
+class TestHandshakeWorkload:
+    def test_count_scales(self):
+        one = HandshakeWorkload(count=1)
+        five = HandshakeWorkload(count=5)
+        assert five.total_instructions == pytest.approx(
+            5 * one.total_instructions)
+
+    def test_matches_cost_model(self):
+        workload = HandshakeWorkload(rsa_bits=1024, use_crt=True)
+        assert workload.total_instructions == pytest.approx(
+            handshake_cost(1024, use_crt=True).total_mi * 1e6)
+
+
+class TestSessionWorkload:
+    def test_composition(self):
+        session = SessionWorkload(
+            handshake=HandshakeWorkload(count=2),
+            bulk=BulkWorkload(kilobytes=5.0, packets=3))
+        assert session.total_instructions == pytest.approx(
+            session.handshake.total_instructions
+            + session.bulk.total_instructions)
+
+    def test_defaults_nontrivial(self):
+        assert SessionWorkload().total_instructions > 1e6

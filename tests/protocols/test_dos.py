@@ -1,0 +1,81 @@
+"""Stateless-cookie DoS protection for connection setup."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicDRBG
+from repro.protocols.dos import (
+    CookieProtectedResponder,
+    flood_experiment,
+)
+
+
+@pytest.fixture()
+def responder():
+    return CookieProtectedResponder(rng=DeterministicDRBG("dos-test"))
+
+
+class TestCookieGate:
+    def test_legitimate_round_trip(self, responder):
+        cookie = responder.first_contact("192.168.1.2", b"nonce-01")
+        assert cookie is not None
+        assert responder.second_contact("192.168.1.2", b"nonce-01", cookie)
+        assert responder.handshakes_started == 1
+
+    def test_forged_cookie_rejected(self, responder):
+        responder.first_contact("192.168.1.2", b"nonce-01")
+        assert not responder.second_contact(
+            "192.168.1.2", b"nonce-01", bytes(16))
+        assert responder.handshakes_started == 0
+        assert responder.cookies_rejected == 1
+
+    def test_cookie_bound_to_address(self, responder):
+        """A cookie issued to one address fails from another (source
+        spoofing cannot harvest cookies for later use)."""
+        cookie = responder.first_contact("192.168.1.2", b"nonce-01")
+        assert not responder.second_contact(
+            "10.9.9.9", b"nonce-01", cookie)
+
+    def test_cookie_bound_to_nonce(self, responder):
+        cookie = responder.first_contact("192.168.1.2", b"nonce-01")
+        assert not responder.second_contact(
+            "192.168.1.2", b"nonce-02", cookie)
+
+    def test_secret_rotation_expires_cookies(self, responder):
+        cookie = responder.first_contact("192.168.1.2", b"nonce-01")
+        responder.rotate_secret()
+        assert not responder.second_contact(
+            "192.168.1.2", b"nonce-01", cookie)
+
+    def test_first_contact_is_stateless_and_cheap(self, responder):
+        for index in range(100):
+            responder.first_contact(f"10.0.0.{index}", b"n")
+        # 100 cookies cost ~0.2 MI total; no handshake state committed.
+        assert responder.handshakes_started == 0
+        assert responder.work_spent_mi < 1.0
+
+
+class TestFloodExperiment:
+    def test_naive_responder_melts(self):
+        report = flood_experiment(flood_size=1000, require_cookies=False)
+        assert report.handshakes_started == 1005  # every spoof costs RSA
+        # >4 minutes of SA-1100 time burned by one blind second of UDP.
+        assert report.seconds_on_sa1100 > 240.0
+
+    def test_protected_responder_survives(self):
+        report = flood_experiment(flood_size=1000, require_cookies=True)
+        assert report.handshakes_started == 5  # only real clients
+        assert report.legitimate_clients_served == 5
+        assert report.seconds_on_sa1100 < 2.0
+
+    def test_amplification_factor(self):
+        """The cookie gate cuts the flood's work amplification by
+        orders of magnitude — §2's DoS-prevention function quantified."""
+        naive = flood_experiment(flood_size=500, require_cookies=False)
+        protected = flood_experiment(flood_size=500, require_cookies=True)
+        assert naive.work_spent_mi > 100 * protected.work_spent_mi
+
+    def test_legitimate_clients_served_in_both_modes(self):
+        for require_cookies in (False, True):
+            report = flood_experiment(flood_size=50,
+                                      require_cookies=require_cookies)
+            assert report.legitimate_clients_served == 5

@@ -1,0 +1,54 @@
+"""The KEA key-exchange suite in the mini-TLS handshake (§3.1)."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicDRBG
+from repro.protocols.alerts import HandshakeFailure
+from repro.protocols.ciphersuites import KEA_WITH_3DES_SHA
+from repro.protocols.handshake import ClientConfig, ServerConfig
+from repro.protocols.tls import connect
+from repro.protocols.transport import DuplexChannel
+
+
+def _configs(ca, server_credentials, seed="kea"):
+    key, cert = server_credentials
+    client = ClientConfig(rng=DeterministicDRBG(seed + "-c"), ca=ca,
+                          suites=[KEA_WITH_3DES_SHA])
+    server = ServerConfig(rng=DeterministicDRBG(seed + "-s"),
+                          certificate=cert, private_key=key)
+    return client, server
+
+
+class TestKEASuite:
+    def test_handshake_and_data(self, ca, server_credentials):
+        conn_c, conn_s = connect(*_configs(ca, server_credentials))
+        assert conn_c.suite_name == "KEA_WITH_3DES_EDE_CBC_SHA"
+        conn_c.send(b"kea protected")
+        assert conn_s.receive() == b"kea protected"
+
+    def test_masters_agree(self, ca, server_credentials):
+        conn_c, conn_s = connect(*_configs(ca, server_credentials))
+        assert conn_c.session.master == conn_s.session.master
+
+    def test_fresh_keys_per_run(self, ca, server_credentials):
+        first, _ = connect(*_configs(ca, server_credentials, "r1"))
+        second, _ = connect(*_configs(ca, server_credentials, "r2"))
+        assert first.session.master != second.session.master
+
+    def test_parameter_tamper_detected(self, ca, server_credentials):
+        """Rewriting the KEA server parameters breaks the RSA signature
+        over them."""
+        state = {"done": False}
+
+        def tamper(frame, direction):
+            if direction == "b->a" and frame[:1] == b"\x02" \
+                    and not state["done"]:
+                state["done"] = True
+                mutated = bytearray(frame)
+                mutated[-60] ^= 0x01  # inside the key-exchange payload
+                return bytes(mutated)
+            return frame
+
+        channel = DuplexChannel(interceptor=tamper)
+        with pytest.raises((HandshakeFailure, Exception)):
+            connect(*_configs(ca, server_credentials, "t"), channel)

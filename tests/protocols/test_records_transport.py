@@ -1,0 +1,178 @@
+"""Record layer and in-memory transport."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.alerts import BadRecordMAC, DecodeError
+from repro.protocols.ciphersuites import (
+    NULL_WITH_SHA,
+    RSA_WITH_3DES_SHA,
+    RSA_WITH_AES_SHA,
+    RSA_WITH_RC4_MD5,
+)
+from repro.protocols.kdf import KeyBlock
+from repro.protocols.records import (
+    CONTENT_APPLICATION,
+    RecordDecoder,
+    RecordEncoder,
+    make_record_pair,
+)
+from repro.protocols.transport import ChannelClosed, DuplexChannel
+
+
+def _key_block(suite):
+    def material(tag, count):
+        return bytes((tag + i) % 256 for i in range(count))
+
+    return KeyBlock(
+        client_mac_key=material(1, suite.mac_key_bytes),
+        server_mac_key=material(2, suite.mac_key_bytes),
+        client_cipher_key=material(3, suite.cipher_key_bytes),
+        server_cipher_key=material(4, suite.cipher_key_bytes),
+        client_iv=material(5, suite.iv_bytes),
+        server_iv=material(6, suite.iv_bytes),
+    )
+
+
+@pytest.fixture(params=[RSA_WITH_3DES_SHA, RSA_WITH_RC4_MD5,
+                        RSA_WITH_AES_SHA, NULL_WITH_SHA],
+                ids=lambda s: s.name)
+def record_pair(request):
+    suite = request.param
+    keys = _key_block(suite)
+    client_enc, client_dec = make_record_pair(suite, keys, is_client=True)
+    server_enc, server_dec = make_record_pair(suite, keys, is_client=False)
+    return client_enc, server_dec, server_enc, client_dec
+
+
+class TestRecordLayer:
+    def test_roundtrip(self, record_pair):
+        client_enc, server_dec, _, _ = record_pair
+        record = client_enc.encode(CONTENT_APPLICATION, b"hello world")
+        content_type, payload = server_dec.decode(record)
+        assert content_type == CONTENT_APPLICATION
+        assert payload == b"hello world"
+
+    def test_bidirectional(self, record_pair):
+        client_enc, server_dec, server_enc, client_dec = record_pair
+        assert server_dec.decode(
+            client_enc.encode(CONTENT_APPLICATION, b"up"))[1] == b"up"
+        assert client_dec.decode(
+            server_enc.encode(CONTENT_APPLICATION, b"down"))[1] == b"down"
+
+    def test_sequence_of_records(self, record_pair):
+        client_enc, server_dec, _, _ = record_pair
+        for index in range(10):
+            message = f"record {index}".encode()
+            assert server_dec.decode(
+                client_enc.encode(CONTENT_APPLICATION, message))[1] == message
+
+    def test_tamper_detected(self, record_pair):
+        client_enc, server_dec, _, _ = record_pair
+        record = bytearray(
+            client_enc.encode(CONTENT_APPLICATION, b"important data"))
+        record[-1] ^= 0x01
+        with pytest.raises(BadRecordMAC):
+            server_dec.decode(bytes(record))
+
+    def test_reorder_detected(self, record_pair):
+        client_enc, server_dec, _, _ = record_pair
+        client_enc.encode(CONTENT_APPLICATION, b"one")  # frame 0, lost
+        second = client_enc.encode(CONTENT_APPLICATION, b"two")
+        # Delivering frame 1 while the decoder expects frame 0 must fail:
+        # the implicit sequence number is part of the MAC input.
+        with pytest.raises(BadRecordMAC):
+            server_dec.decode(second)
+
+    def test_replay_detected(self, record_pair):
+        client_enc, server_dec, _, _ = record_pair
+        record = client_enc.encode(CONTENT_APPLICATION, b"pay 10")
+        server_dec.decode(record)
+        with pytest.raises(BadRecordMAC):
+            server_dec.decode(record)
+
+    def test_truncated_record(self, record_pair):
+        client_enc, server_dec, _, _ = record_pair
+        record = client_enc.encode(CONTENT_APPLICATION, b"data")
+        with pytest.raises(DecodeError):
+            server_dec.decode(record[:-2])
+
+    def test_header_too_short(self, record_pair):
+        _, server_dec, _, _ = record_pair
+        with pytest.raises(DecodeError):
+            server_dec.decode(b"\x17")
+
+    def test_direction_keys_differ(self):
+        # Client-written records must not decode on the client's decoder.
+        suite = RSA_WITH_3DES_SHA
+        keys = _key_block(suite)
+        client_enc, client_dec = make_record_pair(suite, keys, is_client=True)
+        record = client_enc.encode(CONTENT_APPLICATION, b"loopback?")
+        with pytest.raises(BadRecordMAC):
+            client_dec.decode(record)
+
+    def test_ciphertext_hides_plaintext(self):
+        suite = RSA_WITH_3DES_SHA
+        keys = _key_block(suite)
+        encoder = RecordEncoder(
+            suite, keys.client_cipher_key, keys.client_mac_key,
+            keys.client_iv)
+        record = encoder.encode(CONTENT_APPLICATION, b"SECRETSECRET")
+        assert b"SECRETSECRET" not in record
+
+
+@settings(max_examples=25, deadline=None)
+@given(payload=st.binary(max_size=400))
+def test_record_roundtrip_property(payload):
+    suite = RSA_WITH_AES_SHA
+    keys = _key_block(suite)
+    encoder, _ = make_record_pair(suite, keys, is_client=True)
+    _, decoder = make_record_pair(suite, keys, is_client=False)
+    assert decoder.decode(
+        encoder.encode(CONTENT_APPLICATION, payload))[1] == payload
+
+
+class TestTransport:
+    def test_fifo_delivery(self):
+        channel = DuplexChannel()
+        a, b = channel.endpoint_a(), channel.endpoint_b()
+        a.send(b"1")
+        a.send(b"2")
+        assert b.receive() == b"1"
+        assert b.receive() == b"2"
+
+    def test_bidirectional(self):
+        channel = DuplexChannel()
+        a, b = channel.endpoint_a(), channel.endpoint_b()
+        a.send(b"ping")
+        b.send(b"pong")
+        assert b.receive() == b"ping"
+        assert a.receive() == b"pong"
+
+    def test_empty_read_raises(self):
+        channel = DuplexChannel()
+        with pytest.raises(ChannelClosed):
+            channel.endpoint_a().receive()
+
+    def test_interceptor_modifies(self):
+        channel = DuplexChannel(
+            interceptor=lambda frame, direction: frame.upper())
+        a, b = channel.endpoint_a(), channel.endpoint_b()
+        a.send(b"quiet")
+        assert b.receive() == b"QUIET"
+
+    def test_interceptor_drops(self):
+        channel = DuplexChannel(interceptor=lambda frame, direction: None)
+        a, b = channel.endpoint_a(), channel.endpoint_b()
+        a.send(b"gone")
+        assert b.pending() == 0
+        assert channel.dropped == 1
+
+    def test_log_captures_all(self):
+        channel = DuplexChannel()
+        a, b = channel.endpoint_a(), channel.endpoint_b()
+        a.send(b"x")
+        b.send(b"y")
+        assert [(d, f) for d, f in channel.log] == [
+            ("a->b", b"x"), ("b->a", b"y")]

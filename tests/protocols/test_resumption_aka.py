@@ -1,0 +1,167 @@
+"""Session resumption and 3GPP AKA."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicDRBG
+from repro.protocols.aka import (
+    SQN_WINDOW,
+    AKAChallenge,
+    AuthenticationCentre,
+    FalseBaseStation,
+    ServingNetwork3G,
+    USIM,
+    f1_mac,
+    false_base_station_attack,
+)
+from repro.protocols.alerts import HandshakeFailure, ReplayError
+from repro.protocols.handshake import ClientConfig, ServerConfig
+from repro.protocols.resumption import (
+    CachedSession,
+    SessionCache,
+    cache_session,
+    resume,
+)
+from repro.protocols.tls import SecureConnection, connect
+from repro.protocols.transport import DuplexChannel
+
+
+@pytest.fixture()
+def established(ca, server_credentials):
+    key, cert = server_credentials
+    client = ClientConfig(rng=DeterministicDRBG("res-c"), ca=ca)
+    server = ServerConfig(rng=DeterministicDRBG("res-s"),
+                          certificate=cert, private_key=key)
+    conn_c, conn_s = connect(client, server)
+    client_cache, server_cache = SessionCache(), SessionCache()
+    session_id = cache_session(
+        client_cache, conn_c.session, DeterministicDRBG("sid"))
+    server_cache.store(CachedSession(
+        session_id=session_id, suite_name=conn_s.session.suite.name,
+        master=conn_s.session.master))
+    return client, server, client_cache, server_cache, session_id
+
+
+class TestResumption:
+    def test_abbreviated_handshake_carries_data(self, established):
+        client, server, c_cache, s_cache, sid = established
+        cs, ss = resume(client, server, c_cache, s_cache, sid)
+        # Wire the resumed sessions through a fresh channel.
+        channel = DuplexChannel()
+        cs_ep, ss_ep = channel.endpoint_a(), channel.endpoint_b()
+        cs_ep.send(cs.encoder.encode(23, b"resumed data"))
+        _, payload = ss.decoder.decode(ss_ep.receive())
+        assert payload == b"resumed data"
+
+    def test_new_nonces_give_new_keys(self, established):
+        client, server, c_cache, s_cache, sid = established
+        first_c, _ = resume(client, server, c_cache, s_cache, sid)
+        second_c, _ = resume(client, server, c_cache, s_cache, sid)
+        assert first_c.transcript_digest != second_c.transcript_digest
+
+    def test_cache_hit_miss_accounting(self, established):
+        client, server, c_cache, s_cache, sid = established
+        resume(client, server, c_cache, s_cache, sid)
+        assert c_cache.hits >= 1
+        assert s_cache.hits >= 1
+        s_cache.lookup(b"\x00" * 16)
+        assert s_cache.misses >= 1
+
+    def test_server_lost_session_fails(self, established):
+        client, server, c_cache, _, sid = established
+        with pytest.raises(HandshakeFailure):
+            resume(client, server, c_cache, SessionCache(), sid)
+
+    def test_client_lost_session_fails(self, established):
+        client, server, _, s_cache, sid = established
+        with pytest.raises(HandshakeFailure):
+            resume(client, server, SessionCache(), s_cache, sid)
+
+    def test_cache_eviction(self):
+        cache = SessionCache(capacity=2)
+        for i in range(3):
+            cache.store(CachedSession(bytes([i]) * 16, "X", b"m" * 48))
+        assert len(cache) == 2
+        assert cache.lookup(bytes([0]) * 16) is None  # oldest evicted
+
+    def test_resumption_is_cheap_in_the_cost_model(self):
+        from repro.hardware.cycles import handshake_cost
+
+        full = handshake_cost().total_mi
+        resumed = handshake_cost(resumed=True).total_mi
+        assert resumed < full / 50  # the §3.2 gap collapses
+
+    def test_resumed_handshake_meets_tight_latency(self):
+        """Resumption makes the 0.1 s latency target feasible on the
+        SA-1100 — the protocol-level fix for Figure 3's hot corner."""
+        from repro.hardware.cycles import handshake_cost
+        from repro.hardware.processors import STRONGARM_SA1100
+
+        demand = handshake_cost(resumed=True).total_mi / 0.1
+        assert demand <= STRONGARM_SA1100.mips
+
+
+class TestAKA:
+    @pytest.fixture()
+    def network(self):
+        usim = USIM("262-01-0001", bytes(range(16)))
+        auc = AuthenticationCentre(rng=DeterministicDRBG("auc"))
+        auc.provision(usim)
+        return usim, ServingNetwork3G(auc=auc)
+
+    def test_mutual_authentication(self, network):
+        usim, net = network
+        ck, ik = net.attach(usim)
+        assert len(ck) == 16 and len(ik) == 16
+        assert net.sessions[usim.imsi] == (ck, ik)
+
+    def test_fresh_keys_per_attach(self, network):
+        usim, net = network
+        assert net.attach(usim) != net.attach(usim)
+
+    def test_forged_autn_rejected(self, network):
+        usim, _ = network
+        rogue = FalseBaseStation(rng=DeterministicDRBG("rogue"))
+        assert not rogue.fake_aka_challenge(usim)
+        assert usim.rejected_challenges == 1
+
+    def test_replayed_challenge_rejected(self, network):
+        usim, net = network
+        challenge, *_ = net.auc.generate_challenge(usim.imsi)
+        usim.process_challenge(challenge)
+        with pytest.raises(ReplayError):
+            usim.process_challenge(challenge)
+
+    def test_sqn_window(self, network):
+        usim, net = network
+        # A far-future SQN (beyond the window) must be rejected.
+        k = usim.k
+        rand = bytes(16)
+        from repro.protocols.aka import f5_ak
+        from repro.crypto.bitops import xor_bytes
+
+        future_sqn = usim.sqn + SQN_WINDOW + 5
+        challenge = AKAChallenge(
+            rand=rand,
+            sqn_xor_ak=xor_bytes(future_sqn.to_bytes(6, "big"),
+                                 f5_ak(k, rand)),
+            amf=b"\x80\x00",
+            mac_a=f1_mac(k, future_sqn, rand, b"\x80\x00"),
+        )
+        with pytest.raises(ReplayError):
+            usim.process_challenge(challenge)
+
+    def test_generation_gap(self):
+        """The §2 claim, computed: GSM falls to the false base station,
+        AKA does not."""
+        outcome = false_base_station_attack(seed=5)
+        assert outcome == {"gsm_compromised": True,
+                           "aka_compromised": False}
+
+    def test_tampered_amf_rejected(self, network):
+        usim, net = network
+        challenge, *_ = net.auc.generate_challenge(usim.imsi)
+        tampered = AKAChallenge(
+            rand=challenge.rand, sqn_xor_ak=challenge.sqn_xor_ak,
+            amf=b"\x00\x01", mac_a=challenge.mac_a)
+        with pytest.raises(HandshakeFailure):
+            usim.process_challenge(tampered)

@@ -1,0 +1,133 @@
+"""The ISO 7816-style SIM card interface."""
+
+import pytest
+
+from repro.protocols.bearer import SIM
+from repro.protocols.smartcard import (
+    APDU,
+    FILE_ICCID,
+    FILE_IMSI,
+    INS_READ_BINARY,
+    INS_RUN_GSM_ALGORITHM,
+    INS_SELECT_FILE,
+    INS_VERIFY_CHV,
+    SIMCard,
+    SW_BLOCKED,
+    SW_OK,
+    SW_SECURITY_NOT_SATISFIED,
+    SW_WRONG_LENGTH,
+    kiosk_cloning_attack,
+)
+
+
+@pytest.fixture()
+def card():
+    return SIMCard(sim=SIM("262-01-7777", bytes(range(16))), chv1=b"1234")
+
+
+def _verify(card, pin=b"1234"):
+    return card.transmit(APDU(0xA0, INS_VERIFY_CHV, data=pin))
+
+
+class TestPINGate:
+    def test_correct_pin(self, card):
+        assert _verify(card).ok
+        assert card.nvm["chv1_retries"] == 3
+
+    def test_wrong_pin_decrements(self, card):
+        response = _verify(card, b"0000")
+        assert response.sw == 0x63C2  # two retries left
+        assert card.nvm["chv1_retries"] == 2
+
+    def test_three_strikes_blocks(self, card):
+        for _ in range(2):
+            _verify(card, b"9999")
+        assert _verify(card, b"9999").sw == SW_BLOCKED
+        # Even the correct PIN is refused once blocked.
+        assert _verify(card).sw == SW_BLOCKED
+
+    def test_power_cycle_does_not_reset_retries(self, card):
+        """The classic bypass attempt: guess, power-cycle, repeat."""
+        _verify(card, b"9999")
+        card.power_cycle()
+        assert card.nvm["chv1_retries"] == 2  # persisted in NVM
+        _verify(card, b"9999")
+        card.power_cycle()
+        assert _verify(card, b"9999").sw == SW_BLOCKED
+
+    def test_correct_pin_resets_counter(self, card):
+        _verify(card, b"9999")
+        assert _verify(card).ok
+        assert card.nvm["chv1_retries"] == 3
+
+    def test_power_cycle_clears_session_auth(self, card):
+        _verify(card)
+        card.power_cycle()
+        response = card.transmit(
+            APDU(0xA0, INS_RUN_GSM_ALGORITHM, data=bytes(16)))
+        assert response.sw == SW_SECURITY_NOT_SATISFIED
+
+
+class TestFileSystem:
+    def test_iccid_world_readable(self, card):
+        card.transmit(APDU(0xA0, INS_SELECT_FILE,
+                           data=FILE_ICCID.to_bytes(2, "big")))
+        response = card.transmit(APDU(0xA0, INS_READ_BINARY))
+        assert response.ok and response.data == card.iccid
+
+    def test_imsi_requires_chv1(self, card):
+        card.transmit(APDU(0xA0, INS_SELECT_FILE,
+                           data=FILE_IMSI.to_bytes(2, "big")))
+        assert card.transmit(APDU(0xA0, INS_READ_BINARY)).sw == \
+            SW_SECURITY_NOT_SATISFIED
+        _verify(card)
+        response = card.transmit(APDU(0xA0, INS_READ_BINARY))
+        assert response.ok and response.data == b"262-01-7777"
+
+    def test_unknown_file(self, card):
+        response = card.transmit(APDU(0xA0, INS_SELECT_FILE,
+                                      data=(0x1234).to_bytes(2, "big")))
+        assert not response.ok
+
+    def test_unknown_instruction(self, card):
+        assert not card.transmit(APDU(0xA0, 0xEE)).ok
+
+
+class TestRunGSMAlgorithm:
+    def test_produces_sres_and_kc(self, card):
+        _verify(card)
+        response = card.transmit(
+            APDU(0xA0, INS_RUN_GSM_ALGORITHM, data=bytes(16)))
+        assert response.ok
+        assert len(response.data) == 12  # SRES(4) + Kc(8)
+        assert response.data[:4] == card.sim.a3_response(bytes(16))
+
+    def test_challenge_length_enforced(self, card):
+        _verify(card)
+        assert card.transmit(
+            APDU(0xA0, INS_RUN_GSM_ALGORITHM, data=bytes(8))).sw == \
+            SW_WRONG_LENGTH
+
+    def test_gated_behind_chv1(self, card):
+        assert card.transmit(
+            APDU(0xA0, INS_RUN_GSM_ALGORITHM, data=bytes(16))).sw == \
+            SW_SECURITY_NOT_SATISFIED
+
+
+class TestKioskCloning:
+    def test_weak_card_cloned_through_apdus(self):
+        weak = SIMCard(sim=SIM("262-01-0002", bytes(range(16, 32)),
+                               weak_a3=True), chv1=b"1234")
+        recovered = kiosk_cloning_attack(weak, b"1234")
+        assert recovered == weak.sim.ki
+        # The whole attack went through the card interface (CHV verify
+        # + a few dozen chosen RUN-GSM challenges).
+        assert len(weak.apdu_log) > 30
+
+    def test_strong_card_resists(self, card):
+        assert kiosk_cloning_attack(card, b"1234") is None
+
+    def test_wrong_pin_stops_attack(self):
+        weak = SIMCard(sim=SIM("x", bytes(range(16)), weak_a3=True),
+                       chv1=b"1234")
+        assert kiosk_cloning_attack(weak, b"0000") is None

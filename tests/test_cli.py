@@ -1,0 +1,52 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for number in range(1, 7):
+            assert f"Figure {number}" in out
+
+    def test_single_figure(self, capsys):
+        assert main(["figure", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "726256" in out
+        assert "Figure 3" not in out
+
+    def test_figure_range_validated(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9"])
+
+    def test_gap(self, capsys):
+        assert main(["gap"]) == 0
+        out = capsys.readouterr().out
+        assert "StrongARM" in out and "Pentium" in out
+
+    def test_battery(self, capsys):
+        assert main(["battery"]) == 0
+        out = capsys.readouterr().out
+        assert "less than half" in out
+        assert "battery gap projection" in out
+
+    def test_appliance(self, capsys):
+        assert main(["appliance", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "boot: ok" in out
+        assert "unlock: True" in out
+
+    def test_attacks(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "key recovered" in out
+        assert "defeated (masking)" in out
+        assert "modulus factored" in out
+        assert "faulty signature withheld" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,133 @@
+"""Parser robustness: random garbage must fail *cleanly*.
+
+Every wire-format parser in the library is fed arbitrary bytes; the
+contract is that they raise only their declared protocol exceptions
+(never ``IndexError``/``struct.error``-style crashes), because §3.4's
+software attackers control exactly these inputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.secure_storage import (
+    FlashDevice,
+    SecureStorage,
+    StorageTampered,
+)
+from repro.core.keystore import SecureKeyStore
+from repro.crypto.errors import CryptoError
+from repro.crypto.rng import DeterministicDRBG
+from repro.hardware.engine_program import (
+    EngineContext,
+    EngineFault,
+    stock_engine,
+)
+from repro.protocols.alerts import ProtocolAlert
+from repro.protocols.certificates import Certificate
+from repro.protocols.ciphersuites import RSA_WITH_3DES_SHA
+from repro.protocols.ipsec import make_tunnel
+from repro.protocols.messages import (
+    ClientHello,
+    ClientKeyExchange,
+    Finished,
+    ServerHello,
+)
+from repro.protocols.records import RecordDecoder
+from repro.protocols.wep import WEPFrame, WEPStation
+from repro.protocols.wtls import WTLSRecordDecoder
+
+ACCEPTABLE = (ProtocolAlert, CryptoError, StorageTampered, EngineFault,
+              ValueError)
+
+FUZZ = settings(max_examples=80, deadline=None)
+
+
+@FUZZ
+@given(blob=st.binary(max_size=300))
+def test_handshake_message_parsers(blob):
+    for parser in (ClientHello, ServerHello, ClientKeyExchange, Finished):
+        try:
+            parser.from_bytes(blob)
+        except ACCEPTABLE:
+            pass
+
+
+@FUZZ
+@given(blob=st.binary(max_size=300))
+def test_certificate_parser(blob):
+    try:
+        Certificate.from_bytes(blob)
+    except ACCEPTABLE:
+        pass
+
+
+@FUZZ
+@given(blob=st.binary(max_size=200))
+def test_record_decoder(blob):
+    decoder = RecordDecoder(RSA_WITH_3DES_SHA, bytes(24), bytes(20),
+                            bytes(8))
+    try:
+        decoder.decode(blob)
+    except ACCEPTABLE:
+        pass
+
+
+@FUZZ
+@given(blob=st.binary(max_size=200))
+def test_wtls_decoder(blob):
+    decoder = WTLSRecordDecoder(RSA_WITH_3DES_SHA, bytes(24), bytes(20),
+                                bytes(8))
+    try:
+        decoder.decode(blob)
+    except ACCEPTABLE:
+        pass
+
+
+@FUZZ
+@given(blob=st.binary(max_size=200))
+def test_esp_decapsulation(blob):
+    _, receiver = make_tunnel(0xF122, seed=1)
+    try:
+        receiver.decapsulate(blob)
+    except ACCEPTABLE:
+        pass
+
+
+@FUZZ
+@given(blob=st.binary(max_size=200))
+def test_wep_frame_and_decrypt(blob):
+    station = WEPStation(b"abcde")
+    try:
+        frame = WEPFrame.from_bytes(blob)
+        station.decrypt(frame)
+    except ACCEPTABLE:
+        pass
+
+
+@FUZZ
+@given(blob=st.binary(max_size=200))
+def test_engine_decap_programs(blob):
+    engine = stock_engine()
+    for program in ("esp-decap", "wep-decap"):
+        context = EngineContext(
+            packet=blob,
+            keys={"cipher_key": bytes(24), "mac_key": bytes(20)})
+        try:
+            engine.run(program, context)
+        except ACCEPTABLE:
+            pass
+
+
+@FUZZ
+@given(blob=st.binary(max_size=200), name=st.text(min_size=1, max_size=10))
+def test_sealed_storage_unseal(blob, name):
+    storage = SecureStorage(
+        flash=FlashDevice(), keystore=SecureKeyStore.provision("fuzz"),
+        rng=DeterministicDRBG("fuzz"))
+    storage.store(name, b"original")
+    storage.flash.program(name, blob)
+    try:
+        storage.load(name)
+    except ACCEPTABLE:
+        pass

@@ -1,0 +1,246 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+Each machine drives a security-critical stateful component with random
+operation sequences and checks it against a simple reference model —
+the invariants the §3.4 attack classes try to break: replay windows
+never re-accept, policy gates never leak, usage meters never
+over-grant, energy ledgers never go negative.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.core.drm import (
+    ContentProvider,
+    DRMAgent,
+    RightsViolation,
+    UsageRules,
+)
+from repro.core.keystore import (
+    AccessDenied,
+    KeyPolicy,
+    KeyUsage,
+    SecureKeyStore,
+    World,
+)
+from repro.crypto.rng import DeterministicDRBG
+from repro.crypto.rsa import generate_keypair
+from repro.hardware.battery import Battery, BatteryEmpty
+from repro.protocols.alerts import BadRecordMAC, DecodeError, ReplayError
+from repro.protocols.ipsec import make_tunnel
+from repro.protocols.resumption import CachedSession, SessionCache
+
+
+class ESPReplayMachine(RuleBasedStateMachine):
+    """The ESP anti-replay window against a perfect-memory model.
+
+    Sent packets go into a pool; delivery happens in arbitrary order.
+    The window may legitimately reject *old* packets the model would
+    still accept (finite window), but it must NEVER accept a packet
+    twice — the security invariant.
+    """
+
+    packets = Bundle("packets")
+
+    def __init__(self):
+        super().__init__()
+        self.sender, self.receiver = make_tunnel(0x5151, seed=77)
+        self.delivered = set()
+
+    @rule(target=packets)
+    def send(self):
+        packet = self.sender.encapsulate(b"payload")
+        return (self.sender.sequence, packet)
+
+    @rule(item=packets)
+    def deliver(self, item):
+        sequence, packet = item
+        try:
+            got_sequence, _ = self.receiver.decapsulate(packet)
+        except ReplayError:
+            return  # rejection is always safe
+        except (BadRecordMAC, DecodeError):
+            pytest.fail("valid packet failed integrity checks")
+        assert got_sequence == sequence
+        assert sequence not in self.delivered, \
+            "replay window accepted a duplicate!"
+        self.delivered.add(sequence)
+
+    @rule(item=packets)
+    def replay_immediately(self, item):
+        _, packet = item
+        try:
+            self.receiver.decapsulate(packet)
+        except ReplayError:
+            pass
+        try:
+            self.receiver.decapsulate(packet)
+        except ReplayError:
+            return
+        pytest.fail("immediate replay accepted")
+
+
+class KeyStoreMachine(RuleBasedStateMachine):
+    """Key-store policy enforcement against a dict model."""
+
+    names = Bundle("names")
+
+    _RSA = generate_keypair(384, DeterministicDRBG("stateful-rsa"))
+
+    def __init__(self):
+        super().__init__()
+        self.store = SecureKeyStore.provision("stateful-device")
+        self.model = {}
+        self.counter = 0
+
+    @rule(target=names,
+          secure_only=st.booleans(),
+          usages=st.sets(st.sampled_from(
+              [KeyUsage.SIGN, KeyUsage.DECRYPT, KeyUsage.MAC]),
+              min_size=1),
+          symmetric=st.booleans())
+    def install(self, secure_only, usages, symmetric):
+        self.counter += 1
+        name = f"key-{self.counter}"
+        material = bytes(range(16)) if symmetric else self._RSA
+        policy = KeyPolicy(usages=frozenset(usages),
+                           secure_world_only=secure_only)
+        self.store.install(name, material, policy)
+        self.model[name] = (policy, symmetric)
+        return name
+
+    @rule(name=names, world=st.sampled_from([World.NORMAL, World.SECURE]),
+          usage=st.sampled_from([KeyUsage.SIGN, KeyUsage.MAC]))
+    def attempt(self, name, world, usage):
+        policy, symmetric = self.model[name]
+        should_pass_policy = (
+            (not policy.secure_world_only or world is World.SECURE)
+            and usage in policy.usages
+        )
+        type_ok = (usage is KeyUsage.MAC) == symmetric
+        operation = self.store.mac if usage is KeyUsage.MAC else \
+            self.store.sign
+        try:
+            operation(name, b"data", world)
+            assert should_pass_policy and type_ok, \
+                "operation succeeded against policy!"
+        except AccessDenied:
+            assert not (should_pass_policy and type_ok), \
+                "operation denied although policy allows it"
+
+    @rule(world=st.sampled_from([World.NORMAL, World.SECURE]))
+    def unknown_key_always_denied(self, world):
+        with pytest.raises(AccessDenied):
+            self.store.sign("never-installed", b"x", world)
+
+
+class DRMMeterMachine(RuleBasedStateMachine):
+    """Play-count metering never over-grants."""
+
+    def __init__(self):
+        super().__init__()
+        provider_key = generate_keypair(384, DeterministicDRBG("sf-prov"))
+        self.provider = ContentProvider(
+            signing_key=provider_key, rng=DeterministicDRBG("sf-rng"))
+        device_key = generate_keypair(384, DeterministicDRBG("sf-dev"))
+        keystore = SecureKeyStore.provision("sf-drm")
+        DRMAgent.provision_device_key(keystore, device_key)
+        self.agent = DRMAgent(device_id="sf-handset", keystore=keystore,
+                              provider_public=provider_key.public)
+        self.content = self.provider.package("item", b"CONTENT " * 16)
+        self.license = self.provider.issue_license(
+            "item", "sf-handset", device_key.public,
+            UsageRules(max_plays=5))
+        self.model_plays = 0
+
+    @rule()
+    def play(self):
+        try:
+            self.agent.play(self.content, self.license)
+            self.model_plays += 1
+            assert self.model_plays <= 5, "meter over-granted!"
+        except RightsViolation:
+            assert self.model_plays >= 5, "meter under-granted"
+
+    @invariant()
+    def remaining_consistent(self):
+        remaining = self.agent.plays_remaining(self.license)
+        assert remaining == 5 - self.model_plays
+
+
+class BatteryLedgerMachine(RuleBasedStateMachine):
+    """The energy ledger: conservation and non-negativity."""
+
+    def __init__(self):
+        super().__init__()
+        self.battery = Battery(capacity_j=1.0)
+        self.model_remaining_mj = 1000.0
+
+    @rule(amount=st.floats(min_value=0.0, max_value=400.0,
+                           allow_nan=False))
+    def drain(self, amount):
+        try:
+            self.battery.drain_mj(amount)
+            self.model_remaining_mj -= amount
+        except BatteryEmpty:
+            assert amount > self.model_remaining_mj + 1e-6
+
+    @rule()
+    def recharge(self):
+        self.battery.recharge()
+        self.model_remaining_mj = 1000.0
+
+    @invariant()
+    def ledger_matches_model(self):
+        assert self.battery.remaining_j * 1000.0 == pytest.approx(
+            self.model_remaining_mj, abs=1e-6)
+        assert self.battery.remaining_j >= 0.0
+
+
+class SessionCacheMachine(RuleBasedStateMachine):
+    """The resumption cache never exceeds capacity and FIFO-evicts."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = SessionCache(capacity=4)
+        self.counter = 0
+        self.inserted = []
+
+    @rule()
+    def store(self):
+        self.counter += 1
+        session_id = self.counter.to_bytes(16, "big")
+        self.cache.store(CachedSession(session_id, "S", b"m" * 48))
+        self.inserted.append(session_id)
+
+    @rule()
+    def lookup_recent(self):
+        if self.inserted:
+            assert self.cache.lookup(self.inserted[-1]) is not None
+
+    @invariant()
+    def bounded(self):
+        assert len(self.cache) <= 4
+
+
+_settings = settings(max_examples=25, stateful_step_count=30,
+                     deadline=None)
+
+TestESPReplay = ESPReplayMachine.TestCase
+TestESPReplay.settings = _settings
+TestKeyStore = KeyStoreMachine.TestCase
+TestKeyStore.settings = _settings
+TestDRMMeter = DRMMeterMachine.TestCase
+TestDRMMeter.settings = settings(max_examples=10, stateful_step_count=15,
+                                 deadline=None)
+TestBatteryLedger = BatteryLedgerMachine.TestCase
+TestBatteryLedger.settings = _settings
+TestSessionCache = SessionCacheMachine.TestCase
+TestSessionCache.settings = _settings
