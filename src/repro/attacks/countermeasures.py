@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..crypto.errors import ParameterError
 from ..crypto.modmath import (
     OperationTimer,
     invmod,
@@ -60,7 +61,7 @@ class BlindedRSA:
             r = self._rng.randrange(2, n - 1)
             try:
                 r_inv = invmod(r, n)
-            except Exception:
+            except ParameterError:
                 continue  # gcd(r, n) != 1: astronomically rare, retry
             break
         blinded = (ciphertext * modexp(r, e, n)) % n

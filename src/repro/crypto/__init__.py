@@ -9,6 +9,7 @@ instrumentation (:mod:`repro.crypto.trace`,
 physical measurement bench.
 """
 
+from . import fastpath
 from .aes import AES
 from .des import DES
 from .dh import DHGroup, DHParty
@@ -38,6 +39,7 @@ from .tdes import TripleDES
 from .trace import TraceRecorder, TraceSample
 
 __all__ = [
+    "fastpath",
     "AES", "DES", "TripleDES", "RC2", "RC4", "MD5", "SHA1", "HMAC",
     "md5", "sha1", "hmac", "hmac_verify",
     "ECB", "CBC", "CTR",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from . import fastpath
 from .errors import InvalidBlockSize, InvalidKeyLength
 from .trace import TraceRecorder
 
@@ -137,6 +138,10 @@ class AES:
         self._round_keys = key_expansion(key)
         self._rounds = len(self._round_keys) - 1
         self.recorder = recorder
+        # Fast-path key schedules, derived lazily and cached so repeated
+        # block calls under one mode/record-layer instance never re-expand.
+        self._fast_enc: Optional[List[int]] = None
+        self._fast_dec: Optional[List[int]] = None
 
     # -- encryption ---------------------------------------------------------
 
@@ -144,6 +149,10 @@ class AES:
         """Encrypt one 16-byte block."""
         if len(block) != BLOCK_SIZE:
             raise InvalidBlockSize("AES", len(block), BLOCK_SIZE)
+        if self.recorder is None and fastpath.enabled():
+            if self._fast_enc is None:
+                self._fast_enc = [w for rk in self._round_keys for w in rk]
+            return fastpath.aes_encrypt_block(block, self._fast_enc, self._rounds)
         state = _state_from_bytes(block)
         _add_round_key(state, self._round_keys[0])
         for rnd in range(1, self._rounds):
@@ -164,6 +173,10 @@ class AES:
         """Decrypt one 16-byte block."""
         if len(block) != BLOCK_SIZE:
             raise InvalidBlockSize("AES", len(block), BLOCK_SIZE)
+        if self.recorder is None and fastpath.enabled():
+            if self._fast_dec is None:
+                self._fast_dec = fastpath.aes_decrypt_schedule(self._round_keys)
+            return fastpath.aes_decrypt_block(block, self._fast_dec, self._rounds)
         state = _state_from_bytes(block)
         _add_round_key(state, self._round_keys[self._rounds])
         for rnd in range(self._rounds - 1, 0, -1):

@@ -52,10 +52,18 @@ def int_to_bytes(value: int, length: int) -> bytes:
 
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:
-    """XOR two equal-length byte strings."""
-    if len(a) != len(b):
-        raise ValueError(f"xor_bytes: length mismatch ({len(a)} vs {len(b)})")
-    return bytes(x ^ y for x, y in zip(a, b))
+    """XOR two equal-length byte strings.
+
+    Runs as one big-int XOR rather than a per-byte loop — CPython's
+    word-at-a-time arbitrary-precision XOR is the closest software
+    analogue to the wide datapath Section 4.2.1 argues for.
+    """
+    length = len(a)
+    if length != len(b):
+        raise ValueError(f"xor_bytes: length mismatch ({length} vs {len(b)})")
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(
+        length, "big"
+    )
 
 
 def permute_bits(block: int, table: Sequence[int], in_width: int) -> int:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from . import fastpath
 from .bitops import bytes_to_int, int_to_bytes, permute_bits
 from .errors import InvalidBlockSize, InvalidKeyLength
 from .trace import TraceRecorder
@@ -152,6 +153,9 @@ def expand_key(key: bytes) -> List[int]:
     """
     if len(key) != KEY_SIZE:
         raise InvalidKeyLength("DES", len(key), "8")
+    if fastpath.enabled():
+        # Bit-identical table-driven schedule (PC1/PC2 as byte lookups).
+        return fastpath.des_expand_key(key)
     key56 = permute_bits(bytes_to_int(key), _PC1, 64)
     c = (key56 >> 28) & 0x0FFFFFFF
     d = key56 & 0x0FFFFFFF
@@ -213,12 +217,18 @@ class DES:
 
     def __init__(self, key: bytes, recorder: Optional[TraceRecorder] = None) -> None:
         self._round_keys = expand_key(key)
+        # Cache the reversed schedule too, so decryption never rebuilds it.
+        self._round_keys_dec = list(reversed(self._round_keys))
         self.recorder = recorder
 
     def encrypt_block(self, block: bytes) -> bytes:
         """Encrypt one 8-byte block."""
         if len(block) != BLOCK_SIZE:
             raise InvalidBlockSize("DES", len(block), BLOCK_SIZE)
+        if self.recorder is None and fastpath.enabled():
+            return int_to_bytes(
+                fastpath.des_crypt_block(bytes_to_int(block), self._round_keys), 8
+            )
         return int_to_bytes(
             _crypt_block(bytes_to_int(block), self._round_keys, self.recorder), 8
         )
@@ -227,11 +237,12 @@ class DES:
         """Decrypt one 8-byte block."""
         if len(block) != BLOCK_SIZE:
             raise InvalidBlockSize("DES", len(block), BLOCK_SIZE)
+        if self.recorder is None and fastpath.enabled():
+            return int_to_bytes(
+                fastpath.des_crypt_block(bytes_to_int(block), self._round_keys_dec), 8
+            )
         return int_to_bytes(
-            _crypt_block(
-                bytes_to_int(block), list(reversed(self._round_keys)), self.recorder
-            ),
-            8,
+            _crypt_block(bytes_to_int(block), self._round_keys_dec, self.recorder), 8
         )
 
 

@@ -40,8 +40,10 @@ class HMAC:
         if len(key) > block_size:
             key = hash_factory().update(key).digest()
         key = key + b"\x00" * (block_size - len(key))
+        # Key-schedule caching: absorb the ipad/opad blocks once here, so
+        # every digest (and every copy) skips both key-block compressions.
         self._inner = hash_factory().update(bytes(b ^ 0x36 for b in key))
-        self._outer_pad = bytes(b ^ 0x5C for b in key)
+        self._outer = hash_factory().update(bytes(b ^ 0x5C for b in key))
 
     def update(self, data: bytes) -> "HMAC":
         """Absorb message bytes; returns self for chaining."""
@@ -51,11 +53,25 @@ class HMAC:
     def digest(self) -> bytes:
         """Finalize (non-destructively) and return the MAC."""
         inner_digest = self._inner.copy().digest()
-        return self._factory().update(self._outer_pad + inner_digest).digest()
+        return self._outer.copy().update(inner_digest).digest()
 
     def hexdigest(self) -> str:
         """MAC as lowercase hex."""
         return self.digest().hex()
+
+    def copy(self) -> "HMAC":
+        """Independent copy of the running MAC state.
+
+        Lets a caller key HMAC once and reuse the precomputed pad
+        states for many messages (the DRBG and the record layers do
+        this on their hot paths).
+        """
+        clone = object.__new__(HMAC)
+        clone._factory = self._factory
+        clone.digest_size = self.digest_size
+        clone._inner = self._inner.copy()
+        clone._outer = self._outer  # never mutated; digest() copies it
+        return clone
 
 
 def hmac(key: bytes, message: bytes, hash_factory: HashFactory = SHA1) -> bytes:

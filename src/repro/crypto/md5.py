@@ -9,11 +9,14 @@ landscape — the registry marks it legacy.
 from __future__ import annotations
 
 import math
+import struct
 
-from .bitops import rotl32
+from . import fastpath
 
 DIGEST_SIZE = 16
 BLOCK_SIZE = 64
+
+_WORDS = struct.Struct("<16I")
 
 _S = (
     7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
@@ -29,40 +32,56 @@ _H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
 
 
 def _compress(state: tuple, block: bytes) -> tuple:
-    m = [int.from_bytes(block[4 * i : 4 * i + 4], "little") for i in range(16)]
+    # Hot loop: the four RFC 1321 stages are unrolled, the rotate is
+    # inlined against a local mask, and K/S are bound to locals.
+    mask = 0xFFFFFFFF
+    m = _WORDS.unpack(block)
+    k = _K
+    s = _S
     a, b, c, d = state
-    for i in range(64):
-        if i < 16:
-            f = (b & c) | (~b & d)
-            g = i
-        elif i < 32:
-            f = (d & b) | (~d & c)
-            g = (5 * i + 1) % 16
-        elif i < 48:
-            f = b ^ c ^ d
-            g = (3 * i + 5) % 16
-        else:
-            f = c ^ (b | (~d & 0xFFFFFFFF))
-            g = (7 * i) % 16
-        f = (f + a + _K[i] + m[g]) & 0xFFFFFFFF
+    for i in range(0, 16):
+        f = (((b & c) | (~b & d)) + a + k[i] + m[i]) & mask
+        r = s[i]
         a, d, c = d, c, b
-        b = (b + rotl32(f, _S[i])) & 0xFFFFFFFF
+        b = (b + (((f << r) | (f >> (32 - r))) & mask)) & mask
+    for i in range(16, 32):
+        f = (((d & b) | (~d & c)) + a + k[i] + m[(5 * i + 1) % 16]) & mask
+        r = s[i]
+        a, d, c = d, c, b
+        b = (b + (((f << r) | (f >> (32 - r))) & mask)) & mask
+    for i in range(32, 48):
+        f = ((b ^ c ^ d) + a + k[i] + m[(3 * i + 5) % 16]) & mask
+        r = s[i]
+        a, d, c = d, c, b
+        b = (b + (((f << r) | (f >> (32 - r))) & mask)) & mask
+    for i in range(48, 64):
+        f = ((c ^ (b | (~d & mask))) + a + k[i] + m[(7 * i) % 16]) & mask
+        r = s[i]
+        a, d, c = d, c, b
+        b = (b + (((f << r) | (f >> (32 - r))) & mask)) & mask
     return (
-        (state[0] + a) & 0xFFFFFFFF,
-        (state[1] + b) & 0xFFFFFFFF,
-        (state[2] + c) & 0xFFFFFFFF,
-        (state[3] + d) & 0xFFFFFFFF,
+        (state[0] + a) & mask,
+        (state[1] + b) & mask,
+        (state[2] + c) & mask,
+        (state[3] + d) & mask,
     )
 
 
 class MD5:
-    """Incremental MD5 with the hashlib-style update/digest interface."""
+    """Incremental MD5 with the hashlib-style update/digest interface.
+
+    Like :class:`~repro.crypto.sha1.SHA1`, instances are backed by the
+    platform's optimised MD5 when the fast path is enabled (and the
+    build permits MD5 at all); the reference compression function
+    above remains the ground truth.
+    """
 
     name = "MD5"
     digest_size = DIGEST_SIZE
     block_size = BLOCK_SIZE
 
     def __init__(self, data: bytes = b"") -> None:
+        self._impl = fastpath.hashlib_md5() if fastpath.enabled() else None
         self._state = _H0
         self._buffer = b""
         self._length = 0
@@ -71,6 +90,9 @@ class MD5:
 
     def update(self, data: bytes) -> "MD5":
         """Absorb more message bytes; returns self for chaining."""
+        if self._impl is not None:
+            self._impl.update(data)
+            return self
         self._length += len(data)
         self._buffer += data
         while len(self._buffer) >= BLOCK_SIZE:
@@ -80,6 +102,8 @@ class MD5:
 
     def digest(self) -> bytes:
         """Return the 16-byte digest without disturbing internal state."""
+        if self._impl is not None:
+            return self._impl.digest()
         state, buffer = self._state, self._buffer
         bit_length = (self._length * 8) & 0xFFFFFFFFFFFFFFFF
         padding = b"\x80" + b"\x00" * ((55 - self._length) % 64)
@@ -94,7 +118,8 @@ class MD5:
 
     def copy(self) -> "MD5":
         """Independent copy of the running hash state."""
-        clone = MD5()
+        clone = object.__new__(MD5)
+        clone._impl = self._impl.copy() if self._impl is not None else None
         clone._state = self._state
         clone._buffer = self._buffer
         clone._length = self._length

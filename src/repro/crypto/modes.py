@@ -9,10 +9,11 @@ block the others compose.
 
 from __future__ import annotations
 
+import warnings
 from typing import Protocol
 
 from .bitops import split_blocks, xor_bytes
-from .errors import InvalidBlockSize, ParameterError
+from .errors import InvalidBlockSize, PaddingError, ParameterError
 from .padding import pkcs7_pad, pkcs7_unpad
 
 
@@ -49,7 +50,15 @@ class ECB:
 
 
 class CBC:
-    """Cipher-block chaining with explicit IV and PKCS#7 padding."""
+    """Cipher-block chaining with explicit IV and PKCS#7 padding.
+
+    A ``CBC`` instance binds one IV to one message: calling
+    :meth:`encrypt` twice on the same instance reuses the IV, which
+    leaks whether two messages share a prefix (the classic CBC
+    IV-reuse hazard).  The record layers therefore build a fresh
+    ``CBC`` per record; a second ``encrypt`` call here raises a
+    :class:`RuntimeWarning` so the hazard cannot pass silently.
+    """
 
     def __init__(self, cipher: BlockCipher, iv: bytes) -> None:
         if len(iv) != cipher.block_size:
@@ -58,9 +67,19 @@ class CBC:
             )
         self.cipher = cipher
         self.iv = iv
+        self._iv_consumed = False
 
     def encrypt(self, plaintext: bytes, pad: bool = True) -> bytes:
         """Encrypt (PKCS#7-padding by default)."""
+        if self._iv_consumed:
+            warnings.warn(
+                "CBC.encrypt called again on the same instance: reusing the "
+                "IV leaks plaintext prefix equality; build a fresh CBC (or "
+                "chain the last ciphertext block as the next IV) per message",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self._iv_consumed = True
         if pad:
             plaintext = pkcs7_pad(plaintext, self.cipher.block_size)
         previous = self.iv
@@ -72,9 +91,16 @@ class CBC:
 
     def decrypt(self, ciphertext: bytes, pad: bool = True) -> bytes:
         """Decrypt and strip padding (validating it)."""
-        if not ciphertext and not pad:
+        if not ciphertext:
+            if pad:
+                # Empty input *is* block-aligned; what is missing is the
+                # mandatory PKCS#7 padding block, so say so.
+                raise PaddingError(
+                    "empty ciphertext: a padded CBC message carries at "
+                    "least one padding block"
+                )
             return b""
-        if len(ciphertext) % self.cipher.block_size or not ciphertext:
+        if len(ciphertext) % self.cipher.block_size:
             raise InvalidBlockSize(
                 self.cipher.name, len(ciphertext), self.cipher.block_size
             )
@@ -103,13 +129,14 @@ class CTR:
         """Encrypt or decrypt (same operation) arbitrary-length data."""
         out = bytearray()
         offset = 0
+        block_size = self.cipher.block_size
         while offset < len(data):
             counter_block = (self._counter % (1 << self._block_bits)).to_bytes(
-                self.cipher.block_size, "big"
+                block_size, "big"
             )
             keystream = self.cipher.encrypt_block(counter_block)
             self._counter += 1
-            chunk = data[offset : offset + self.cipher.block_size]
-            out.extend(x ^ y for x, y in zip(chunk, keystream))
-            offset += self.cipher.block_size
+            chunk = data[offset : offset + block_size]
+            out += xor_bytes(chunk, keystream[: len(chunk)])
+            offset += block_size
         return bytes(out)

@@ -12,7 +12,7 @@ which is exactly what the firmware-update example exercises.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from .aes import AES
@@ -65,14 +65,13 @@ class AlgorithmRegistry:
         self._algorithms[info.name] = info
 
     def deprecate(self, name: str) -> None:
-        """Mark an algorithm deprecated (protocols stop negotiating it)."""
-        info = self.get(name)
-        self._algorithms[name] = AlgorithmInfo(
-            name=info.name, kind=info.kind, factory=info.factory,
-            key_bytes=info.key_bytes, strength_bits=info.strength_bits,
-            year_introduced=info.year_introduced, deprecated=True,
-            notes=info.notes,
-        )
+        """Mark an algorithm deprecated (protocols stop negotiating it).
+
+        Uses :func:`dataclasses.replace` so every field — including any
+        added to :class:`AlgorithmInfo` after this method was written —
+        survives the transition unchanged.
+        """
+        self._algorithms[name] = replace(self.get(name), deprecated=True)
 
     def get(self, name: str) -> AlgorithmInfo:
         """Look up an algorithm by name."""

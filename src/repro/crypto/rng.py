@@ -19,7 +19,7 @@ import random
 from typing import List, Optional, Union
 
 from .errors import RandomnessError
-from .hmac import hmac
+from .hmac import HMAC
 from .sha1 import sha1
 
 
@@ -40,13 +40,16 @@ class DeterministicDRBG:
         else:
             seed_bytes = seed
         self._key = sha1(b"repro-drbg:" + seed_bytes)
+        # Key the HMAC once; each block then clones the precomputed pad
+        # states instead of re-absorbing them (same output, half the work).
+        self._mac = HMAC(self._key)
         self._counter = 0
         self._buffer = b""
 
     def random_bytes(self, length: int) -> bytes:
         """Return ``length`` pseudo-random bytes."""
         while len(self._buffer) < length:
-            block = hmac(self._key, self._counter.to_bytes(8, "big"))
+            block = self._mac.copy().update(self._counter.to_bytes(8, "big")).digest()
             self._counter += 1
             self._buffer += block
         out, self._buffer = self._buffer[:length], self._buffer[length:]

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+from . import fastpath
+from .bitops import bytes_to_int, int_to_bytes
 from .des import DES, BLOCK_SIZE
-from .errors import InvalidKeyLength
+from .errors import InvalidBlockSize, InvalidKeyLength
 from .trace import TraceRecorder
 
 
@@ -44,12 +46,28 @@ class TripleDES:
 
     def encrypt_block(self, block: bytes) -> bytes:
         """EDE encrypt one 8-byte block."""
+        if self.recorder is None and fastpath.enabled():
+            # Fused EDE: one bytes<->int conversion around three
+            # table-driven DES passes on the cached key schedules.
+            if len(block) != BLOCK_SIZE:
+                raise InvalidBlockSize("3DES", len(block), BLOCK_SIZE)
+            x = fastpath.des_crypt_block(bytes_to_int(block), self._des1._round_keys)
+            x = fastpath.des_crypt_block(x, self._des2._round_keys_dec)
+            x = fastpath.des_crypt_block(x, self._des3._round_keys)
+            return int_to_bytes(x, 8)
         return self._des3.encrypt_block(
             self._des2.decrypt_block(self._des1.encrypt_block(block))
         )
 
     def decrypt_block(self, block: bytes) -> bytes:
         """EDE decrypt one 8-byte block."""
+        if self.recorder is None and fastpath.enabled():
+            if len(block) != BLOCK_SIZE:
+                raise InvalidBlockSize("3DES", len(block), BLOCK_SIZE)
+            x = fastpath.des_crypt_block(bytes_to_int(block), self._des3._round_keys_dec)
+            x = fastpath.des_crypt_block(x, self._des2._round_keys)
+            x = fastpath.des_crypt_block(x, self._des1._round_keys_dec)
+            return int_to_bytes(x, 8)
         return self._des1.decrypt_block(
             self._des2.encrypt_block(self._des3.decrypt_block(block))
         )

@@ -18,7 +18,7 @@ from typing import Optional, Tuple
 
 from ..crypto.bitops import constant_time_compare
 from ..crypto.errors import PaddingError
-from ..crypto.hmac import hmac
+from ..crypto.hmac import HMAC
 from ..crypto.modes import CBC
 from ..crypto.rc4 import RC4
 from .alerts import BadRecordMAC, DecodeError
@@ -37,6 +37,10 @@ class RecordEncoder:
                  iv: bytes) -> None:
         self.suite = suite
         self._mac_key = mac_key
+        # One keyed HMAC per connection direction; per-record MACs clone
+        # its precomputed pad states instead of rekeying (the record-layer
+        # half of the fast-path key-schedule caching).
+        self._mac_base = HMAC(mac_key, suite.hash_factory)
         self._sequence = 0
         if suite.cipher == "NULL":
             self._stream: Optional[RC4] = None
@@ -55,7 +59,7 @@ class RecordEncoder:
             + bytes([content_type])
             + len(payload).to_bytes(2, "big")
         )
-        return hmac(self._mac_key, header + payload, self.suite.hash_factory)
+        return self._mac_base.copy().update(header + payload).digest()
 
     def encode(self, content_type: int, payload: bytes) -> bytes:
         """Protect one payload into a wire record."""
@@ -79,6 +83,7 @@ class RecordDecoder:
                  iv: bytes) -> None:
         self.suite = suite
         self._mac_key = mac_key
+        self._mac_base = HMAC(mac_key, suite.hash_factory)
         self._sequence = 0
         if suite.cipher == "NULL":
             self._stream: Optional[RC4] = None
@@ -122,7 +127,7 @@ class RecordDecoder:
             + bytes([content_type])
             + len(payload).to_bytes(2, "big")
         )
-        expected = hmac(self._mac_key, header + payload, self.suite.hash_factory)
+        expected = self._mac_base.copy().update(header + payload).digest()
         if not constant_time_compare(expected, tag):
             raise BadRecordMAC("record MAC verification failed")
         self._sequence += 1

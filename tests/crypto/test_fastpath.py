@@ -1,0 +1,303 @@
+"""Fast-path ≡ reference equivalence: KATs, differentials, fallback.
+
+Every known-answer vector runs through *both* the precomputed-table
+fast path and the readable reference loops, and a randomized
+differential sweep pins the two bit-for-bit.  The TraceRecorder
+fallback rule (probed ciphers always take the reference path) is
+asserted explicitly — it is what keeps the DPA/timing simulators
+honest.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import fastpath
+from repro.crypto.aes import AES
+from repro.crypto.bitops import bytes_to_int, int_to_bytes, permute_bits, xor_bytes
+from repro.crypto.des import (
+    DES,
+    _E,
+    _FP,
+    _IP,
+    _P,
+    _PC1,
+    _PC2,
+    expand_key,
+)
+from repro.crypto.hmac import hmac
+from repro.crypto.md5 import MD5, md5
+from repro.crypto.modes import CBC, CTR, ECB
+from repro.crypto.sha1 import SHA1, sha1
+from repro.crypto.tdes import TripleDES
+from repro.crypto.trace import TraceRecorder
+
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+@pytest.fixture(params=["reference", "fast"])
+def path(request):
+    """Run the decorated test once per implementation path."""
+    with fastpath.force(request.param == "fast"):
+        yield request.param
+
+
+class TestAESKnownAnswers:
+    """FIPS 197 Appendix C, all three key sizes, both paths."""
+
+    VECTORS = [
+        ("000102030405060708090a0b0c0d0e0f",
+         "69c4e0d86a7b0430d8cdb78070b4c55a"),
+        ("000102030405060708090a0b0c0d0e0f1011121314151617",
+         "dda97ca4864cdfe06eaf70a0ec0d7191"),
+        ("000102030405060708090a0b0c0d0e0f"
+         "101112131415161718191a1b1c1d1e1f",
+         "8ea2b7ca516745bfeafc49904b496089"),
+    ]
+
+    @pytest.mark.parametrize("key_hex,ct_hex", VECTORS)
+    def test_encrypt(self, path, key_hex, ct_hex):
+        assert AES(bytes.fromhex(key_hex)).encrypt_block(FIPS_PT).hex() == ct_hex
+
+    @pytest.mark.parametrize("key_hex,ct_hex", VECTORS)
+    def test_decrypt(self, path, key_hex, ct_hex):
+        cipher = AES(bytes.fromhex(key_hex))
+        assert cipher.decrypt_block(bytes.fromhex(ct_hex)) == FIPS_PT
+
+
+class TestDESKnownAnswers:
+    def test_fips_46_3_vector(self, path):
+        cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+        ct = cipher.encrypt_block(bytes.fromhex("0123456789ABCDEF"))
+        assert ct.hex().upper() == "85E813540F0AB405"
+        assert cipher.decrypt_block(ct).hex().upper() == "0123456789ABCDEF"
+
+    def test_3des_degenerate_single_des(self, path):
+        block = bytes(range(8))
+        key = bytes.fromhex("133457799BBCDFF1")
+        assert TripleDES(key).encrypt_block(block) == DES(key).encrypt_block(block)
+
+
+class TestHashKnownAnswers:
+    def test_sha1(self, path):
+        assert sha1(b"abc").hex() == "a9993e364706816aba3e25717850c26c9cd0d89d"
+
+    def test_md5(self, path):
+        assert md5(b"abc").hex() == "900150983cd24fb0d6963f7d28e17f72"
+
+
+class TestHMACRFC2202:
+    """RFC 2202 vectors through both hash paths."""
+
+    SHA1_VECTORS = [
+        (b"\x0b" * 20, b"Hi There",
+         "b617318655057264e28bc0b6fb378c8ef146be00"),
+        (b"Jefe", b"what do ya want for nothing?",
+         "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"),
+        (b"\xaa" * 20, b"\xdd" * 50,
+         "125d7342b9ac11cd91a39af48aa17b4f63f175d3"),
+        (b"\xaa" * 80, b"Test Using Larger Than Block-Size Key - Hash Key First",
+         "aa4ae5e15272d00e95705637ce8a3b55ed402112"),
+    ]
+
+    MD5_VECTORS = [
+        (b"\x0b" * 16, b"Hi There", "9294727a3638bb1c13f48ef8158bfc9d"),
+        (b"Jefe", b"what do ya want for nothing?",
+         "750c783e6ab0b503eaa86e310a5db738"),
+        (b"\xaa" * 16, b"\xdd" * 50, "56be34521d144c88dbb8c733f0e8b3f6"),
+        (b"\xaa" * 80, b"Test Using Larger Than Block-Size Key - Hash Key First",
+         "6b1ab7fe4bd7bf8f0b62e6ce61b9d0cd"),
+    ]
+
+    @pytest.mark.parametrize("key,message,tag", SHA1_VECTORS)
+    def test_hmac_sha1(self, path, key, message, tag):
+        assert hmac(key, message, SHA1).hex() == tag
+
+    @pytest.mark.parametrize("key,message,tag", MD5_VECTORS)
+    def test_hmac_md5(self, path, key, message, tag):
+        assert hmac(key, message, MD5).hex() == tag
+
+
+class TestDifferential:
+    """Randomized reference ≡ fast-path sweeps (fixed seed)."""
+
+    def test_aes_blocks(self):
+        rng = random.Random(0xA15)
+        for key_size in (16, 24, 32):
+            for _ in range(8):
+                key = bytes(rng.randrange(256) for _ in range(key_size))
+                block = bytes(rng.randrange(256) for _ in range(16))
+                with fastpath.force(False):
+                    ref_ct = AES(key).encrypt_block(block)
+                    ref_pt = AES(key).decrypt_block(block)
+                with fastpath.force(True):
+                    assert AES(key).encrypt_block(block) == ref_ct
+                    assert AES(key).decrypt_block(block) == ref_pt
+
+    def test_des_and_3des_blocks(self):
+        rng = random.Random(0xDE5)
+        for _ in range(12):
+            key = bytes(rng.randrange(256) for _ in range(8))
+            key24 = bytes(rng.randrange(256) for _ in range(24))
+            block = bytes(rng.randrange(256) for _ in range(8))
+            with fastpath.force(False):
+                ref = (DES(key).encrypt_block(block),
+                       DES(key).decrypt_block(block),
+                       TripleDES(key24).encrypt_block(block),
+                       TripleDES(key24).decrypt_block(block),
+                       expand_key(key))
+            with fastpath.force(True):
+                assert DES(key).encrypt_block(block) == ref[0]
+                assert DES(key).decrypt_block(block) == ref[1]
+                assert TripleDES(key24).encrypt_block(block) == ref[2]
+                assert TripleDES(key24).decrypt_block(block) == ref[3]
+                assert expand_key(key) == ref[4]
+
+    def test_hashes_and_hmac(self):
+        rng = random.Random(0x5A1)
+        for length in (0, 1, 55, 56, 63, 64, 65, 127, 500):
+            data = bytes(rng.randrange(256) for _ in range(length))
+            key = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 100)))
+            with fastpath.force(False):
+                ref = (sha1(data), md5(data), hmac(key, data, SHA1),
+                       hmac(key, data, MD5))
+            with fastpath.force(True):
+                assert sha1(data) == ref[0]
+                assert md5(data) == ref[1]
+                assert hmac(key, data, SHA1) == ref[2]
+                assert hmac(key, data, MD5) == ref[3]
+
+    def test_incremental_hash_copy_semantics(self, path):
+        hasher = SHA1(b"prefix")
+        clone = hasher.copy()
+        hasher.update(b"-suffix")
+        assert clone.digest() == sha1(b"prefix")
+        assert hasher.digest() == sha1(b"prefix-suffix")
+
+    def test_modes_roundtrip_both_paths(self):
+        rng = random.Random(0xC8C)
+        key = bytes(rng.randrange(256) for _ in range(16))
+        iv = bytes(rng.randrange(256) for _ in range(16))
+        data = bytes(rng.randrange(256) for _ in range(100))
+        with fastpath.force(False):
+            ref_cbc = CBC(AES(key), iv).encrypt(data)
+            ref_ecb = ECB(AES(key)).encrypt(bytes(32))
+            ref_ctr = CTR(AES(key), iv).process(data)
+        with fastpath.force(True):
+            assert CBC(AES(key), iv).encrypt(data) == ref_cbc
+            assert CBC(AES(key), iv).decrypt(ref_cbc) == data
+            assert ECB(AES(key)).encrypt(bytes(32)) == ref_ecb
+            assert CTR(AES(key), iv).process(data) == ref_ctr
+
+
+class TestDESTableFusion:
+    """The per-byte tables are exactly the FIPS permutations."""
+
+    @pytest.mark.parametrize("table,width", [
+        (_IP, 64), (_FP, 64), (_E, 32), (_PC1, 64), (_PC2, 56),
+        (_P, 32),
+    ])
+    def test_byte_tables_match_permute_bits(self, table, width):
+        lookup = fastpath.byte_permutation_tables(table, width)
+        rng = random.Random(width)
+        values = [0, (1 << width) - 1] + [rng.getrandbits(width) for _ in range(50)]
+        for value in values:
+            expected = permute_bits(value, table, width)
+            got = 0
+            for i, chunk in enumerate(lookup):
+                got |= chunk[(value >> (width - 8 * (i + 1))) & 255]
+            assert got == expected
+
+    def test_rejects_partial_bytes(self):
+        with pytest.raises(ValueError):
+            fastpath.byte_permutation_tables(_E, 31)
+
+
+class TestTraceRecorderFallback:
+    """Probed ciphers must take the reference path (true intermediates)."""
+
+    def test_aes_probes_present_and_ciphertext_identical(self):
+        key, block = bytes(range(16)), bytes(range(16))
+        recorder = TraceRecorder()
+        with fastpath.force(True):
+            probed_ct = AES(key, recorder).encrypt_block(block)
+            plain_ct = AES(key).encrypt_block(block)
+        by_label = recorder.by_label()
+        assert len(by_label["aes.sbox_out"]) == 16
+        assert len(by_label["aes.round_out"]) == 9
+        assert probed_ct == plain_ct
+
+    def test_des_probes_present_and_ciphertext_identical(self):
+        key, block = bytes(range(8)), bytes(range(8))
+        recorder = TraceRecorder()
+        with fastpath.force(True):
+            probed_ct = DES(key, recorder).encrypt_block(block)
+            plain_ct = DES(key).encrypt_block(block)
+        assert len(recorder.by_label()["des.sbox_out"]) == 16 * 8
+        assert probed_ct == plain_ct
+
+
+class TestSwitch:
+    def test_force_restores_prior_state(self):
+        before = fastpath.enabled()
+        with fastpath.force(not before):
+            assert fastpath.enabled() is (not before)
+        assert fastpath.enabled() is before
+
+    def test_force_restores_on_exception(self):
+        before = fastpath.enabled()
+        with pytest.raises(RuntimeError):
+            with fastpath.force(not before):
+                raise RuntimeError("boom")
+        assert fastpath.enabled() is before
+
+    def test_enable_disable(self):
+        before = fastpath.enabled()
+        try:
+            fastpath.disable()
+            assert not fastpath.enabled()
+            fastpath.enable()
+            assert fastpath.enabled()
+        finally:
+            (fastpath.enable if before else fastpath.disable)()
+
+
+class TestKeyScheduleCaching:
+    def test_aes_fast_schedules_cached(self):
+        with fastpath.force(True):
+            cipher = AES(bytes(16))
+            cipher.encrypt_block(bytes(16))
+            enc_schedule = cipher._fast_enc
+            cipher.encrypt_block(bytes(16))
+            assert cipher._fast_enc is enc_schedule
+            cipher.decrypt_block(bytes(16))
+            dec_schedule = cipher._fast_dec
+            cipher.decrypt_block(bytes(16))
+            assert cipher._fast_dec is dec_schedule
+
+    def test_des_reverse_schedule_cached(self):
+        cipher = DES(bytes(8))
+        assert cipher._round_keys_dec == list(reversed(cipher._round_keys))
+        first = cipher._round_keys_dec
+        cipher.decrypt_block(bytes(8))
+        assert cipher._round_keys_dec is first
+
+    def test_int_xor_bytes_matches_loop(self):
+        rng = random.Random(7)
+        for length in (0, 1, 7, 16, 100):
+            a = bytes(rng.randrange(256) for _ in range(length))
+            b = bytes(rng.randrange(256) for _ in range(length))
+            assert xor_bytes(a, b) == bytes(x ^ y for x, y in zip(a, b))
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+
+def test_des_crypt_block_int_api():
+    # The int-level kernel used by 3DES fusion round-trips directly.
+    key = bytes.fromhex("133457799BBCDFF1")
+    keys = expand_key(key)
+    block = 0x0123456789ABCDEF
+    ct = fastpath.des_crypt_block(block, keys)
+    assert int_to_bytes(ct, 8).hex().upper() == "85E813540F0AB405"
+    assert fastpath.des_crypt_block(ct, list(reversed(keys))) == block
+    assert bytes_to_int(int_to_bytes(ct, 8)) == ct

@@ -173,6 +173,21 @@ class TestModes:
         with pytest.raises(InvalidBlockSize):
             CBC(AES(bytes(16)), bytes(16)).decrypt(b"odd-length-data")
 
+    def test_cbc_empty_ciphertext_is_padding_error(self):
+        # Regression: used to raise a misleading InvalidBlockSize —
+        # b"" *is* block-aligned; what's wrong is the missing padding.
+        with pytest.raises(PaddingError, match="empty ciphertext"):
+            CBC(AES(bytes(16)), bytes(16)).decrypt(b"")
+
+    def test_cbc_empty_ciphertext_ok_without_padding(self):
+        assert CBC(AES(bytes(16)), bytes(16)).decrypt(b"", pad=False) == b""
+
+    def test_cbc_iv_reuse_warns(self):
+        cbc = CBC(AES(bytes(16)), bytes(16))
+        cbc.encrypt(b"first message...")
+        with pytest.warns(RuntimeWarning, match="reusing the IV"):
+            cbc.encrypt(b"second message..")
+
     def test_ctr_stream_roundtrip(self):
         data = b"counter mode handles ragged lengths"
         a = CTR(AES(bytes(16)), bytes(16))
@@ -291,6 +306,23 @@ class TestRegistry:
         registry.deprecate("RC4")
         assert registry.get("RC4").deprecated
         assert "RC4" not in registry.names("stream", include_deprecated=False)
+
+    def test_deprecate_round_trips_every_field(self):
+        # Regression: deprecate() used to rebuild AlgorithmInfo by
+        # naming fields explicitly, silently dropping any field added
+        # later (notes, and whatever comes next).
+        import dataclasses
+
+        registry = default_registry()
+        before = registry.get("3DES")
+        assert before.notes  # the baseline entry carries real metadata
+        registry.deprecate("3DES")
+        after = registry.get("3DES")
+        assert after.deprecated
+        for fld in dataclasses.fields(after):
+            if fld.name == "deprecated":
+                continue
+            assert getattr(after, fld.name) == getattr(before, fld.name), fld.name
 
     def test_kind_filter(self):
         registry = default_registry()
