@@ -1,0 +1,138 @@
+"""Handshake + data-phase cost over an increasingly lossy link.
+
+Sweeps the i.i.d. frame-drop probability and measures, per point, what
+the lossy-link harness (FaultyChannel + go-back-N ARQ) had to spend to
+complete a mini-TLS handshake plus a fixed data exchange: completion
+rate, retransmissions, timeouts, and radio energy (the §3.3 battery
+tax of reliability).
+
+Runs two ways:
+
+* ``PYTHONPATH=src python benchmarks/bench_lossy_handshake.py`` —
+  prints the sweep as JSON;
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_lossy_handshake.py``
+  — asserts the qualitative shape (zero-loss transparency, monotone
+  energy tax, completion under moderate loss).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.crypto.rng import DeterministicDRBG
+from repro.hardware.battery import Battery
+from repro.protocols.certificates import CertificateAuthority
+from repro.protocols.faults import FaultModel, FaultyChannel
+from repro.protocols.handshake import ClientConfig, ServerConfig
+from repro.protocols.reliable import ReliableLink
+from repro.protocols.tls import connect
+from repro.protocols.transport import ChannelClosed
+
+DROP_SWEEP = [0.0, 0.1, 0.2, 0.3]
+RECORDS = 50
+SESSIONS_PER_POINT = 3
+
+
+def _configs(seed: int):
+    ca = CertificateAuthority(
+        "BenchCA", DeterministicDRBG(("bench-ca", seed).__repr__()))
+    key, cert = ca.issue(
+        "server.example", DeterministicDRBG(("bench-srv", seed).__repr__()))
+    client = ClientConfig(
+        rng=DeterministicDRBG(("bench-c", seed).__repr__()), ca=ca,
+        expected_server="server.example")
+    server = ServerConfig(
+        rng=DeterministicDRBG(("bench-s", seed).__repr__()),
+        certificate=cert, private_key=key)
+    return client, server
+
+
+def run_session(drop: float, seed: int) -> Dict[str, float]:
+    """One handshake + RECORDS round-trips over a ``drop``-lossy link."""
+    channel = FaultyChannel(FaultModel.lossy(drop), seed=seed)
+    battery = Battery()
+    link = ReliableLink(channel, battery_a=battery, battery_b=Battery())
+    client, server = _configs(seed)
+    try:
+        client_conn, server_conn = connect(
+            client, server,
+            endpoints=(link.endpoint_a(), link.endpoint_b()))
+        for index in range(RECORDS):
+            client_conn.send(f"record-{index}".encode())
+            if server_conn.receive() != f"record-{index}".encode():
+                raise ChannelClosed("payload mismatch")
+        link.endpoint_a().flush()
+        link.endpoint_b().flush()
+        completed = True
+    except ChannelClosed:
+        completed = False
+    return {
+        "completed": completed,
+        "retransmissions": link.total_retransmissions,
+        "timeouts": link.total_timeouts,
+        "frames_dropped": channel.faults.total_drops,
+        "energy_mj": round(link.total_energy_mj, 3),
+        "client_battery_drain_mj": round(
+            (battery.capacity_j - battery.remaining_j) * 1000, 3),
+    }
+
+
+def sweep() -> List[Dict[str, float]]:
+    """The full drop sweep, SESSIONS_PER_POINT seeded runs per point."""
+    points = []
+    for drop in DROP_SWEEP:
+        runs = [run_session(drop, seed=1000 + index)
+                for index in range(SESSIONS_PER_POINT)]
+        completed = sum(1 for run in runs if run["completed"])
+        points.append({
+            "drop": drop,
+            "sessions": len(runs),
+            "completion_rate": completed / len(runs),
+            "mean_retransmissions": sum(
+                run["retransmissions"] for run in runs) / len(runs),
+            "mean_timeouts": sum(
+                run["timeouts"] for run in runs) / len(runs),
+            "mean_energy_mj": round(sum(
+                run["energy_mj"] for run in runs) / len(runs), 3),
+            "runs": runs,
+        })
+    return points
+
+
+def test_zero_loss_is_free():
+    point = run_session(0.0, seed=1)
+    assert point["completed"]
+    assert point["retransmissions"] == 0
+    assert point["timeouts"] == 0
+
+
+def test_completes_under_twenty_percent_drop():
+    point = run_session(0.2, seed=2)
+    assert point["completed"]
+    assert point["retransmissions"] > 0
+    assert point["client_battery_drain_mj"] > 0
+
+
+def test_energy_tax_grows_with_loss():
+    clean = run_session(0.0, seed=3)
+    lossy = run_session(0.3, seed=3)
+    assert lossy["completed"]
+    assert lossy["energy_mj"] > clean["energy_mj"]
+    assert lossy["retransmissions"] > clean["retransmissions"]
+
+
+def test_sweep_is_deterministic():
+    assert run_session(0.2, seed=7) == run_session(0.2, seed=7)
+
+
+def main() -> None:
+    print(json.dumps({
+        "records_per_session": RECORDS,
+        "sessions_per_point": SESSIONS_PER_POINT,
+        "sweep": sweep(),
+    }, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,19 @@ class EnergyModel:
         """Radio energy to receive ``kilobytes`` of data."""
         return self.rx_mj_per_kb * kilobytes
 
+    def frame_transmit_mj(self, num_bytes: int) -> float:
+        """Radio energy to transmit one ``num_bytes``-byte frame.
+
+        Byte-denominated convenience for the ARQ layer, which charges
+        every (re)transmission against this model (§3.3: retries are
+        paid for in battery energy).
+        """
+        return self.transmit_mj(num_bytes / 1024.0)
+
+    def frame_receive_mj(self, num_bytes: int) -> float:
+        """Radio energy to receive one ``num_bytes``-byte frame."""
+        return self.receive_mj(num_bytes / 1024.0)
+
     def security_mj(self, kilobytes: float) -> float:
         """Measured security-processing overhead (RSA mode, per [36])."""
         return self.security_overhead_mj_per_kb * kilobytes

@@ -33,7 +33,15 @@ from .ciphersuites import (
     suites_for_registry,
 )
 from .dos import CookieProtectedResponder, FloodReport, flood_experiment
-from .handshake import ClientConfig, ServerConfig, Session, run_handshake
+from .faults import FaultModel, FaultStats, FaultyChannel, GilbertElliott
+from .handshake import (
+    ClientConfig,
+    HandshakeAttemptLog,
+    ServerConfig,
+    Session,
+    run_handshake,
+    run_handshake_with_fallback,
+)
 from .ipsec import SecurityAssociation, make_tunnel
 from .payment import (
     DualSignedPayment,
@@ -47,6 +55,15 @@ from .payment import (
 )
 from .kdf import derive_key_block, master_secret, prf
 from .records import RecordDecoder, RecordEncoder, make_record_pair
+from .recovery import RecoveryReport, ResilientSession
+from .reliable import (
+    ARQConfig,
+    ReliableEndpoint,
+    ReliableLink,
+    ReliableStats,
+    RetryBudgetExhausted,
+    VirtualClock,
+)
 from .smartcard import APDU, CardResponse, SIMCard, kiosk_cloning_attack
 from .resumption import (
     CachedSession,
@@ -54,8 +71,8 @@ from .resumption import (
     cache_session,
     resume,
 )
-from .tls import SecureConnection, connect
-from .transport import ChannelClosed, DuplexChannel, Endpoint
+from .tls import SecureConnection, connect, connect_with_fallback
+from .transport import ChannelClosed, ChannelEmpty, DuplexChannel, Endpoint
 from .wap import OriginServer, WAPGateway, build_wap_world
 from .wep import WEPFrame, WEPStation
 from .wtls import WTLSConnection, wtls_connect
@@ -67,10 +84,15 @@ __all__ = [
     "CipherSuite", "ALL_SUITES", "SUITES_BY_NAME", "negotiate",
     "suites_for_registry",
     "ClientConfig", "ServerConfig", "Session", "run_handshake",
-    "SecureConnection", "connect",
+    "run_handshake_with_fallback", "HandshakeAttemptLog",
+    "SecureConnection", "connect", "connect_with_fallback",
     "RecordEncoder", "RecordDecoder", "make_record_pair",
     "prf", "master_secret", "derive_key_block",
-    "DuplexChannel", "Endpoint", "ChannelClosed",
+    "DuplexChannel", "Endpoint", "ChannelClosed", "ChannelEmpty",
+    "FaultyChannel", "FaultModel", "FaultStats", "GilbertElliott",
+    "ReliableLink", "ReliableEndpoint", "ReliableStats", "ARQConfig",
+    "VirtualClock", "RetryBudgetExhausted",
+    "ResilientSession", "RecoveryReport",
     "WTLSConnection", "wtls_connect",
     "WEPStation", "WEPFrame",
     "SecurityAssociation", "make_tunnel",

@@ -43,8 +43,19 @@ class SIM:
     weak_a3: bool = False
     challenges_answered: int = 0
 
+    def __post_init__(self) -> None:
+        # The weak-A3 response indexes Ki at challenge[0] % (len-1) and
+        # reads two adjacent bytes, so a Ki shorter than 2 bytes used to
+        # blow up with ZeroDivisionError/IndexError deep inside
+        # a3_response.  Real Ki is 16 bytes; validate at construction.
+        if len(self.ki) < 2:
+            raise ValueError(
+                f"SIM Ki must be at least 2 bytes, got {len(self.ki)}")
+
     def a3_response(self, challenge: bytes) -> bytes:
         """SRES = A3(Ki, RAND), 4 bytes."""
+        if not challenge:
+            raise ValueError("A3 challenge must be non-empty")
         self.challenges_answered += 1
         if self.weak_a3:
             # Weak mode: the response exposes Ki bytes selected by the

@@ -50,19 +50,30 @@ class CookieProtectedResponder:
     cookies_issued: int = 0
     cookies_verified: int = 0
     cookies_rejected: int = 0
+    cookies_grace_accepted: int = 0
     handshakes_started: int = 0
     work_spent_mi: float = 0.0
 
     def __post_init__(self) -> None:
         self._secret = self.rng.random_bytes(20)
+        self._previous_secret: Optional[bytes] = None
 
     def rotate_secret(self) -> None:
-        """Periodic rotation bounds cookie lifetime (replay window)."""
+        """Periodic rotation bounds cookie lifetime (replay window).
+
+        The outgoing secret is kept for one rotation as a grace window:
+        a client whose cookie crossed the (slow, lossy) radio link
+        while the secret rotated is not spuriously rejected.  Two
+        rotations fully expire a cookie.
+        """
+        self._previous_secret = self._secret
         self._secret = self.rng.random_bytes(20)
         self.secret_rotations += 1
 
-    def _cookie_for(self, address: str, nonce: bytes) -> bytes:
-        return hmac(self._secret, address.encode() + nonce)[:COOKIE_BYTES]
+    def _cookie_for(self, address: str, nonce: bytes,
+                    secret: Optional[bytes] = None) -> bytes:
+        secret = self._secret if secret is None else secret
+        return hmac(secret, address.encode() + nonce)[:COOKIE_BYTES]
 
     # -- protocol steps ----------------------------------------------------------
 
@@ -82,15 +93,30 @@ class CookieProtectedResponder:
 
     def second_contact(self, address: str, nonce: bytes,
                        cookie: bytes) -> bool:
-        """Handle a hello carrying an echoed cookie."""
+        """Handle a hello carrying an echoed cookie.
+
+        Accepts cookies minted under the current secret, or — within
+        the one-rotation grace window — the previous one (counted in
+        ``cookies_grace_accepted``).
+        """
         self.work_spent_mi += HMAC_COST_MI
-        if not constant_time_compare(
+        if constant_time_compare(
                 self._cookie_for(address, nonce), cookie):
-            self.cookies_rejected += 1
-            return False
-        self.cookies_verified += 1
-        self._start_handshake()
-        return True
+            self.cookies_verified += 1
+            self._start_handshake()
+            return True
+        if self._previous_secret is not None:
+            self.work_spent_mi += HMAC_COST_MI
+            if constant_time_compare(
+                    self._cookie_for(address, nonce,
+                                     secret=self._previous_secret),
+                    cookie):
+                self.cookies_verified += 1
+                self.cookies_grace_accepted += 1
+                self._start_handshake()
+                return True
+        self.cookies_rejected += 1
+        return False
 
     def _start_handshake(self) -> None:
         self.handshakes_started += 1

@@ -1,0 +1,209 @@
+"""Deterministic fault injection for the radio link.
+
+The paper's premise is a hostile bearer: frames are dropped, corrupted,
+duplicated, and reordered, and every recovery action costs battery
+energy (§2 network-access-domain security, §3.3 battery gap).  The
+seed-state :class:`~repro.protocols.transport.DuplexChannel` is a
+perfect FIFO, so none of the protocol stacks had ever met loss.
+
+:class:`FaultyChannel` closes that gap: it extends the duplex channel
+with composable fault processes — i.i.d. frame drop, duplication,
+adjacent-frame reordering, single-bit byte corruption, and a
+Gilbert–Elliott two-state burst-error mode — all driven by a
+:class:`~repro.crypto.rng.DeterministicDRBG`, so **every failure
+schedule is exactly reproducible from its seed**.  That determinism is
+what lets the ARQ layer (:mod:`repro.protocols.reliable`) and the
+recovery machinery be tested byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from ..crypto.rng import DeterministicDRBG
+from .transport import DuplexChannel, Interceptor
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state Markov burst-error model (good <-> bad channel states).
+
+    In the *good* state frames drop with probability ``drop_good``; in
+    the *bad* state (a fade) with ``drop_bad``.  State transitions
+    happen per frame with the given probabilities, producing the
+    clustered losses real radio links show instead of i.i.d. noise.
+    """
+
+    p_good_to_bad: float = 0.05
+    p_bad_to_good: float = 0.30
+    drop_good: float = 0.01
+    drop_bad: float = 0.60
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good",
+                     "drop_good", "drop_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Composable per-frame fault probabilities.
+
+    Every field is independent: a frame can be corrupted *and*
+    duplicated.  ``burst`` layers a Gilbert–Elliott drop process on top
+    of the i.i.d. ``drop``.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    burst: Optional[GilbertElliott] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder", "corrupt"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+    @classmethod
+    def lossy(cls, drop: float) -> "FaultModel":
+        """Pure i.i.d. frame drop at probability ``drop``."""
+        return cls(drop=drop)
+
+    @classmethod
+    def noisy(cls, corrupt: float) -> "FaultModel":
+        """Pure byte corruption at probability ``corrupt``."""
+        return cls(corrupt=corrupt)
+
+    @classmethod
+    def bursty(cls, model: Optional[GilbertElliott] = None) -> "FaultModel":
+        """Gilbert–Elliott burst losses only."""
+        return cls(burst=model or GilbertElliott())
+
+
+@dataclass
+class FaultStats:
+    """Ledger of every fault the channel injected."""
+
+    drops: int = 0
+    burst_drops: int = 0
+    duplicates: int = 0
+    corruptions: int = 0
+    reorders: int = 0
+    delivered: int = 0
+    bad_state_frames: int = 0
+
+    @property
+    def total_drops(self) -> int:
+        """i.i.d. plus burst-mode drops."""
+        return self.drops + self.burst_drops
+
+
+class FaultyChannel(DuplexChannel):
+    """A :class:`DuplexChannel` whose delivery path injects faults.
+
+    The fault pipeline runs *after* the interceptor (an attacker sees
+    the frame as sent; the channel then damages it), in a fixed order:
+    drop (i.i.d., then burst) -> corrupt -> duplicate -> reorder.  One
+    DRBG draw per decision keeps the schedule a pure function of the
+    seed and the frame sequence.
+
+    ``model`` is a plain attribute so tests can run a clean handshake
+    and then turn the weather bad for the data phase::
+
+        channel.model = FaultModel(drop=0.2)
+    """
+
+    def __init__(self, model: Optional[FaultModel] = None,
+                 seed: int = 0,
+                 interceptor: Optional[Interceptor] = None) -> None:
+        super().__init__(interceptor)
+        self.model = model or FaultModel()
+        self.seed = seed
+        self._drbg = DeterministicDRBG(("faulty-channel", seed).__repr__())
+        self.faults = FaultStats()
+        self._ge_state: Dict[str, str] = {"a->b": "good", "b->a": "good"}
+        self._held: Dict[str, Optional[bytes]] = {"a->b": None, "b->a": None}
+
+    # -- fault pipeline ----------------------------------------------------
+
+    def _enqueue(self, queue: Deque[bytes], frame: bytes,
+                 direction: str) -> None:
+        model = self.model
+
+        # 1. i.i.d. drop.
+        if model.drop > 0.0 and self._drbg.random() < model.drop:
+            self.faults.drops += 1
+            return
+
+        # 2. Gilbert–Elliott burst drop.
+        if model.burst is not None:
+            state = self._ge_state[direction]
+            if state == "bad":
+                self.faults.bad_state_frames += 1
+            drop_p = (model.burst.drop_bad if state == "bad"
+                      else model.burst.drop_good)
+            dropped = self._drbg.random() < drop_p
+            # Advance the Markov chain regardless of the drop outcome.
+            flip_p = (model.burst.p_bad_to_good if state == "bad"
+                      else model.burst.p_good_to_bad)
+            if self._drbg.random() < flip_p:
+                self._ge_state[direction] = (
+                    "good" if state == "bad" else "bad")
+            if dropped:
+                self.faults.burst_drops += 1
+                return
+
+        # 3. Single-bit corruption.
+        if model.corrupt > 0.0 and frame and \
+                self._drbg.random() < model.corrupt:
+            index = self._drbg.randrange(len(frame))
+            bit = 1 << self._drbg.randrange(8)
+            frame = frame[:index] + bytes([frame[index] ^ bit]) \
+                + frame[index + 1:]
+            self.faults.corruptions += 1
+
+        # 4. Duplication.
+        copies = 1
+        if model.duplicate > 0.0 and self._drbg.random() < model.duplicate:
+            copies = 2
+            self.faults.duplicates += 1
+
+        # 5. Adjacent-frame reordering: hold one frame back and release
+        # it after the next frame in the same direction overtakes it.
+        for _ in range(copies):
+            held = self._held[direction]
+            if held is not None:
+                queue.append(frame)
+                queue.append(held)
+                self._held[direction] = None
+                self.faults.delivered += 2
+            elif model.reorder > 0.0 and \
+                    self._drbg.random() < model.reorder:
+                self._held[direction] = frame
+                self.faults.reorders += 1
+            else:
+                queue.append(frame)
+                self.faults.delivered += 1
+
+    def flush_held(self) -> int:
+        """Release any frames the reorder stage is still holding.
+
+        Returns how many were released; useful when traffic stops while
+        a frame is in the reorder buffer (otherwise it reads as a loss,
+        which the ARQ layer would recover by retransmission anyway).
+        """
+        released = 0
+        for direction, queue in (("a->b", self._a_to_b),
+                                 ("b->a", self._b_to_a)):
+            held = self._held[direction]
+            if held is not None:
+                queue.append(held)
+                self._held[direction] = None
+                self.faults.delivered += 1
+                released += 1
+        return released

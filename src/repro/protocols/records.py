@@ -53,6 +53,13 @@ class RecordEncoder:
             self._cipher = suite.make_cipher(cipher_key)
             self._iv = iv
 
+    @property
+    def sequence(self) -> int:
+        """Next record's implicit sequence number (diagnostics: the
+        recovery layer reads it to report how far a session got before
+        teardown)."""
+        return self._sequence
+
     def _mac(self, content_type: int, payload: bytes) -> bytes:
         header = (
             self._sequence.to_bytes(8, "big")
@@ -95,6 +102,11 @@ class RecordDecoder:
             self._stream = None
             self._cipher = suite.make_cipher(cipher_key)
             self._iv = iv
+
+    @property
+    def sequence(self) -> int:
+        """Next expected record sequence number (diagnostics)."""
+        return self._sequence
 
     def decode(self, record: bytes) -> Tuple[int, bytes]:
         """Verify and open one wire record -> (content_type, payload)."""

@@ -94,17 +94,24 @@ def cache_session(cache: SessionCache, session: Session,
 def resume(client: ClientConfig, server: ServerConfig,
            client_cache: SessionCache, server_cache: SessionCache,
            session_id: bytes,
-           channel: Optional[DuplexChannel] = None
+           channel: Optional[DuplexChannel] = None,
+           endpoints: Optional[Tuple[Endpoint, Endpoint]] = None
            ) -> Tuple[Session, Session]:
     """Run the abbreviated handshake for a cached session.
 
     Raises :class:`HandshakeFailure` when either side has lost the
     session or the Finished exchange does not verify (in which case
     callers fall back to a full handshake, as the real protocol does).
+    Pass ``endpoints=(client_ep, server_ep)`` to resume over pre-built
+    endpoints — how :mod:`repro.protocols.recovery` reconnects over a
+    fresh (possibly lossy, ARQ-protected) link after a reset.
     """
-    channel = channel or DuplexChannel()
-    client_ep: Endpoint = channel.endpoint_a()
-    server_ep: Endpoint = channel.endpoint_b()
+    if endpoints is not None:
+        client_ep, server_ep = endpoints
+    else:
+        channel = channel or DuplexChannel()
+        client_ep = channel.endpoint_a()
+        server_ep = channel.endpoint_b()
 
     client_entry = client_cache.lookup(session_id)
     if client_entry is None:

@@ -20,12 +20,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..crypto.rng import DeterministicDRBG
+from .alerts import ProtocolAlert
 from .certificates import CertificateAuthority
 from .handshake import ClientConfig, ServerConfig
 from .tls import SecureConnection, connect
+from .transport import ChannelClosed
 from .wtls import WTLSConnection, wtls_connect
 
 RequestHandler = Callable[[bytes], bytes]
+
+DEGRADED_PREFIX = b"GW-DEGRADED:"
 
 
 @dataclass
@@ -49,7 +53,10 @@ class WAPGateway:
     rng: DeterministicDRBG
     gateway_config: ServerConfig
     plaintext_log: List[bytes] = field(default_factory=list)
+    wired_leg_failures: int = 0
+    degraded_responses: int = 0
     _server_connections: Dict[str, SecureConnection] = field(default_factory=dict)
+    _origin_sides: Dict[str, SecureConnection] = field(default_factory=dict)
     _servers: Dict[str, OriginServer] = field(default_factory=dict)
 
     handset_side: Optional[WTLSConnection] = None
@@ -70,28 +77,59 @@ class WAPGateway:
             )
             gw_conn, origin_conn = connect(client_cfg, server.config)
             self._server_connections[name] = gw_conn
-            self._origin_sides = getattr(self, "_origin_sides", {})
             self._origin_sides[name] = origin_conn
         return self._server_connections[name], self._servers[name]
 
-    def forward(self, destination: str) -> None:
+    def _drop_wired_leg(self, name: str) -> None:
+        """Forget a (possibly broken) cached TLS connection to an origin."""
+        self._server_connections.pop(name, None)
+        self._origin_sides.pop(name, None)
+
+    def _proxy_once(self, destination: str, request: bytes) -> bytes:
+        gw_conn, server = self._server_connection(destination)
+        gw_conn.send(request)                     # TLS re-encrypt
+        origin_conn = self._origin_sides[destination]
+        origin_conn.send(server.handler(origin_conn.receive()))
+        return gw_conn.receive()
+
+    def forward(self, destination: str, wired_retries: int = 1) -> bytes:
         """Take one pending WTLS request from the handset, proxy it over
         TLS to the origin, and return the response over WTLS.
 
         The decrypt-then-re-encrypt through gateway memory is the WAP
         gap: the request and response both land in ``plaintext_log``.
+
+        The wired leg degrades gracefully: a failed TLS exchange tears
+        down the cached origin connection and retries over a fresh one
+        (up to ``wired_retries`` times); if the origin stays
+        unreachable the handset gets a ``GW-DEGRADED:`` response
+        instead of the gateway crashing mid-proxy.
         """
         if self.handset_side is None:
             raise RuntimeError("gateway has no handset WTLS session")
         request = self.handset_side.receive()     # WTLS decrypt: the gap
         self.plaintext_log.append(request)
-        gw_conn, server = self._server_connection(destination)
-        gw_conn.send(request)                     # TLS re-encrypt
-        origin_conn = self._origin_sides[destination]
-        origin_conn.send(server.handler(origin_conn.receive()))
-        reply = gw_conn.receive()
+        reply: Optional[bytes] = None
+        last_error: Optional[Exception] = None
+        if destination not in self._servers:
+            last_error = KeyError(f"unknown origin {destination!r}")
+        else:
+            for _ in range(wired_retries + 1):
+                try:
+                    reply = self._proxy_once(destination, request)
+                    break
+                except (ProtocolAlert, ChannelClosed) as exc:
+                    self.wired_leg_failures += 1
+                    last_error = exc
+                    self._drop_wired_leg(destination)
+        if reply is None:
+            assert last_error is not None
+            reply = (DEGRADED_PREFIX + b" origin unavailable ("
+                     + type(last_error).__name__.encode() + b")")
+            self.degraded_responses += 1
         self.plaintext_log.append(reply)          # the gap again
         self.handset_side.send(reply)
+        return reply
 
 
 def build_wap_world(seed: int = 0,

@@ -99,6 +99,8 @@ class WTLSRecordDecoder:
         self._iv = iv
         self._seen: set = set()
         self.distinguishable_errors = distinguishable_errors
+        self.highest_sequence = -1
+        self.received = 0
 
     def _record_iv(self, sequence: int) -> bytes:
         seed = sequence.to_bytes(len(self._iv), "big") if self._iv else b""
@@ -143,7 +145,14 @@ class WTLSRecordDecoder:
         if not constant_time_compare(expected, tag):
             raise BadRecordMAC("WTLS MAC verification failed")
         self._seen.add(sequence)
+        self.highest_sequence = max(self.highest_sequence, sequence)
+        self.received += 1
         return sequence, payload
+
+    @property
+    def records_lost(self) -> int:
+        """Sequence gaps observed so far (datagrams that never decoded)."""
+        return (self.highest_sequence + 1) - self.received
 
 
 @dataclass
@@ -154,6 +163,7 @@ class WTLSConnection:
     decoder: WTLSRecordDecoder
     endpoint: Endpoint
     suite_name: str
+    discarded: int = 0
 
     def send(self, data: bytes) -> None:
         """Protect and transmit one datagram."""
@@ -164,19 +174,52 @@ class WTLSConnection:
         _, payload = self.decoder.decode(self.endpoint.receive())
         return payload
 
+    def receive_next(self, max_skip: int = 16) -> bytes:
+        """Receive the next *valid* datagram, skipping damaged ones.
+
+        Datagram transports degrade gracefully: a corrupted, replayed,
+        or truncated record is discarded (counted in ``discarded``) and
+        the reader moves on, up to ``max_skip`` bad records in a row.
+        Raises the last record error once the skip budget is spent, and
+        :class:`~repro.protocols.transport.ChannelEmpty` when the link
+        runs dry first.
+        """
+        last_error: Optional[Exception] = None
+        for _ in range(max_skip + 1):
+            raw = self.endpoint.receive()
+            try:
+                _, payload = self.decoder.decode(raw)
+            except (BadRecordMAC, DecodeError, ReplayError) as exc:
+                self.discarded += 1
+                last_error = exc
+                continue
+            return payload
+        assert last_error is not None
+        raise last_error
+
+    @property
+    def records_lost(self) -> int:
+        """Inbound datagrams lost in transit (sequence-gap estimate)."""
+        return self.decoder.records_lost
+
 
 def wtls_connect(client: ClientConfig, server: ServerConfig,
-                 channel: Optional[DuplexChannel] = None
+                 channel: Optional[DuplexChannel] = None,
+                 endpoints: Optional[Tuple[Endpoint, Endpoint]] = None
                  ) -> Tuple[WTLSConnection, WTLSConnection]:
     """Run the (TLS-grammar) handshake, then switch to WTLS records.
 
     WTLS reuses the handshake machinery — "adaptations of the wired
     security protocols" — but the data phase uses the datagram record
-    layer above.
+    layer above.  ``endpoints`` lets the session ride pre-built
+    endpoints (e.g. an ARQ-protected lossy link).
     """
-    channel = channel or DuplexChannel()
-    client_ep = channel.endpoint_a()
-    server_ep = channel.endpoint_b()
+    if endpoints is not None:
+        client_ep, server_ep = endpoints
+    else:
+        channel = channel or DuplexChannel()
+        client_ep = channel.endpoint_a()
+        server_ep = channel.endpoint_b()
     client_session, server_session = run_handshake(
         client, server, client_ep, server_ep
     )

@@ -26,7 +26,7 @@ from repro.protocols.messages import (
     Finished,
     ServerHello,
 )
-from repro.protocols.wap import build_wap_world
+from repro.protocols.wap import DEGRADED_PREFIX, build_wap_world
 
 
 class TestBearer:
@@ -91,6 +91,26 @@ class TestBearer:
         b = register.triplet("x", DeterministicDRBG(1))
         assert a == b
 
+    def test_short_ki_rejected_at_construction(self):
+        """Regression: a sub-2-byte Ki used to crash deep inside the
+        weak-A3 response (modulo by len-1) instead of failing fast."""
+        with pytest.raises(ValueError):
+            SIM("262-01-0003", b"")
+        with pytest.raises(ValueError):
+            SIM("262-01-0003", b"K", weak_a3=True)
+
+    def test_minimum_ki_works_in_both_modes(self):
+        strong = SIM("262-01-0004", b"Ki")
+        assert len(strong.a3_response(b"challenge")) == 4
+        weak = SIM("262-01-0005", b"Ki", weak_a3=True)
+        assert len(weak.a3_response(b"challenge")) == 4
+        assert clone_sim(weak, DeterministicDRBG("tiny")) == b"Ki"
+
+    def test_empty_challenge_rejected(self):
+        sim = SIM("262-01-0006", bytes(range(16)))
+        with pytest.raises(ValueError):
+            sim.a3_response(b"")
+
 
 class TestWAPGateway:
     def test_end_to_end_request(self):
@@ -122,6 +142,57 @@ class TestWAPGateway:
         handset.send(b"abc")
         gateway.forward("origin.example")
         assert handset.receive() == b"cba"
+
+    def test_unknown_origin_degrades_gracefully(self):
+        """An unreachable origin yields a GW-DEGRADED reply over WTLS
+        instead of crashing the gateway mid-proxy."""
+        handset, gateway, _ = build_wap_world(seed=5)
+        handset.send(b"GET /nowhere")
+        reply = gateway.forward("no-such-origin.example")
+        assert reply.startswith(DEGRADED_PREFIX)
+        assert handset.receive() == reply
+        assert gateway.degraded_responses == 1
+        assert gateway.wired_leg_failures == 0
+
+    def test_broken_wired_leg_retries_on_fresh_connection(self):
+        """A failed TLS exchange toward the origin tears down the cached
+        leg and the retry succeeds over a fresh handshake."""
+        handset, gateway, _ = build_wap_world(seed=6)
+        handset.send(b"warm up")
+        gateway.forward("origin.example")
+        assert handset.receive() == b"OK:warm up"
+        # Desynchronise the cached TLS leg: its next record fails MAC.
+        gateway._server_connections[
+            "origin.example"].session.encoder._sequence += 1
+        handset.send(b"after the storm")
+        reply = gateway.forward("origin.example")
+        assert reply == b"OK:after the storm"
+        assert handset.receive() == reply
+        assert gateway.wired_leg_failures == 1
+        assert gateway.degraded_responses == 0
+
+    def test_persistently_dead_wired_leg_degrades(self):
+        handset, gateway, _ = build_wap_world(seed=7)
+        handset.send(b"warm up")
+        gateway.forward("origin.example")
+        handset.receive()
+
+        original = gateway._proxy_once
+
+        def always_failing(destination, request):
+            # Re-break every leg, fresh ones included, before using it.
+            gateway._server_connection(destination)
+            gateway._server_connections[
+                destination].session.encoder._sequence += 1
+            return original(destination, request)
+
+        gateway._proxy_once = always_failing
+        handset.send(b"doomed")
+        reply = gateway.forward("origin.example", wired_retries=1)
+        assert reply.startswith(DEGRADED_PREFIX)
+        assert gateway.wired_leg_failures == 2
+        assert gateway.degraded_responses == 1
+        assert handset.receive() == reply
 
 
 class TestCertificates:

@@ -40,11 +40,40 @@ class TestCookieGate:
         assert not responder.second_contact(
             "192.168.1.2", b"nonce-02", cookie)
 
-    def test_secret_rotation_expires_cookies(self, responder):
+    def test_two_rotations_expire_cookies(self, responder):
         cookie = responder.first_contact("192.168.1.2", b"nonce-01")
+        responder.rotate_secret()
         responder.rotate_secret()
         assert not responder.second_contact(
             "192.168.1.2", b"nonce-01", cookie)
+        assert responder.cookies_rejected == 1
+        assert responder.cookies_grace_accepted == 0
+
+    def test_one_rotation_grace_accepts(self, responder):
+        """A cookie that crossed the slow radio link while the secret
+        rotated is honoured for one grace rotation, and counted."""
+        cookie = responder.first_contact("192.168.1.2", b"nonce-01")
+        responder.rotate_secret()
+        assert responder.second_contact("192.168.1.2", b"nonce-01", cookie)
+        assert responder.cookies_grace_accepted == 1
+        assert responder.cookies_verified == 1
+        assert responder.handshakes_started == 1
+
+    def test_grace_window_still_rejects_forgeries(self, responder):
+        responder.first_contact("192.168.1.2", b"nonce-01")
+        responder.rotate_secret()
+        assert not responder.second_contact(
+            "192.168.1.2", b"nonce-01", bytes(16))
+        assert responder.cookies_rejected == 1
+        assert responder.cookies_grace_accepted == 0
+
+    def test_fresh_cookie_skips_grace_path(self, responder):
+        """Current-secret cookies verify on the first HMAC; the grace
+        counter only moves for previous-secret cookies."""
+        responder.rotate_secret()
+        cookie = responder.first_contact("192.168.1.2", b"nonce-01")
+        assert responder.second_contact("192.168.1.2", b"nonce-01", cookie)
+        assert responder.cookies_grace_accepted == 0
 
     def test_first_contact_is_stateless_and_cheap(self, responder):
         for index in range(100):

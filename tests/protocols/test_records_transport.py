@@ -18,7 +18,11 @@ from repro.protocols.records import (
     RecordEncoder,
     make_record_pair,
 )
-from repro.protocols.transport import ChannelClosed, DuplexChannel
+from repro.protocols.transport import (
+    ChannelClosed,
+    ChannelEmpty,
+    DuplexChannel,
+)
 
 
 def _key_block(suite):
@@ -176,3 +180,76 @@ class TestTransport:
         b.send(b"y")
         assert [(d, f) for d, f in channel.log] == [
             ("a->b", b"x"), ("b->a", b"y")]
+
+    def test_log_records_frame_as_sent_not_as_mutated(self):
+        """The eavesdropper's log sees what the sender transmitted;
+        the interceptor's mutation only affects delivery."""
+        channel = DuplexChannel(
+            interceptor=lambda frame, direction: frame.upper())
+        a, b = channel.endpoint_a(), channel.endpoint_b()
+        a.send(b"quiet")
+        assert b.receive() == b"QUIET"
+        assert channel.log == [("a->b", b"quiet")]
+
+    def test_dropped_counts_every_interceptor_drop(self):
+        decisions = iter([None, b"keep", None, b"keep"])
+        channel = DuplexChannel(
+            interceptor=lambda frame, direction: next(decisions))
+        a, b = channel.endpoint_a(), channel.endpoint_b()
+        for _ in range(4):
+            a.send(b"frame")
+        assert channel.dropped == 2
+        assert b.pending() == 2
+        assert len(channel.log) == 4  # drops are still logged
+
+
+class TestChannelLifecycle:
+    def test_empty_read_is_channel_empty(self):
+        channel = DuplexChannel()
+        with pytest.raises(ChannelEmpty):
+            channel.endpoint_a().receive()
+
+    def test_empty_subclasses_closed(self):
+        # Compatibility guarantee: pre-ARQ callers catch ChannelClosed.
+        assert issubclass(ChannelEmpty, ChannelClosed)
+
+    def test_half_close_drains_then_raises_closed(self):
+        channel = DuplexChannel()
+        a, b = channel.endpoint_a(), channel.endpoint_b()
+        a.send(b"last words")
+        a.close()
+        assert a.closed
+        assert b.receive() == b"last words"
+        with pytest.raises(ChannelClosed) as excinfo:
+            b.receive()
+        assert not isinstance(excinfo.value, ChannelEmpty)
+
+    def test_half_close_is_directional(self):
+        channel = DuplexChannel()
+        a, b = channel.endpoint_a(), channel.endpoint_b()
+        a.close()
+        b.send(b"still flowing")  # the b->a direction stays open
+        assert a.receive() == b"still flowing"
+
+    def test_send_after_close_raises(self):
+        channel = DuplexChannel()
+        a = channel.endpoint_a()
+        a.close()
+        with pytest.raises(ChannelClosed):
+            a.send(b"too late")
+
+    def test_graceful_close_keeps_queued_frames(self):
+        channel = DuplexChannel()
+        a, b = channel.endpoint_a(), channel.endpoint_b()
+        a.send(b"in flight")
+        channel.close()
+        assert b.receive() == b"in flight"
+
+    def test_reset_loses_in_flight_frames(self):
+        channel = DuplexChannel()
+        a, b = channel.endpoint_a(), channel.endpoint_b()
+        a.send(b"doomed")
+        channel.reset()
+        assert channel.resets == 1
+        with pytest.raises(ChannelClosed):
+            b.receive()

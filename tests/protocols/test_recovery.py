@@ -1,0 +1,214 @@
+"""Graceful degradation: handshake fallback and session recovery.
+
+Exercises the robustness layer end to end: cipher-suite fallback under
+repeated handshake failure, plain retry on link-level loss, MAC-driven
+teardown plus full re-handshake, and reconnect-via-resumption after a
+link reset — including over a lossy, ARQ-protected link.
+"""
+
+import pytest
+
+from repro.protocols.alerts import HandshakeFailure
+from repro.protocols.ciphersuites import ALL_SUITES
+from repro.protocols.faults import FaultModel, FaultyChannel
+from repro.protocols.recovery import ResilientSession
+from repro.protocols.reliable import ReliableLink
+from repro.protocols.tls import connect_with_fallback
+from repro.protocols.transport import ChannelClosed, DuplexChannel
+
+
+def _corrupting_factory(fail_attempts, frame_index=3):
+    """Endpoint factory whose first ``fail_attempts`` links corrupt the
+    ``frame_index``-th client->server frame (the client Finished record
+    by default, which surfaces as a HandshakeFailure)."""
+    state = {"attempt": 0}
+
+    def factory():
+        state["attempt"] += 1
+        hostile = state["attempt"] <= fail_attempts
+        seen = {"count": 0}
+
+        def interceptor(frame, direction):
+            if direction == "a->b":
+                seen["count"] += 1
+                if hostile and seen["count"] == frame_index:
+                    return frame[:-1] + bytes([frame[-1] ^ 0x01])
+            return frame
+
+        channel = DuplexChannel(interceptor=interceptor)
+        return channel.endpoint_a(), channel.endpoint_b()
+
+    return factory
+
+
+def _dropping_factory(fail_attempts):
+    """First ``fail_attempts`` links swallow the ClientHello — a pure
+    link loss, which must retry without narrowing the suite list."""
+    state = {"attempt": 0}
+
+    def factory():
+        state["attempt"] += 1
+        hostile = state["attempt"] <= fail_attempts
+        seen = {"count": 0}
+
+        def interceptor(frame, direction):
+            if direction == "a->b":
+                seen["count"] += 1
+                if hostile and seen["count"] == 1:
+                    return None
+            return frame
+
+        channel = DuplexChannel(interceptor=interceptor)
+        return channel.endpoint_a(), channel.endpoint_b()
+
+    return factory
+
+
+class TestHandshakeFallback:
+    def test_clean_link_needs_one_attempt(self, client_config,
+                                          server_config):
+        client_conn, server_conn, log = connect_with_fallback(
+            client_config, server_config)
+        client_conn.send(b"up")
+        assert server_conn.receive() == b"up"
+        assert log.attempts == 1
+        assert log.suite_fallbacks == 0
+        assert log.link_failures == 0
+
+    def test_suite_fallback_walks_preference_list(self, client_config,
+                                                  server_config):
+        """Two corrupted-Finished failures walk two steps down the
+        client's suite preference list; the third attempt succeeds."""
+        client_conn, server_conn, log = connect_with_fallback(
+            client_config, server_config,
+            endpoint_factory=_corrupting_factory(fail_attempts=2))
+        assert log.attempts == 3
+        assert log.suite_fallbacks == 2
+        assert len(log.failures) == 2
+        assert client_conn.suite_name == client_config.suites[2].name
+        client_conn.send(b"degraded but alive")
+        assert server_conn.receive() == b"degraded but alive"
+
+    def test_link_failure_retries_without_narrowing(self, client_config,
+                                                    server_config):
+        """A lost ClientHello is a link event, not a negotiation event:
+        retry on a fresh link with the full preference list."""
+        client_conn, _, log = connect_with_fallback(
+            client_config, server_config,
+            endpoint_factory=_dropping_factory(fail_attempts=1))
+        assert log.attempts == 2
+        assert log.link_failures == 1
+        assert log.suite_fallbacks == 0
+        assert client_conn.suite_name == ALL_SUITES[0].name
+
+    def test_exhausted_attempts_raise(self, client_config, server_config):
+        with pytest.raises(HandshakeFailure):
+            connect_with_fallback(
+                client_config, server_config, max_attempts=3,
+                endpoint_factory=_corrupting_factory(fail_attempts=99))
+
+
+class TestResilientSession:
+    def test_establish_and_deliver(self, client_config, server_config):
+        session = ResilientSession(client_config, server_config)
+        assert session.deliver_to_server(b"hello") == b"hello"
+        assert session.deliver_to_client(b"world") == b"world"
+        assert session.report.full_handshakes == 1
+        assert session.report.resumptions == 0
+        assert session.session_id is not None
+
+    def test_link_reset_recovers_via_resumption(self, client_config,
+                                                server_config):
+        channels = []
+
+        def factory():
+            channel = DuplexChannel()
+            channels.append(channel)
+            return channel.endpoint_a(), channel.endpoint_b()
+
+        session = ResilientSession(client_config, server_config,
+                                   endpoint_factory=factory)
+        assert session.deliver_to_server(b"before") == b"before"
+        channels[-1].reset()  # the radio link dies mid-session
+        assert session.deliver_to_server(b"after") == b"after"
+        report = session.report
+        assert report.link_failures == 1
+        assert report.redeliveries == 1
+        # Recovery ran the abbreviated handshake, not a second full one.
+        assert report.resumptions == 1
+        assert report.full_handshakes == 1
+        assert session.client_cache.hits >= 1
+        assert session.server_cache.hits >= 1
+
+    def test_reconnect_returns_path_taken(self, client_config,
+                                          server_config):
+        session = ResilientSession(client_config, server_config)
+        session.establish()
+        assert session.reconnect() == "resumed"
+        session.teardown()
+        assert session.reconnect() == "full"
+
+    def test_bad_mac_invalidates_and_rehandshakes(self, client_config,
+                                                  server_config):
+        session = ResilientSession(client_config, server_config)
+        session.establish()
+        first_id = session.session_id
+        client_conn, _ = session.connections
+        # Desynchronise the record keys: the next record fails its MAC.
+        client_conn.session.encoder._sequence += 1
+        assert session.deliver_to_server(b"tainted") == b"tainted"
+        report = session.report
+        assert report.mac_failures == 1
+        assert report.rehandshakes_after_mac == 1
+        assert report.full_handshakes == 2  # NOT a resumption
+        assert report.resumptions == 0
+        # The tampered session must no longer be resumable anywhere.
+        assert session.session_id != first_id
+        assert session.client_cache.lookup(first_id) is None
+        assert session.server_cache.lookup(first_id) is None
+
+    def test_delivery_gives_up_after_recovery_budget(self, client_config,
+                                                     server_config):
+        session = ResilientSession(client_config, server_config)
+        session.establish()
+        client_conn, server_conn = session.connections
+
+        def poison():
+            fresh_client, fresh_server = session.connections
+            fresh_client.session.encoder._sequence += 1
+
+        poison()
+        # Re-poison after every recovery so delivery can never succeed.
+        original_establish = session.establish
+
+        def establishing_and_poisoning():
+            original_establish()
+            session.connections[0].session.encoder._sequence += 1
+
+        session.establish = establishing_and_poisoning
+        with pytest.raises(ChannelClosed):
+            session.deliver_to_server(b"never arrives")
+        assert session.report.mac_failures >= 2
+
+    def test_recovery_over_lossy_arq_link(self, client_config,
+                                          server_config):
+        """The full composition: resumption handshake riding go-back-N
+        over a 20% drop channel."""
+        state = {"links": 0}
+        links = []
+
+        def factory():
+            state["links"] += 1
+            link = ReliableLink(FaultyChannel(
+                FaultModel.lossy(0.2), seed=100 + state["links"]))
+            links.append(link)
+            return link.endpoint_a(), link.endpoint_b()
+
+        session = ResilientSession(client_config, server_config,
+                                   endpoint_factory=factory)
+        assert session.deliver_to_server(b"over loss") == b"over loss"
+        assert session.reconnect() == "resumed"
+        assert session.deliver_to_client(b"still here") == b"still here"
+        assert session.report.resumptions == 1
+        # The lossy links really dropped frames under the session.
+        assert any(link.channel.faults.total_drops > 0 for link in links)

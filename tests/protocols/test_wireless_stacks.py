@@ -57,6 +57,35 @@ class TestWTLS:
         with pytest.raises(BadRecordMAC):
             gateway.decoder.decode(bytes(record))
 
+    def test_receive_next_skips_damaged_datagrams(self, wtls_pair):
+        """The datagram reader degrades gracefully: damaged records are
+        discarded (and counted) instead of killing the session."""
+        handset, gateway = wtls_pair
+        damaged = bytearray(handset.encoder.encode(b"mangled"))
+        damaged[-1] ^= 1
+        handset.endpoint.send(bytes(damaged))
+        handset.send(b"good one")
+        assert gateway.receive_next() == b"good one"
+        assert gateway.discarded == 1
+
+    def test_receive_next_budget_exhausts(self, wtls_pair):
+        handset, gateway = wtls_pair
+        for _ in range(3):
+            damaged = bytearray(handset.encoder.encode(b"x"))
+            damaged[-1] ^= 1
+            handset.endpoint.send(bytes(damaged))
+        with pytest.raises(BadRecordMAC):
+            gateway.receive_next(max_skip=2)
+        assert gateway.discarded == 3
+
+    def test_records_lost_counts_sequence_gaps(self, wtls_pair):
+        handset, gateway = wtls_pair
+        handset.send(b"first")       # seq 0, lost below
+        gateway.endpoint.receive()   # simulate loss: drop the frame
+        handset.send(b"second")      # seq 1
+        assert gateway.receive() == b"second"
+        assert gateway.records_lost == 1
+
     def test_truncated_mac_length(self, wtls_pair):
         """WTLS trades MAC bytes for bandwidth: 10-byte tags."""
         from repro.protocols.wtls import WTLS_MAC_BYTES
