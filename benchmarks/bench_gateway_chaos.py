@@ -1,0 +1,73 @@
+"""Gateway chaos sweep: offered load × origin fault rate.
+
+Drives the multi-session :class:`~repro.protocols.gateway_runtime.
+GatewayRuntime` across the grid in :mod:`repro.analysis.chaos` and
+reports how the overload/fault machinery splits the traffic — served,
+degraded (``GW-DEGRADED:``), shed (``GW-BUSY:``) — with p95 virtual
+latency and handset radio energy per served request.
+
+Runs two ways:
+
+* ``PYTHONPATH=src python benchmarks/bench_gateway_chaos.py`` —
+  prints the sweep as JSON;
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_gateway_chaos.py``
+  — asserts the qualitative shape (fault-free/light-load everything
+  served, faults degrade but never drop, overload sheds, determinism).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.chaos import chaos_point, chaos_sweep
+
+SESSIONS = 4
+REQUESTS_PER_SESSION = 8
+SEED = 0
+
+
+def sweep_rows() -> List[Dict[str, float]]:
+    """The grid as a flat list of point dicts."""
+    return [row[-1] for row in chaos_sweep(
+        sessions=SESSIONS, requests_per_session=REQUESTS_PER_SESSION,
+        seed=SEED).rows]
+
+
+def test_light_load_no_faults_serves_everything():
+    point = chaos_point(interarrival_s=0.4, fault_rate=0.0, seed=SEED)
+    assert point["served"] == point["submitted"]
+    assert point["shed"] == 0 and point["degraded"] == 0
+
+
+def test_faults_degrade_but_every_request_is_answered():
+    point = chaos_point(interarrival_s=0.4, fault_rate=0.5, seed=SEED)
+    assert point["degraded"] > 0
+    assert (point["served"] + point["degraded"] + point["shed"]
+            == point["submitted"])
+
+
+def test_overload_sheds_instead_of_queueing_forever():
+    point = chaos_point(interarrival_s=0.002, fault_rate=0.0, seed=SEED,
+                        sessions=8, requests_per_session=16)
+    assert point["shed"] > 0
+    assert (point["served"] + point["degraded"] + point["shed"]
+            == point["submitted"])
+
+
+def test_chaos_point_is_deterministic():
+    assert (chaos_point(interarrival_s=0.1, fault_rate=0.3, seed=11)
+            == chaos_point(interarrival_s=0.1, fault_rate=0.3, seed=11))
+
+
+def main() -> None:
+    print(json.dumps({
+        "sessions": SESSIONS,
+        "requests_per_session": REQUESTS_PER_SESSION,
+        "seed": SEED,
+        "sweep": sweep_rows(),
+    }, indent=2))
+
+
+if __name__ == "__main__":
+    main()

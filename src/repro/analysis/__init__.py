@@ -1,5 +1,6 @@
 """Analysis utilities: figure regeneration, reporting, sweeps."""
 
+from .chaos import chaos_point, chaos_sweep, classify_reply
 from .figures import (
     all_figures,
     figure1_data,
@@ -23,6 +24,7 @@ __all__ = [
     "figure5_data", "figure6_data", "all_figures",
     "format_table", "format_series",
     "sweep", "SweepResult",
+    "chaos_point", "chaos_sweep", "classify_reply",
     "leakage_snr", "cpa_success_curve", "timing_attack_success_curve",
     "SuccessCurve",
 ]

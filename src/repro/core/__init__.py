@@ -109,6 +109,13 @@ from .secure_storage import (
     StorageTampered,
     theft_scenario,
 )
+from .supervisor import (
+    ApplianceSupervisor,
+    DegradationEvent,
+    DegradationReport,
+    SupervisorGaveUp,
+    supervise_appliance,
+)
 from .tamper_response import (
     EnvironmentEvent,
     ProbingAttacker,
@@ -165,5 +172,7 @@ __all__ = [
     "install_with_scan",
     "SecureStorage", "FlashDevice", "StorageTampered", "theft_scenario",
     "TamperMesh", "TamperResponder", "EnvironmentEvent", "ProbingAttacker",
+    "ApplianceSupervisor", "DegradationReport", "DegradationEvent",
+    "SupervisorGaveUp", "supervise_appliance",
     "FirmwarePackage", "UpdateAgent", "UpdateRejected", "build_package",
 ]

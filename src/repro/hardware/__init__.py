@@ -34,6 +34,16 @@ from .cycles import (
     rsa_public_instructions,
     total_mips_demand,
 )
+from .faults import (
+    AcceleratorFailure,
+    BatteryBrownout,
+    FaultPlan,
+    FlakyEngine,
+    GlitchCampaign,
+    HardwareFaultLog,
+    ScheduledGlitch,
+    wrap_engines,
+)
 from .energy import (
     RSA_SECURITY_OVERHEAD_MJ_PER_KB,
     RX_MJ_PER_KB,
@@ -79,6 +89,9 @@ __all__ = [
     "EnergyModel", "TX_MJ_PER_KB", "RX_MJ_PER_KB",
     "RSA_SECURITY_OVERHEAD_MJ_PER_KB", "SENSOR_BATTERY_KJ",
     "Battery", "BatteryEmpty", "battery_capacity_trend",
+    "AcceleratorFailure", "FlakyEngine", "BatteryBrownout",
+    "GlitchCampaign", "ScheduledGlitch", "FaultPlan", "HardwareFaultLog",
+    "wrap_engines",
     "Radio", "BEARERS", "SENSOR_RADIO", "GSM_RADIO", "WLAN_RADIO",
     "BulkWorkload", "HandshakeWorkload", "SessionWorkload",
     "SoftwareEngine", "ISAExtensionEngine", "CryptoAccelerator",

@@ -15,7 +15,19 @@ from typing import List
 
 
 class BatteryEmpty(Exception):
-    """Raised when a drain request exceeds the remaining charge."""
+    """Raised when a drain request exceeds the remaining charge.
+
+    Carries the refused request so supervision logic
+    (:mod:`repro.core.supervisor`) can decide what to degrade without
+    re-querying the battery: ``requested_mj`` is what the caller asked
+    for, ``remaining_mj`` what the (untouched) battery still holds.
+    """
+
+    def __init__(self, message: str, requested_mj: float = 0.0,
+                 remaining_mj: float = 0.0) -> None:
+        super().__init__(message)
+        self.requested_mj = requested_mj
+        self.remaining_mj = remaining_mj
 
 
 @dataclass
@@ -36,14 +48,22 @@ class Battery:
             self.remaining_j = self.capacity_j
 
     def drain_mj(self, millijoules: float) -> None:
-        """Withdraw energy; raises :class:`BatteryEmpty` if insufficient."""
+        """Withdraw energy; raises :class:`BatteryEmpty` if insufficient.
+
+        The drain is transactional: a refused request leaves the charge
+        exactly as it was (the check precedes the withdrawal), and the
+        exception carries the refused amounts, so brownout supervision
+        can act on a consistent ledger.
+        """
         if millijoules < 0:
             raise ValueError("cannot drain negative energy")
         joules = millijoules / 1000.0
         if joules > self.remaining_j:
             raise BatteryEmpty(
                 f"requested {joules:.3f} J but only "
-                f"{self.remaining_j:.3f} J remain"
+                f"{self.remaining_j:.3f} J remain",
+                requested_mj=millijoules,
+                remaining_mj=self.remaining_j * 1000.0,
             )
         self.remaining_j -= joules
 

@@ -34,6 +34,17 @@ from .ciphersuites import (
 )
 from .dos import CookieProtectedResponder, FloodReport, flood_experiment
 from .faults import FaultModel, FaultStats, FaultyChannel, GilbertElliott
+from .gateway_runtime import (
+    BUSY_PREFIX,
+    BreakerConfig,
+    CircuitBreaker,
+    GatewayRuntime,
+    RuntimeConfig,
+    RuntimeStats,
+    TokenBucket,
+    build_gateway_runtime_world,
+    busy_reply,
+)
 from .handshake import (
     ClientConfig,
     HandshakeAttemptLog,
@@ -73,7 +84,13 @@ from .resumption import (
 )
 from .tls import SecureConnection, connect, connect_with_fallback
 from .transport import ChannelClosed, ChannelEmpty, DuplexChannel, Endpoint
-from .wap import OriginServer, WAPGateway, build_wap_world
+from .wap import (
+    DEGRADED_PREFIX,
+    HandlerFailure,
+    OriginServer,
+    WAPGateway,
+    build_wap_world,
+)
 from .wep import WEPFrame, WEPStation
 from .wtls import WTLSConnection, wtls_connect
 
@@ -97,7 +114,11 @@ __all__ = [
     "WEPStation", "WEPFrame",
     "SecurityAssociation", "make_tunnel",
     "SIM", "HomeRegister", "BaseStation", "Handset", "clone_sim",
-    "WAPGateway", "OriginServer", "build_wap_world",
+    "WAPGateway", "OriginServer", "build_wap_world", "HandlerFailure",
+    "DEGRADED_PREFIX",
+    "GatewayRuntime", "RuntimeConfig", "RuntimeStats", "CircuitBreaker",
+    "BreakerConfig", "TokenBucket", "build_gateway_runtime_world",
+    "busy_reply", "BUSY_PREFIX",
     "SessionCache", "CachedSession", "cache_session", "resume",
     "USIM", "AuthenticationCentre", "ServingNetwork3G", "AKAChallenge",
     "FalseBaseStation", "false_base_station_attack",

@@ -21,8 +21,9 @@ spoofed flood does with and without the gate.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..crypto.bitops import constant_time_compare
 from ..crypto.hmac import hmac
@@ -46,17 +47,37 @@ class CookieProtectedResponder:
     require_cookies: bool = True
     expensive_work_mi: float = field(
         default_factory=lambda: handshake_cost().total_mi)
+    pending_limit: int = 256
     secret_rotations: int = 0
     cookies_issued: int = 0
     cookies_verified: int = 0
     cookies_rejected: int = 0
     cookies_grace_accepted: int = 0
+    cookies_unmatched: int = 0
+    evicted: int = 0
     handshakes_started: int = 0
     work_spent_mi: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.pending_limit < 1:
+            raise ValueError("pending limit must be at least 1")
         self._secret = self.rng.random_bytes(20)
         self._previous_secret: Optional[bytes] = None
+        # Seeded eviction keeps the schedule reproducible without ever
+        # touching the secret stream (its own DRBG, forked once here).
+        self._evict_rng = DeterministicDRBG(self.rng.random_bytes(16))
+        # Pending-cookie table: (address, nonce) -> rotation epoch at
+        # issue.  Pure accounting (best-effort single-use tracking) —
+        # the HMAC remains the gate — and therefore *bounded*: under a
+        # spoofed flood an unbounded table is itself a memory-DoS, so
+        # past ``pending_limit`` entries a seeded-random victim is
+        # evicted (counted in ``evicted``).
+        self._pending: "OrderedDict[Tuple[str, bytes], int]" = OrderedDict()
+
+    @property
+    def pending_cookies(self) -> int:
+        """Outstanding first-contact entries (always <= pending_limit)."""
+        return len(self._pending)
 
     def rotate_secret(self) -> None:
         """Periodic rotation bounds cookie lifetime (replay window).
@@ -64,11 +85,26 @@ class CookieProtectedResponder:
         The outgoing secret is kept for one rotation as a grace window:
         a client whose cookie crossed the (slow, lossy) radio link
         while the secret rotated is not spuriously rejected.  Two
-        rotations fully expire a cookie.
+        rotations fully expire a cookie — and garbage-collect its
+        pending entry (the cookie can never verify again).
         """
         self._previous_secret = self._secret
         self._secret = self.rng.random_bytes(20)
         self.secret_rotations += 1
+        for key in [key for key, epoch in self._pending.items()
+                    if self.secret_rotations - epoch >= 2]:
+            del self._pending[key]
+
+    def _remember_pending(self, address: str, nonce: bytes) -> None:
+        key = (address, nonce)
+        if key in self._pending:
+            self._pending.move_to_end(key)
+        elif len(self._pending) >= self.pending_limit:
+            victim = list(self._pending)[
+                self._evict_rng.randrange(len(self._pending))]
+            del self._pending[victim]
+            self.evicted += 1
+        self._pending[key] = self.secret_rotations
 
     def _cookie_for(self, address: str, nonce: bytes,
                     secret: Optional[bytes] = None) -> bytes:
@@ -80,13 +116,16 @@ class CookieProtectedResponder:
     def first_contact(self, address: str, nonce: bytes) -> Optional[bytes]:
         """Handle an initial hello.
 
-        With cookies on: reply with a cookie, spend only an HMAC, keep
-        NO state.  With cookies off: start the expensive handshake
-        immediately (the vulnerable baseline).
+        With cookies on: reply with a cookie, spend only an HMAC, and
+        keep no *handshake* state — only a bounded pending-table entry
+        whose loss costs nothing (the HMAC is the gate).  With cookies
+        off: start the expensive handshake immediately (the vulnerable
+        baseline).
         """
         if self.require_cookies:
             self.cookies_issued += 1
             self.work_spent_mi += HMAC_COST_MI
+            self._remember_pending(address, nonce)
             return self._cookie_for(address, nonce)
         self._start_handshake()
         return None
@@ -97,12 +136,16 @@ class CookieProtectedResponder:
 
         Accepts cookies minted under the current secret, or — within
         the one-rotation grace window — the previous one (counted in
-        ``cookies_grace_accepted``).
+        ``cookies_grace_accepted``).  An accepted cookie consumes its
+        pending-table entry; a valid cookie with no entry (evicted
+        under flood pressure, or a within-window replay) still passes
+        the cryptographic gate but is counted in ``cookies_unmatched``.
         """
         self.work_spent_mi += HMAC_COST_MI
         if constant_time_compare(
                 self._cookie_for(address, nonce), cookie):
             self.cookies_verified += 1
+            self._consume_pending(address, nonce)
             self._start_handshake()
             return True
         if self._previous_secret is not None:
@@ -113,10 +156,15 @@ class CookieProtectedResponder:
                     cookie):
                 self.cookies_verified += 1
                 self.cookies_grace_accepted += 1
+                self._consume_pending(address, nonce)
                 self._start_handshake()
                 return True
         self.cookies_rejected += 1
         return False
+
+    def _consume_pending(self, address: str, nonce: bytes) -> None:
+        if self._pending.pop((address, nonce), None) is None:
+            self.cookies_unmatched += 1
 
     def _start_handshake(self) -> None:
         self.handshakes_started += 1

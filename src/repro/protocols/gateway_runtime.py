@@ -1,0 +1,560 @@
+"""Overload-resilient multi-session WAP gateway runtime.
+
+The seed-state :class:`~repro.protocols.wap.WAPGateway` serves exactly
+one handset (``handset_side`` is a single WTLS connection) and answers
+origin trouble with a blind per-call retry.  This module is the
+gateway *under load*: the operating condition §2 assumes when it calls
+the gateway "trusted infrastructure" serving a handset population, and
+the DoS posture of §3.2 applied one layer up from the handshake cookies
+of :mod:`repro.protocols.dos`.
+
+:class:`GatewayRuntime` multiplexes N concurrent handset WTLS sessions
+over the :class:`~repro.protocols.reliable.VirtualClock` discrete-event
+scheduler and guards the proxy path with three mechanisms:
+
+* **token-bucket admission + a bounded queue** — arrivals beyond the
+  sustained rate or the queue bound are *shed* with a structured
+  ``GW-BUSY:`` rejection (reason + retry-after hint) instead of
+  growing unbounded state: the memory/CPU analogue of the stateless
+  cookie defence;
+* **per-request virtual-time deadlines** — a request whose service
+  cannot start before its deadline is answered ``GW-BUSY: deadline``
+  rather than occupying the server after the handset gave up;
+* **a closed → open → half-open circuit breaker per origin** — repeated
+  wired-leg failures open the breaker and subsequent requests fast-fail
+  degraded (no origin traffic at all); after a cooling period one
+  half-open probe decides between closing it and re-opening.
+
+Every request therefore gets exactly one of three answers — real,
+``GW-DEGRADED:`` or ``GW-BUSY:`` — and with no faults injected and no
+overload the runtime is byte-for-byte transparent versus the
+single-session ``WAPGateway.forward`` path (the tests pin this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from collections import deque
+
+from ..crypto.rng import DeterministicDRBG
+from ..hardware.battery import Battery, BatteryEmpty
+from ..hardware.energy import EnergyModel
+from .alerts import ProtocolAlert
+from .certificates import CertificateAuthority
+from .handshake import ClientConfig, ServerConfig
+from .reliable import VirtualClock
+from .transport import ChannelClosed
+from .wap import DEGRADED_PREFIX, HandlerFailure, OriginServer, WAPGateway
+from .wtls import WTLSConnection, wtls_connect
+
+BUSY_PREFIX = b"GW-BUSY:"
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+def busy_reply(reason: str, retry_after_s: Optional[float] = None) -> bytes:
+    """Structured load-shed rejection: machine-parseable reason and an
+    optional retry-after hint in virtual seconds."""
+    reply = BUSY_PREFIX + b" reason=" + reason.encode()
+    if retry_after_s is not None:
+        reply += f" retry-after={retry_after_s:.3f}".encode()
+    return reply
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Circuit-breaker tunables."""
+
+    failure_threshold: int = 3      # consecutive failures that open it
+    reset_timeout_s: float = 5.0    # open -> half-open cooling period
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure threshold must be at least 1")
+        if self.reset_timeout_s <= 0:
+            raise ValueError("reset timeout must be positive")
+
+
+class CircuitBreaker:
+    """Per-origin wired-leg health gate (closed → open → half-open).
+
+    Replaces the blind per-call retry: when an origin keeps failing the
+    gateway stops hammering it (and stops burning a service slot per
+    doomed attempt) until the cooling period elapses, then risks one
+    half-open probe.
+    """
+
+    def __init__(self, origin: str,
+                 config: Optional[BreakerConfig] = None) -> None:
+        self.origin = origin
+        self.config = config or BreakerConfig()
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.transitions: List[Tuple[float, str, str]] = []
+        self.fast_fails = 0
+
+    def _transition(self, now: float, to: str) -> None:
+        self.transitions.append((now, self.state, to))
+        self.state = to
+
+    def allow(self, now: float) -> bool:
+        """Whether an attempt may touch the origin right now."""
+        if self.state == OPEN:
+            if now - self.opened_at >= self.config.reset_timeout_s:
+                self._transition(now, HALF_OPEN)
+            else:
+                self.fast_fails += 1
+                return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        """A wired-leg exchange succeeded."""
+        if self.state != CLOSED:
+            self._transition(now, CLOSED)
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        """A wired-leg exchange failed."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+                self.state == CLOSED and self.consecutive_failures
+                >= self.config.failure_threshold):
+            self._transition(now, OPEN)
+        if self.state == OPEN:
+            self.opened_at = now
+
+    def state_history(self) -> List[str]:
+        """States entered, in order (initial CLOSED implied)."""
+        return [to for _, _, to in self.transitions]
+
+
+class TokenBucket:
+    """Deterministic token-bucket admission on virtual time."""
+
+    def __init__(self, capacity: float, refill_per_s: float) -> None:
+        if capacity < 1:
+            raise ValueError("bucket capacity must be at least 1")
+        if refill_per_s <= 0:
+            raise ValueError("refill rate must be positive")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self.tokens = float(capacity)
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(
+                self.capacity,
+                self.tokens + (now - self._last) * self.refill_per_s)
+            self._last = now
+
+    def try_take(self, now: float) -> bool:
+        """Consume one token if available."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def seconds_until_token(self, now: float) -> float:
+        """Virtual seconds until one token will be available."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            return 0.0
+        return (1.0 - self.tokens) / self.refill_per_s
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Gateway runtime tunables."""
+
+    queue_limit: int = 32           # bounded admission queue depth
+    bucket_capacity: float = 16.0   # admission burst budget
+    bucket_refill_per_s: float = 8.0  # sustained admission rate (req/s)
+    service_time_s: float = 0.05    # virtual service time per request
+    deadline_s: float = 4.0         # request must *start* by arrival+this
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ValueError("queue limit must be at least 1")
+        if self.service_time_s < 0 or self.deadline_s <= 0:
+            raise ValueError("service time / deadline must be sensible")
+
+
+@dataclass
+class RuntimeStats:
+    """The runtime's answer ledger: every request lands in exactly one
+    of served / degraded / shed, plus the supporting counters."""
+
+    submitted: int = 0
+    admitted: int = 0
+    served: int = 0
+    degraded: int = 0
+    shed_rate_limited: int = 0
+    shed_queue_full: int = 0
+    shed_deadline: int = 0
+    breaker_fast_fails: int = 0
+    wired_failures: int = 0
+    handler_failures: int = 0
+    battery_refusals: int = 0
+    energy_mj: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def shed(self) -> int:
+        """All load-shed answers."""
+        return (self.shed_rate_limited + self.shed_queue_full
+                + self.shed_deadline)
+
+    @property
+    def answered(self) -> int:
+        """Total requests answered one way or another."""
+        return self.served + self.degraded + self.shed
+
+    def p95_latency_s(self) -> float:
+        """p95 virtual-time latency of served+degraded requests."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(0.95 * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    def energy_per_served_mj(self) -> float:
+        """Radio energy per successfully served request."""
+        return self.energy_mj / self.served if self.served else 0.0
+
+
+@dataclass
+class _Session:
+    """One attached handset's gateway-side state."""
+
+    conn: WTLSConnection
+    battery: Optional[Battery] = None
+    served: int = 0
+    degraded: int = 0
+    shed: int = 0
+    brownouts: int = 0
+
+
+@dataclass(order=True)
+class _Arrival:
+    """One submitted request, ordered by (time, sequence)."""
+
+    time: float
+    seq: int
+    session_id: str = field(compare=False)
+    destination: str = field(compare=False)
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for the proxy worker."""
+
+    request: bytes
+    session_id: str
+    destination: str
+    arrival: float
+    deadline: float
+
+
+class GatewayRuntime:
+    """N concurrent handset WTLS sessions over one discrete-event loop.
+
+    The runtime owns the virtual clock and a single proxy worker (the
+    2003-era gateway is one box); ``add_ticker`` hooks (e.g. an
+    :class:`~repro.core.supervisor.ApplianceSupervisor` ``poll``) run
+    whenever virtual time advances, putting device faults and gateway
+    load on one timeline.
+    """
+
+    def __init__(self, gateway: WAPGateway,
+                 config: Optional[RuntimeConfig] = None,
+                 clock: Optional[VirtualClock] = None,
+                 energy: Optional[EnergyModel] = None) -> None:
+        self.gateway = gateway
+        self.config = config or RuntimeConfig()
+        self.clock = clock or VirtualClock()
+        self.energy = energy or EnergyModel()
+        self.stats = RuntimeStats()
+        self.sessions: Dict[str, _Session] = {}
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self._bucket = TokenBucket(self.config.bucket_capacity,
+                                   self.config.bucket_refill_per_s)
+        self._arrivals: List[_Arrival] = []
+        self._queue: Deque[_Pending] = deque()
+        self._server_free_at = 0.0
+        self._seq = 0
+        self._tickers: List[Callable[[float], None]] = []
+        self._outages: Dict[str, List[Tuple[float, float]]] = {}
+        self._fault_rates: Dict[str, Tuple[float, DeterministicDRBG]] = {}
+
+    # -- session management --------------------------------------------------
+
+    def attach_session(self, session_id: str, client: ClientConfig,
+                       battery: Optional[Battery] = None) -> WTLSConnection:
+        """Handshake a new handset WTLS session; returns the handset's
+        connection (the gateway keeps its own side)."""
+        if session_id in self.sessions:
+            raise ValueError(f"session {session_id!r} already attached")
+        handset_conn, gateway_side = wtls_connect(
+            client, self.gateway.gateway_config)
+        self.sessions[session_id] = _Session(gateway_side, battery)
+        return handset_conn
+
+    def adopt_session(self, session_id: str, gateway_side: WTLSConnection,
+                      battery: Optional[Battery] = None) -> None:
+        """Adopt an already-established gateway-side WTLS connection
+        (e.g. ``gateway.handset_side`` from
+        :func:`~repro.protocols.wap.build_wap_world`)."""
+        if session_id in self.sessions:
+            raise ValueError(f"session {session_id!r} already attached")
+        self.sessions[session_id] = _Session(gateway_side, battery)
+
+    # -- fault wiring --------------------------------------------------------
+
+    def breaker_for(self, destination: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one origin."""
+        if destination not in self.breakers:
+            self.breakers[destination] = CircuitBreaker(
+                destination, self.config.breaker)
+        return self.breakers[destination]
+
+    def add_ticker(self, ticker: Callable[[float], None]) -> None:
+        """Register a hook called with ``clock.now`` as time advances."""
+        self._tickers.append(ticker)
+
+    def set_outage(self, destination: str,
+                   windows: Sequence[Tuple[float, float]]) -> None:
+        """Schedule wired-leg outage windows ``[(start_s, end_s), ...]``
+        for an origin: attempts inside a window fail as link resets."""
+        self._outages[destination] = sorted(windows)
+
+    def set_fault_rate(self, destination: str, rate: float,
+                       seed: int = 0) -> None:
+        """Seeded i.i.d. wired-leg failure probability per attempt."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("fault rate must be a probability")
+        self._fault_rates[destination] = (
+            rate, DeterministicDRBG(("gw-fault", destination, seed).__repr__()))
+
+    # -- the event loop ------------------------------------------------------
+
+    def submit(self, session_id: str, destination: str,
+               arrival_offset_s: float = 0.0) -> None:
+        """Register one pending request for a session.
+
+        The handset must already have sent the request over its WTLS
+        connection; the runtime decrypts it at the arrival time (that is
+        when the gateway touches it — the WAP gap happens per request
+        whatever the admission verdict).
+        """
+        if session_id not in self.sessions:
+            raise KeyError(f"unknown session {session_id!r}")
+        if arrival_offset_s < 0:
+            raise ValueError("arrival offset cannot be negative")
+        heapq.heappush(self._arrivals, _Arrival(
+            time=self.clock.now + arrival_offset_s, seq=self._seq,
+            session_id=session_id, destination=destination))
+        self._seq += 1
+        self.stats.submitted += 1
+
+    def run(self) -> RuntimeStats:
+        """Drive the event loop until every request is answered."""
+        while self._arrivals or self._queue:
+            next_arrival = (self._arrivals[0].time
+                            if self._arrivals else float("inf"))
+            if self._queue:
+                head_start = max(self._server_free_at,
+                                 self._queue[0].arrival)
+                if head_start <= next_arrival:
+                    self._serve_one()
+                    continue
+            arrival = heapq.heappop(self._arrivals)
+            self._advance(arrival.time)
+            self._admit(arrival)
+        return self.stats
+
+    def _advance(self, when: float) -> None:
+        if when > self.clock.now:
+            self.clock.advance_to(when)
+        for ticker in self._tickers:
+            ticker(self.clock.now)
+
+    # -- admission -----------------------------------------------------------
+
+    def _admit(self, arrival: _Arrival) -> None:
+        session = self.sessions[arrival.session_id]
+        now = self.clock.now
+        request = session.conn.receive()          # WTLS decrypt: the gap
+        self.gateway.plaintext_log.append(request)
+        self._charge(session, len(request))
+        if not self._bucket.try_take(now):
+            self.stats.shed_rate_limited += 1
+            session.shed += 1
+            self._reply(session, busy_reply(
+                "rate-limited", self._bucket.seconds_until_token(now)))
+            return
+        if len(self._queue) >= self.config.queue_limit:
+            self.stats.shed_queue_full += 1
+            session.shed += 1
+            self._reply(session, busy_reply(
+                "queue-full",
+                self.config.service_time_s * len(self._queue)))
+            return
+        self.stats.admitted += 1
+        self._queue.append(_Pending(
+            request=request, session_id=arrival.session_id,
+            destination=arrival.destination, arrival=now,
+            deadline=now + self.config.deadline_s))
+
+    # -- service -------------------------------------------------------------
+
+    def _serve_one(self) -> None:
+        pending = self._queue.popleft()
+        session = self.sessions[pending.session_id]
+        start = max(self._server_free_at, pending.arrival)
+        self._advance(start)
+        if start > pending.deadline:
+            # Too stale to be worth origin work: answer shed, zero
+            # service time (the check is bookkeeping, not proxying).
+            self.stats.shed_deadline += 1
+            session.shed += 1
+            self._reply(session, busy_reply("deadline"))
+            return
+        finish = start + self.config.service_time_s
+        self._server_free_at = finish
+        self._advance(finish)
+        reply = self._proxy(pending, session)
+        self._reply(session, reply)
+        self.stats.latencies.append(finish - pending.arrival)
+
+    def _proxy(self, pending: _Pending, session: _Session) -> bytes:
+        destination = pending.destination
+        now = self.clock.now
+        if destination not in self.gateway._servers:
+            self.stats.degraded += 1
+            session.degraded += 1
+            self.gateway.degraded_responses += 1
+            return DEGRADED_PREFIX + b" origin unavailable (KeyError)"
+        breaker = self.breaker_for(destination)
+        if not breaker.allow(now):
+            self.stats.breaker_fast_fails += 1
+            self.stats.degraded += 1
+            session.degraded += 1
+            self.gateway.degraded_responses += 1
+            return DEGRADED_PREFIX + b" origin circuit open"
+        try:
+            self._maybe_inject_outage(destination, now)
+            reply = self.gateway._proxy_once(destination, pending.request)
+        except HandlerFailure:
+            # Origin reachable, application failed: not a breaker event.
+            breaker.record_success(now)
+            self.stats.handler_failures += 1
+            self.gateway.handler_failures += 1
+            self.stats.degraded += 1
+            session.degraded += 1
+            self.gateway.degraded_responses += 1
+            return (DEGRADED_PREFIX
+                    + b" origin handler error (HandlerFailure)")
+        except (ProtocolAlert, ChannelClosed) as exc:
+            breaker.record_failure(now)
+            self.stats.wired_failures += 1
+            self.gateway.wired_leg_failures += 1
+            self.gateway._drop_wired_leg(destination)
+            self.stats.degraded += 1
+            session.degraded += 1
+            self.gateway.degraded_responses += 1
+            return (DEGRADED_PREFIX + b" origin unavailable ("
+                    + type(exc).__name__.encode() + b")")
+        breaker.record_success(now)
+        self.stats.served += 1
+        session.served += 1
+        return reply
+
+    def _maybe_inject_outage(self, destination: str, now: float) -> None:
+        for start, end in self._outages.get(destination, ()):
+            if start <= now < end:
+                raise ChannelClosed(
+                    f"origin {destination} outage "
+                    f"[{start:.3f}, {end:.3f})s at t={now:.3f}s")
+        fault = self._fault_rates.get(destination)
+        if fault is not None:
+            rate, drbg = fault
+            if rate > 0.0 and drbg.random() < rate:
+                raise ChannelClosed(
+                    f"origin {destination} injected wired-leg fault "
+                    f"at t={now:.3f}s")
+
+    # -- reply path ----------------------------------------------------------
+
+    def _reply(self, session: _Session, payload: bytes) -> None:
+        self.gateway.plaintext_log.append(payload)  # the gap again
+        session.conn.send(payload)
+        self._charge(session, len(payload))
+
+    def _charge(self, session: _Session, num_bytes: int) -> None:
+        """Account handset radio energy (rx of a reply / tx of a request
+        are symmetric enough for the ledger: one airlink crossing)."""
+        millijoules = self.energy.frame_receive_mj(num_bytes)
+        self.stats.energy_mj += millijoules
+        if session.battery is None:
+            return
+        try:
+            session.battery.drain_mj(millijoules)
+        except BatteryEmpty:
+            # The handset's problem (its supervisor handles brownout);
+            # the gateway only records that the charge was refused.
+            session.brownouts += 1
+            self.stats.battery_refusals += 1
+
+
+def build_gateway_runtime_world(
+        sessions: int = 8, seed: int = 0,
+        handler: Optional[Callable[[bytes], bytes]] = None,
+        config: Optional[RuntimeConfig] = None,
+        batteries: Optional[Dict[str, Battery]] = None,
+) -> Tuple[GatewayRuntime, Dict[str, WTLSConnection], CertificateAuthority]:
+    """A full N-handset world: CA, origin, gateway, runtime, and
+    ``sessions`` attached handsets named ``handset-00`` ....
+
+    Mirrors :func:`~repro.protocols.wap.build_wap_world` (same CA/origin
+    construction) so single-session transparency can be checked against
+    it; returns ``(runtime, {session_id: handset_conn}, ca)``.
+    """
+    ca = CertificateAuthority(
+        "WAP-CA", DeterministicDRBG(("ca", seed).__repr__()))
+    gw_key, gw_cert = ca.issue(
+        "gateway.operator", DeterministicDRBG(("gw", seed).__repr__()))
+    origin_key, origin_cert = ca.issue(
+        "origin.example", DeterministicDRBG(("origin", seed).__repr__()))
+    handler = handler or (lambda request: b"OK:" + request)
+    origin = OriginServer(
+        name="origin.example", handler=handler,
+        config=ServerConfig(
+            rng=DeterministicDRBG(("origin-rng", seed).__repr__()),
+            certificate=origin_cert, private_key=origin_key))
+    gateway = WAPGateway(
+        ca=ca,
+        rng=DeterministicDRBG(("gw-rng", seed).__repr__()),
+        gateway_config=ServerConfig(
+            rng=DeterministicDRBG(("gw-srv-rng", seed).__repr__()),
+            certificate=gw_cert, private_key=gw_key))
+    gateway.register_origin(origin)
+    runtime = GatewayRuntime(gateway, config=config)
+    handsets: Dict[str, WTLSConnection] = {}
+    batteries = batteries or {}
+    for index in range(sessions):
+        session_id = f"handset-{index:02d}"
+        client = ClientConfig(
+            rng=DeterministicDRBG((session_id, seed).__repr__()),
+            ca=ca, expected_server="gateway.operator")
+        handsets[session_id] = runtime.attach_session(
+            session_id, client, battery=batteries.get(session_id))
+    return runtime, handsets, ca

@@ -32,6 +32,17 @@ RequestHandler = Callable[[bytes], bytes]
 DEGRADED_PREFIX = b"GW-DEGRADED:"
 
 
+class HandlerFailure(Exception):
+    """The origin's application handler raised mid-proxy.
+
+    Distinct from the transport failures (:class:`ProtocolAlert`,
+    :class:`ChannelClosed`): the origin is *reachable*, its application
+    code failed.  Retrying over a fresh TLS leg cannot help, so
+    :meth:`WAPGateway.forward` answers degraded immediately and counts
+    it in ``handler_failures`` instead of the wired-leg ledger.
+    """
+
+
 @dataclass
 class OriginServer:
     """A wired-Internet application server reachable over TLS."""
@@ -54,6 +65,7 @@ class WAPGateway:
     gateway_config: ServerConfig
     plaintext_log: List[bytes] = field(default_factory=list)
     wired_leg_failures: int = 0
+    handler_failures: int = 0
     degraded_responses: int = 0
     _server_connections: Dict[str, SecureConnection] = field(default_factory=dict)
     _origin_sides: Dict[str, SecureConnection] = field(default_factory=dict)
@@ -89,7 +101,16 @@ class WAPGateway:
         gw_conn, server = self._server_connection(destination)
         gw_conn.send(request)                     # TLS re-encrypt
         origin_conn = self._origin_sides[destination]
-        origin_conn.send(server.handler(origin_conn.receive()))
+        inbound = origin_conn.receive()
+        try:
+            response = server.handler(inbound)
+        except Exception as exc:
+            # Application failure, not transport: the TLS legs are fine,
+            # so keep them cached and let forward() answer degraded.
+            raise HandlerFailure(
+                f"origin {destination!r} handler raised "
+                f"{type(exc).__name__}: {exc}") from exc
+        origin_conn.send(response)
         return gw_conn.receive()
 
     def forward(self, destination: str, wired_retries: int = 1) -> bytes:
@@ -118,13 +139,21 @@ class WAPGateway:
                 try:
                     reply = self._proxy_once(destination, request)
                     break
+                except HandlerFailure as exc:
+                    # Deterministic application error: no retry.
+                    self.handler_failures += 1
+                    last_error = exc
+                    break
                 except (ProtocolAlert, ChannelClosed) as exc:
                     self.wired_leg_failures += 1
                     last_error = exc
                     self._drop_wired_leg(destination)
         if reply is None:
             assert last_error is not None
-            reply = (DEGRADED_PREFIX + b" origin unavailable ("
+            kind = (b" origin handler error ("
+                    if isinstance(last_error, HandlerFailure)
+                    else b" origin unavailable (")
+            reply = (DEGRADED_PREFIX + kind
                      + type(last_error).__name__.encode() + b")")
             self.degraded_responses += 1
         self.plaintext_log.append(reply)          # the gap again

@@ -1,0 +1,252 @@
+"""Appliance fault supervisor: ladder walk, brownouts, tamper recovery.
+
+The supervisor must convert the three §3.3–§3.4 hardware failure
+classes (engine death, battery sag, confirmed tamper) into *recorded*
+degraded modes — never uncaught exceptions — and restore capability
+when faults clear.  Every schedule here is seeded/scheduled, so the
+:class:`~repro.core.supervisor.DegradationReport` contents are exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.appliance import provision_appliance
+from repro.core.battery_aware import (
+    BALANCED,
+    ECONOMY,
+    FULL_STRENGTH,
+    BatteryAwarePolicy,
+)
+from repro.core.supervisor import (
+    ApplianceSupervisor,
+    DegradationReport,
+    SupervisorGaveUp,
+    supervise_appliance,
+)
+from repro.core.tamper_response import EnvironmentEvent
+from repro.hardware.accelerators import (
+    SoftwareEngine,
+    architecture_ladder,
+)
+from repro.hardware.battery import Battery
+from repro.hardware.faults import (
+    AcceleratorFailure,
+    BatteryBrownout,
+    FaultPlan,
+    FlakyEngine,
+    GlitchCampaign,
+    wrap_engines,
+)
+from repro.hardware.processors import ARM7
+from repro.hardware.workloads import BulkWorkload
+from repro.protocols.reliable import VirtualClock
+
+WORKLOAD = BulkWorkload(kilobytes=1.0, cipher="AES", mac="SHA1")
+
+
+def _flaky_supervisor(fail_at_s, recover_at_s=None, probe_interval_s=1.0,
+                      **kwargs):
+    clock = VirtualClock()
+    engines = wrap_engines(
+        list(reversed(architecture_ladder(ARM7))), clock,
+        fail_at_s=fail_at_s, recover_at_s=recover_at_s, seed=0)
+    return ApplianceSupervisor(
+        engines, clock=clock, probe_interval_s=probe_interval_s,
+        **kwargs), clock
+
+
+# -- engine dispatch ---------------------------------------------------------
+
+
+def test_healthy_ladder_uses_most_capable_engine():
+    supervisor, _ = _flaky_supervisor(fail_at_s=None)
+    report = supervisor.execute(WORKLOAD)
+    assert report.engine == "protocol-engine"
+    assert supervisor.report.engine_fallbacks == 0
+
+
+def test_accelerator_death_walks_down_to_software():
+    supervisor, clock = _flaky_supervisor(fail_at_s=1.0)
+    clock.advance_to(2.0)
+    report = supervisor.execute(WORKLOAD)
+    assert report.engine == "software"
+    # Every hardware rung failed once on the way down.
+    assert supervisor.report.engine_fallbacks == 3
+    assert supervisor.report.actions() == ["engine-fallback"] * 3
+
+
+def test_dead_engine_not_retried_before_probe_interval():
+    supervisor, clock = _flaky_supervisor(
+        fail_at_s=1.0, probe_interval_s=5.0)
+    clock.advance_to(2.0)
+    supervisor.execute(WORKLOAD)
+    fallbacks = supervisor.report.engine_fallbacks
+    clock.advance_to(3.0)                       # < died_at + 5
+    report = supervisor.execute(WORKLOAD)
+    assert report.engine == "software"
+    assert supervisor.report.engine_fallbacks == fallbacks  # no re-touch
+
+
+def test_recovered_engine_is_restored_after_probe():
+    supervisor, clock = _flaky_supervisor(
+        fail_at_s=1.0, recover_at_s=4.0, probe_interval_s=1.0)
+    clock.advance_to(2.0)
+    assert supervisor.execute(WORKLOAD).engine == "software"
+    clock.advance_to(6.0)                       # outage over, probe due
+    report = supervisor.execute(WORKLOAD)
+    assert report.engine == "protocol-engine"
+    assert supervisor.report.engine_restorations == 1
+    assert supervisor.report.actions()[-1] == "engine-restored"
+    assert supervisor.active_engine.name == "flaky(protocol-engine)"
+
+
+def test_gives_up_only_when_software_also_fails():
+    clock = VirtualClock()
+    # Even the software rung is flaky here: all-dead is a hard stop.
+    engines = [FlakyEngine(SoftwareEngine(ARM7), clock, fail_at_s=0.0)]
+    supervisor = ApplianceSupervisor(engines, clock=clock)
+    with pytest.raises(SupervisorGaveUp):
+        supervisor.execute(WORKLOAD)
+
+
+def test_transient_failures_are_seeded_deterministic():
+    def run():
+        clock = VirtualClock()
+        engine = FlakyEngine(
+            SoftwareEngine(ARM7), clock, transient_rate=0.5, seed=42)
+        outcomes = []
+        for _ in range(16):
+            try:
+                engine.execute(WORKLOAD)
+                outcomes.append("ok")
+            except AcceleratorFailure:
+                outcomes.append("fail")
+        return outcomes, engine.transient_failures
+
+    assert run() == run()
+    outcomes, failures = run()
+    assert "fail" in outcomes and "ok" in outcomes
+    assert failures == outcomes.count("fail")
+
+
+# -- battery management ------------------------------------------------------
+
+
+def test_suite_steps_down_and_back_up_with_charge():
+    battery = Battery(capacity_j=100.0)
+    supervisor = ApplianceSupervisor(
+        [SoftwareEngine(ARM7)], battery=battery)
+    assert supervisor.choose_suite() == FULL_STRENGTH
+    battery.remaining_j = 40.0                  # below 0.5 threshold
+    assert supervisor.choose_suite() == BALANCED
+    battery.remaining_j = 10.0                  # below 0.2 threshold
+    assert supervisor.choose_suite() == ECONOMY
+    assert supervisor.report.suite_downgrades == 2
+    battery.recharge()
+    assert supervisor.choose_suite() == FULL_STRENGTH
+    assert supervisor.report.suite_restorations == 1
+    assert supervisor.report.actions() == [
+        "suite-downgrade", "suite-downgrade", "suite-restored"]
+
+
+def test_guarded_drain_refuses_cleanly_and_downgrades():
+    battery = Battery(capacity_j=0.001)         # 1 mJ
+    supervisor = ApplianceSupervisor(
+        [SoftwareEngine(ARM7)], battery=battery)
+    before = battery.remaining_j
+    assert supervisor.guarded_drain(0.5)        # fits
+    assert not supervisor.guarded_drain(10.0)   # refused, no exception
+    assert battery.remaining_j == pytest.approx(before - 0.0005)
+    assert supervisor.report.brownout_refusals == 1
+    refusal = [e for e in supervisor.report.events
+               if e.action == "brownout-refusal"][0]
+    assert "requested 10.000 mJ" in refusal.detail
+
+
+def test_guarded_drain_without_battery_is_a_noop():
+    supervisor = ApplianceSupervisor([SoftwareEngine(ARM7)])
+    assert supervisor.guarded_drain(1e9)
+    assert supervisor.report.brownout_refusals == 0
+
+
+# -- tamper response ---------------------------------------------------------
+
+
+def test_subthreshold_glitch_does_not_zeroise():
+    appliance = provision_appliance(seed=5)
+    supervisor = supervise_appliance(appliance)
+    assert not supervisor.deliver_environment(
+        EnvironmentEvent("voltage", 0.1))
+    assert supervisor.report.tamper_zeroizations == 0
+    assert not appliance.tamper.zeroised
+
+
+def test_confirmed_tamper_zeroises_and_reprovisions():
+    appliance = provision_appliance(seed=5)
+    replacements = []
+
+    def factory():
+        replacement = provision_appliance(seed=6)
+        replacements.append(replacement)
+        return replacement
+
+    supervisor = supervise_appliance(appliance, reprovision=factory)
+    assert supervisor.deliver_environment(EnvironmentEvent("clock", 2.0))
+    assert appliance.tamper.zeroised
+    assert not any(appliance.keystore.root_key)   # keys actually gone
+    assert supervisor.report.tamper_zeroizations == 1
+    assert supervisor.report.reprovisions == 1
+    assert supervisor.reprovisioned == replacements
+    # The supervisor now watches the replacement's tamper domain.
+    assert supervisor.responder is replacements[0].tamper
+    assert any(replacements[0].keystore.root_key)  # fresh keys live
+
+
+def test_fault_plan_drives_poll_end_to_end():
+    appliance = provision_appliance(seed=7)
+    clock = VirtualClock()
+    plan = FaultPlan()
+    plan.add_brownout(BatteryBrownout(
+        appliance.platform.battery, at_s=2.0, to_fraction=0.01))
+    plan.add_campaign(GlitchCampaign.seeded(
+        seed=3, count=6, start_s=1.0, period_s=1.0, p_super=0.5))
+    supervisor = supervise_appliance(appliance, clock=clock,
+                                     fault_plan=plan)
+    for tick in range(1, 9):
+        supervisor.poll(float(tick))
+    # The campaign had super-threshold events (p_super=0.5, 6 draws):
+    # at least one zeroise; the brownout forced a suite downgrade.
+    assert supervisor.report.tamper_zeroizations >= 1
+    assert supervisor.report.suite_downgrades >= 1
+    assert "battery-brownout" in plan.log.kinds()
+    assert "glitch" in plan.log.kinds()
+
+
+def test_degradation_report_ledger_shape():
+    report = DegradationReport()
+    report.record(1.5, "engine-fallback", "detail")
+    report.record(2.0, "suite-downgrade")
+    assert report.actions() == ["engine-fallback", "suite-downgrade"]
+    assert report.events[0].time_s == 1.5
+    assert report.events[0].detail == "detail"
+
+
+def test_supervisor_requires_engines():
+    with pytest.raises(ValueError):
+        ApplianceSupervisor([])
+
+
+def test_poll_is_deterministic():
+    def run():
+        appliance = provision_appliance(seed=9)
+        clock = VirtualClock()
+        plan = FaultPlan()
+        plan.add_campaign(GlitchCampaign.seeded(seed=9, count=8))
+        supervisor = supervise_appliance(appliance, clock=clock,
+                                         fault_plan=plan)
+        for tick in range(1, 12):
+            supervisor.poll(tick * 0.8)
+        return supervisor.report.actions(), plan.log.entries
+
+    assert run() == run()

@@ -1,0 +1,118 @@
+"""Tamper-response boundaries: sensor thresholds, attacker outcomes.
+
+Dedicated coverage for :mod:`repro.core.tamper_response` — the exact
+sensor-envelope boundary semantics (a sensor trips on ``>`` its
+threshold, never ``==``), the :class:`ProbingAttacker` payoff with and
+without a responder, and zeroise idempotence — complementing the
+storage-centric tests in ``test_storage_tamper.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.keystore import KeyPolicy, KeyUsage, SecureKeyStore
+from repro.core.tamper_response import (
+    DEFAULT_SENSORS,
+    EnvironmentEvent,
+    ProbingAttacker,
+    TamperMesh,
+    TamperResponder,
+    glitching_is_subthreshold,
+)
+
+
+def _armed_responder():
+    keystore = SecureKeyStore.provision("boundary-test")
+    keystore.install(
+        "k1", bytes(range(16)),
+        KeyPolicy(usages=frozenset({KeyUsage.MAC})))
+    return keystore, TamperResponder(mesh=TamperMesh(), keystore=keystore)
+
+
+# -- threshold boundaries ----------------------------------------------------
+
+
+@pytest.mark.parametrize("sensor", DEFAULT_SENSORS,
+                         ids=[s.kind for s in DEFAULT_SENSORS])
+def test_exactly_at_threshold_does_not_trip(sensor):
+    """The envelope is exclusive: magnitude == threshold stays inside
+    (the comparison is strict ``>``), so the most aggressive *safe*
+    glitch rides exactly on the threshold."""
+    mesh = TamperMesh()
+    event = EnvironmentEvent(sensor.kind, sensor.threshold)
+    assert not mesh.evaluate(event)
+    assert mesh.trips == []
+    assert glitching_is_subthreshold(event, TamperMesh())
+
+
+@pytest.mark.parametrize("sensor", DEFAULT_SENSORS,
+                         ids=[s.kind for s in DEFAULT_SENSORS])
+def test_just_above_threshold_trips(sensor):
+    mesh = TamperMesh()
+    event = EnvironmentEvent(sensor.kind, sensor.threshold + 1e-9)
+    assert mesh.evaluate(event)
+    assert mesh.trips == [event]
+    assert not glitching_is_subthreshold(event, TamperMesh())
+
+
+def test_negative_excursions_trip_on_absolute_magnitude():
+    mesh = TamperMesh()
+    assert mesh.evaluate(EnvironmentEvent("voltage", -0.4))  # |-0.4| > 0.3
+    assert not TamperMesh().evaluate(EnvironmentEvent("voltage", -0.2))
+
+
+def test_unknown_event_kind_never_trips():
+    mesh = TamperMesh()
+    assert not mesh.evaluate(EnvironmentEvent("cosmic-ray", 1e9))
+    assert mesh.trips == []
+
+
+def test_mesh_sensor_has_zero_tolerance():
+    """The active shield is binary: any continuity break (> 0) trips."""
+    assert TamperMesh().evaluate(EnvironmentEvent("mesh", 1e-12))
+    assert not TamperMesh().evaluate(EnvironmentEvent("mesh", 0.0))
+
+
+# -- attacker vs responder ---------------------------------------------------
+
+
+def test_probing_attacker_against_meshed_device_gets_nothing():
+    keystore, responder = _armed_responder()
+    outcome = ProbingAttacker().run(responder, keystore)
+    # Decapsulation tripped sensors before the probe landed:
+    assert outcome["sensors_tripped"] == ["temperature", "light", "mesh"]
+    assert outcome["keys_recovered"] == []
+    assert not outcome["root_key_intact"]
+    assert responder.zeroised
+
+
+def test_probing_attacker_against_bare_device_recovers_keys():
+    keystore, _ = _armed_responder()
+    outcome = ProbingAttacker().run(None, keystore)
+    assert outcome["keys_recovered"] == ["k1"]
+    assert outcome["root_key_intact"]
+
+
+def test_subthreshold_campaign_never_triggers_response():
+    keystore, responder = _armed_responder()
+    quiet = ProbingAttacker(campaign=(
+        EnvironmentEvent("temperature", 60.0),   # exactly at threshold
+        EnvironmentEvent("voltage", 0.3),        # exactly at threshold
+        EnvironmentEvent("clock", 0.49),         # just inside
+    ))
+    outcome = quiet.run(responder, keystore)
+    assert outcome["sensors_tripped"] == []
+    assert outcome["keys_recovered"] == ["k1"]   # nothing zeroised...
+    assert not responder.zeroised                # ...the mesh saw nothing
+
+
+def test_zeroise_is_idempotent_and_always_logged():
+    keystore, responder = _armed_responder()
+    assert responder.deliver(EnvironmentEvent("light", 2.0))
+    root_after_first = bytes(keystore.root_key)
+    assert responder.deliver(EnvironmentEvent("light", 3.0))
+    assert keystore.root_key == root_after_first  # still all-zero
+    assert not any(keystore.root_key)
+    assert len(responder.response_log) == 2      # every trip logged
+    assert len(responder.mesh.trips) == 2

@@ -1,0 +1,210 @@
+"""Hardware fault injectors: seeded, scheduled, and transactional.
+
+Covers :mod:`repro.hardware.faults` (FlakyEngine windows and transient
+processes, BatteryBrownout idempotence, GlitchCampaign determinism,
+FaultPlan aggregation), the transactional :class:`Battery` refusal
+contract, and the §4.2 ladder fallback when a fixed-function
+:class:`CryptoAccelerator` meets an algorithm it lacks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.supervisor import ApplianceSupervisor
+from repro.hardware.accelerators import (
+    CryptoAccelerator,
+    SoftwareEngine,
+    UnsupportedWorkload,
+    architecture_ladder,
+)
+from repro.hardware.battery import Battery, BatteryEmpty
+from repro.hardware.faults import (
+    AcceleratorFailure,
+    BatteryBrownout,
+    FaultPlan,
+    FlakyEngine,
+    GlitchCampaign,
+    HardwareFaultLog,
+    wrap_engines,
+)
+from repro.hardware.platform_builder import phone_platform
+from repro.hardware.processors import ARM7
+from repro.hardware.workloads import BulkWorkload
+from repro.protocols.reliable import VirtualClock
+
+AES_WORKLOAD = BulkWorkload(kilobytes=1.0, cipher="AES", mac="SHA1")
+
+
+# -- FlakyEngine -------------------------------------------------------------
+
+
+def test_outage_window_has_sharp_edges():
+    clock = VirtualClock()
+    log = HardwareFaultLog()
+    engine = FlakyEngine(SoftwareEngine(ARM7), clock,
+                         fail_at_s=1.0, recover_at_s=3.0, log=log)
+    assert engine.execute(AES_WORKLOAD).engine == "software"  # t=0: fine
+    clock.advance_to(1.0)
+    with pytest.raises(AcceleratorFailure):                   # t=1: dead
+        engine.execute(AES_WORKLOAD)
+    clock.advance_to(3.0)
+    engine.execute(AES_WORKLOAD)                              # t=3: back
+    assert engine.failures == 1
+    assert log.kinds() == ["accelerator-outage"]
+    assert engine.name == "flaky(software)"
+
+
+def test_outage_without_recovery_is_permanent():
+    clock = VirtualClock()
+    engine = FlakyEngine(SoftwareEngine(ARM7), clock, fail_at_s=0.5)
+    clock.advance_to(1e6)
+    assert engine.in_outage()
+    with pytest.raises(AcceleratorFailure):
+        engine.execute(AES_WORKLOAD)
+
+
+def test_supports_is_never_fault_gated():
+    """A real driver discovers a dead datapath at execution, not at
+    capability query — ``supports`` must answer even mid-outage."""
+    clock = VirtualClock()
+    engine = FlakyEngine(SoftwareEngine(ARM7), clock, fail_at_s=0.0)
+    assert engine.supports(AES_WORKLOAD)
+
+
+def test_wrap_engines_leaves_software_pristine():
+    clock = VirtualClock()
+    ladder = list(reversed(architecture_ladder(ARM7)))
+    wrapped = wrap_engines(ladder, clock, fail_at_s=0.0)
+    assert isinstance(wrapped[-1], SoftwareEngine)       # untouched
+    assert all(isinstance(engine, FlakyEngine)
+               for engine in wrapped[:-1])               # all hardware
+
+
+# -- BatteryBrownout ---------------------------------------------------------
+
+
+def test_brownout_fires_once_and_never_adds_charge():
+    battery = Battery(capacity_j=100.0)
+    brownout = BatteryBrownout(battery, at_s=2.0, to_fraction=0.1)
+    assert not brownout.poll(1.0)                # not due yet
+    assert battery.remaining_j == 100.0
+    assert brownout.poll(2.0)                    # fires
+    assert battery.remaining_j == pytest.approx(10.0)
+    assert not brownout.poll(3.0)                # idempotent
+    battery.remaining_j = 5.0                    # drained further
+    brownout.applied = False
+    assert brownout.poll(4.0)
+    assert battery.remaining_j == 5.0            # sag never recharges
+
+
+def test_brownout_validates_fraction():
+    with pytest.raises(ValueError):
+        BatteryBrownout(Battery(), at_s=0.0, to_fraction=1.5)
+
+
+# -- GlitchCampaign ----------------------------------------------------------
+
+
+def test_seeded_campaign_is_deterministic_and_mixed():
+    first = GlitchCampaign.seeded(seed=4, count=20, p_super=0.3)
+    second = GlitchCampaign.seeded(seed=4, count=20, p_super=0.3)
+    assert first.glitches == second.glitches
+    assert first.glitches != GlitchCampaign.seeded(
+        seed=5, count=20, p_super=0.3).glitches
+    thresholds = {"clock": 0.5, "voltage": 0.3}
+    supers = [g for g in first.glitches
+              if g.event.magnitude > thresholds[g.event.kind]]
+    subs = [g for g in first.glitches
+            if g.event.magnitude <= thresholds[g.event.kind]]
+    assert supers and subs                       # both regimes drawn
+
+
+def test_campaign_due_pops_in_schedule_order():
+    campaign = GlitchCampaign.seeded(seed=1, count=4, start_s=1.0,
+                                     period_s=1.0)
+    assert campaign.due(0.5) == []
+    first_two = campaign.due(2.0)
+    assert len(first_two) == 2
+    assert campaign.due(2.0) == []               # already delivered
+    assert len(campaign.due(100.0)) == 2         # the remainder
+    assert campaign.delivered == 4
+
+
+# -- FaultPlan ---------------------------------------------------------------
+
+
+def test_fault_plan_aggregates_on_one_timeline():
+    battery = Battery(capacity_j=50.0)
+    plan = FaultPlan()
+    plan.add_brownout(BatteryBrownout(battery, at_s=1.0, to_fraction=0.2))
+    plan.add_campaign(GlitchCampaign.seeded(seed=2, count=3, start_s=2.0))
+    assert plan.poll(0.5) == []
+    assert battery.remaining_j == 50.0
+    assert plan.poll(1.5) == []                  # brownout only
+    assert battery.remaining_j == pytest.approx(10.0)
+    events = plan.poll(10.0)
+    assert len(events) == 3
+    assert plan.log.kinds() == ["battery-brownout"] + ["glitch"] * 3
+
+
+# -- transactional battery ---------------------------------------------------
+
+
+def test_battery_refusal_is_transactional_and_self_describing():
+    battery = Battery(capacity_j=0.01)           # 10 mJ
+    battery.drain_mj(4.0)
+    with pytest.raises(BatteryEmpty) as excinfo:
+        battery.drain_mj(7.0)
+    assert excinfo.value.requested_mj == pytest.approx(7.0)
+    assert excinfo.value.remaining_mj == pytest.approx(6.0)
+    # The refused drain left the ledger untouched:
+    assert battery.remaining_j == pytest.approx(0.006)
+    battery.drain_mj(6.0)                        # exactly fits
+    assert battery.remaining_j == pytest.approx(0.0)
+
+
+# -- ladder fallback on missing algorithms -----------------------------------
+
+
+def test_accelerator_raises_unsupported_for_unknown_cipher():
+    accelerator = CryptoAccelerator(ARM7)
+    exotic = BulkWorkload(kilobytes=1.0, cipher="RC2", mac="SHA1")
+    assert not accelerator.supports(exotic)
+    with pytest.raises(UnsupportedWorkload):
+        accelerator.execute(exotic)
+
+
+def test_platform_falls_back_to_software_for_unknown_cipher():
+    platform = phone_platform(engines=[CryptoAccelerator(ARM7)])
+    exotic = BulkWorkload(kilobytes=1.0, cipher="RC2", mac="SHA1")
+    report = platform.run_security_workload(exotic)
+    assert report.engine == "software"           # flexibility preserved
+    assert platform.run_security_workload(AES_WORKLOAD).engine == \
+        "crypto-accelerator"                     # hardware when it can
+
+
+def test_supervisor_survives_optimistic_driver_raising_unsupported():
+    """A driver that only discovers the capability gap at execution
+    (claims support, then raises UnsupportedWorkload) must still end in
+    a software answer plus a recorded fallback, not an exception."""
+
+    class OptimisticDriver:
+        def __init__(self, inner):
+            self.inner = inner
+            self.name = f"optimistic({inner.name})"
+            self.flexibility = inner.flexibility
+
+        def supports(self, workload):
+            return True                          # overpromises
+
+        def execute(self, workload):
+            return self.inner.execute(workload)  # may raise
+
+    supervisor = ApplianceSupervisor(
+        [OptimisticDriver(CryptoAccelerator(ARM7)), SoftwareEngine(ARM7)])
+    exotic = BulkWorkload(kilobytes=1.0, cipher="RC2", mac="SHA1")
+    report = supervisor.execute(exotic)
+    assert report.engine == "software"
+    assert supervisor.report.engine_fallbacks == 1
+    assert supervisor.report.actions() == ["engine-fallback"]

@@ -83,6 +83,82 @@ class TestCookieGate:
         assert responder.work_spent_mi < 1.0
 
 
+class TestBoundedPendingTable:
+    def test_pending_table_tracks_and_consumes(self, responder):
+        cookie = responder.first_contact("192.168.1.2", b"nonce-01")
+        assert responder.pending_cookies == 1
+        assert responder.second_contact("192.168.1.2", b"nonce-01", cookie)
+        assert responder.pending_cookies == 0
+        assert responder.cookies_unmatched == 0
+
+    def test_flood_cannot_grow_unbounded_state(self, responder):
+        """The anti-DoS table must not itself be a memory DoS: a
+        spoofed flood far beyond the bound leaves at most
+        ``pending_limit`` entries, evicting seeded-random victims."""
+        flood = responder.pending_limit * 4
+        for index in range(flood):
+            responder.first_contact(
+                f"10.{index % 256}.{(index // 256) % 256}.1",
+                index.to_bytes(4, "big"))
+        assert responder.pending_cookies == responder.pending_limit
+        assert responder.evicted == flood - responder.pending_limit
+
+    def test_evicted_legit_client_is_still_served(self, responder):
+        """Fail-open: eviction costs a counter tick, never a client.
+        The HMAC remains the authoritative gate."""
+        cookie = responder.first_contact("192.168.1.2", b"real-nonce")
+        for index in range(responder.pending_limit * 2):   # flood it out
+            responder.first_contact(f"10.0.{index % 256}.9",
+                                    index.to_bytes(4, "big"))
+        unmatched_before = responder.cookies_unmatched
+        assert responder.second_contact(
+            "192.168.1.2", b"real-nonce", cookie)
+        assert responder.handshakes_started == 1
+        # Either the entry survived or its consumption went unmatched —
+        # service is identical, only the accounting differs.
+        assert responder.cookies_unmatched in (
+            unmatched_before, unmatched_before + 1)
+
+    def test_replay_within_window_counts_unmatched(self, responder):
+        cookie = responder.first_contact("192.168.1.2", b"nonce-01")
+        assert responder.second_contact("192.168.1.2", b"nonce-01", cookie)
+        # Replay: still cryptographically valid inside the window, but
+        # its single-use entry is gone.
+        assert responder.second_contact("192.168.1.2", b"nonce-01", cookie)
+        assert responder.cookies_unmatched == 1
+
+    def test_rotations_garbage_collect_expired_entries(self, responder):
+        responder.first_contact("192.168.1.2", b"nonce-01")
+        assert responder.pending_cookies == 1
+        responder.rotate_secret()
+        assert responder.pending_cookies == 1      # grace window: kept
+        responder.rotate_secret()
+        assert responder.pending_cookies == 0      # fully expired: GC'd
+
+    def test_grace_window_consumes_pending_entry(self, responder):
+        cookie = responder.first_contact("192.168.1.2", b"nonce-01")
+        responder.rotate_secret()
+        assert responder.second_contact("192.168.1.2", b"nonce-01", cookie)
+        assert responder.pending_cookies == 0
+        assert responder.cookies_unmatched == 0
+
+    def test_eviction_is_deterministic(self):
+        def run():
+            responder = CookieProtectedResponder(
+                rng=DeterministicDRBG("dos-evict"), pending_limit=8)
+            for index in range(64):
+                responder.first_contact(f"10.0.0.{index}",
+                                        index.to_bytes(2, "big"))
+            return sorted(responder._pending), responder.evicted
+
+        assert run() == run()
+
+    def test_pending_limit_validated(self):
+        with pytest.raises(ValueError):
+            CookieProtectedResponder(
+                rng=DeterministicDRBG("dos-bad"), pending_limit=0)
+
+
 class TestFloodExperiment:
     def test_naive_responder_melts(self):
         report = flood_experiment(flood_size=1000, require_cookies=False)
