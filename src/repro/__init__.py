@@ -32,6 +32,10 @@ Subpackages
     DRM, and the composed :class:`~repro.core.appliance.MobileAppliance`.
 ``repro.analysis``
     Figure regeneration, table rendering, sweep harness.
+``repro.observability``
+    The unified telemetry plane: virtual-time spans, the metrics
+    registry with ledger adapters, energy/cycle attribution, and the
+    deterministic exports behind ``python -m repro telemetry-report``.
 
 Quickstart
 ----------
@@ -43,9 +47,17 @@ True
 
 __version__ = "1.0.0"
 
-from . import analysis, attacks, core, crypto, hardware, protocols  # noqa: F401
+from . import (  # noqa: F401
+    analysis,
+    attacks,
+    core,
+    crypto,
+    hardware,
+    observability,
+    protocols,
+)
 
 __all__ = [
     "crypto", "protocols", "hardware", "attacks", "core", "analysis",
-    "__version__",
+    "observability", "__version__",
 ]

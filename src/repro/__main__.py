@@ -7,7 +7,10 @@ Gives the reproduction a front door:
 * ``attacks``        — run the §3.4 attack/countermeasure suite;
 * ``gap``            — the Figure 3 feasibility explorer;
 * ``battery``        — the Figure 4 report + battery-gap projection;
-* ``appliance``      — provision/boot/unlock/transact walkthrough.
+* ``appliance``      — provision/boot/unlock/transact walkthrough;
+* ``telemetry-report`` — seeded gateway chaos run with the telemetry
+  plane on: span-tree roll-up, per-phase energy attribution, metrics
+  dump, optional deterministic JSONL / flamegraph exports.
 """
 
 from __future__ import annotations
@@ -113,6 +116,67 @@ def _cmd_appliance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry_report(args: argparse.Namespace) -> int:
+    from .observability.attribution import phase_energy_mj
+    from .observability.export import (
+        flamegraph_folds,
+        prometheus_text,
+        rollup_table,
+        span_tree,
+        write_jsonl,
+    )
+    from .observability.scenario import run_gateway_chaos
+
+    result = run_gateway_chaos(
+        sessions=args.sessions,
+        requests_per_session=args.requests,
+        interarrival_s=args.interarrival,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+    )
+    telemetry = result.telemetry
+
+    print("=" * 24, "telemetry report", "=" * 24)
+    print(f"trace id: {telemetry.trace_id}  "
+          f"(seed {args.seed}, {args.sessions} sessions x "
+          f"{args.requests} requests, fault rate {args.fault_rate})")
+    print(f"replies: {result.counts}")
+    print()
+
+    print("-- span tree (truncated) " + "-" * 37)
+    print(span_tree(telemetry, max_spans=args.max_spans))
+    print()
+
+    print("-- energy/cycle roll-up " + "-" * 38)
+    print(rollup_table(telemetry))
+    print()
+
+    print("-- per-phase energy (mJ) " + "-" * 37)
+    for phase, mj in sorted(phase_energy_mj(telemetry).items(),
+                            key=lambda item: (-item[1], item[0])):
+        print(f"  {phase:<24} {mj:.6f}")
+    recon = result.reconciliation
+    print(f"  attributed {recon.attributed_mj:.6f} mJ vs battery drain "
+          f"{recon.battery_drain_mj:.6f} mJ "
+          f"(delta {recon.delta_mj:.3e}) -> "
+          f"{'reconciled' if recon.ok else 'MISMATCH'}")
+    print()
+
+    if args.metrics:
+        print("-- metrics " + "-" * 51)
+        print(prometheus_text(telemetry))
+        print()
+
+    if args.jsonl:
+        write_jsonl(telemetry, args.jsonl)
+        print(f"wrote deterministic trace to {args.jsonl}")
+    if args.folded:
+        with open(args.folded, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(flamegraph_folds(telemetry))
+        print(f"wrote flamegraph folds to {args.folded}")
+    return 0 if recon.ok else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -130,6 +194,22 @@ def main(argv=None) -> int:
     appliance = sub.add_parser("appliance",
                                help="provision/boot/transact walkthrough")
     appliance.add_argument("--seed", type=int, default=0)
+    telemetry = sub.add_parser(
+        "telemetry-report",
+        help="gateway chaos run with the telemetry plane on")
+    telemetry.add_argument("--sessions", type=int, default=32)
+    telemetry.add_argument("--requests", type=int, default=4)
+    telemetry.add_argument("--interarrival", type=float, default=0.1)
+    telemetry.add_argument("--fault-rate", type=float, default=0.2)
+    telemetry.add_argument("--seed", type=int, default=0)
+    telemetry.add_argument("--max-spans", type=int, default=60,
+                           help="span-tree rows to print")
+    telemetry.add_argument("--metrics", action="store_true",
+                           help="also dump the Prometheus text format")
+    telemetry.add_argument("--jsonl", metavar="PATH", default=None,
+                           help="write the deterministic JSONL trace here")
+    telemetry.add_argument("--folded", metavar="PATH", default=None,
+                           help="write flamegraph-style folded stacks here")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -139,6 +219,7 @@ def main(argv=None) -> int:
         "gap": _cmd_gap,
         "battery": _cmd_battery,
         "appliance": _cmd_appliance,
+        "telemetry-report": _cmd_telemetry_report,
     }
     return handlers[args.command](args)
 

@@ -47,6 +47,7 @@ from ..hardware.accelerators import (
 )
 from ..hardware.battery import Battery, BatteryEmpty
 from ..hardware.faults import AcceleratorFailure, FaultPlan
+from ..observability import probe
 from ..protocols.reliable import VirtualClock
 from .battery_aware import BatteryAwarePolicy, SuiteChoice
 from .tamper_response import EnvironmentEvent, TamperResponder
@@ -79,8 +80,15 @@ class DegradationReport:
     reprovisions: int = 0
 
     def record(self, time_s: float, action: str, detail: str = "") -> None:
-        """Append one action row."""
+        """Append one action row (mirrored as a telemetry event)."""
         self.events.append(DegradationEvent(time_s, action, detail))
+        telemetry = probe.active
+        if telemetry is not None:
+            telemetry.event(f"supervisor.{action}", detail=detail)
+            telemetry.registry.counter(
+                "repro_supervisor_actions_total",
+                "supervisor degradations by action",
+            ).inc(action=action)
 
     def actions(self) -> List[str]:
         """The actions taken, in order."""
@@ -152,6 +160,22 @@ class ApplianceSupervisor:
         """Run a workload on the best live engine, degrading down the
         ladder on failure; raises :class:`SupervisorGaveUp` only when
         every rung (software included) refused."""
+        telemetry = probe.active
+        if telemetry is None:
+            return self._execute_inner(workload)
+        with telemetry.span("supervisor.execute",
+                            workload=type(workload).__name__) as span:
+            try:
+                result = self._execute_inner(workload)
+            except Exception as exc:
+                span.set(error=type(exc).__name__)
+                raise
+            span.set(engine=result.engine)
+            telemetry.add_cycles(result.host_instructions, kind="engine")
+            telemetry.add_energy_mj(result.energy_mj, kind="engine")
+            return result
+
+    def _execute_inner(self, workload) -> ExecutionReport:
         now = self.clock.now
         last_error: Optional[Exception] = None
         for slot in self._slots:

@@ -49,6 +49,8 @@ import contextlib
 import os
 from typing import List, Optional, Sequence, Tuple
 
+from ..observability import probe
+
 MASK32 = 0xFFFFFFFF
 
 _ENABLED = os.environ.get("REPRO_FASTPATH", "1").lower() not in (
@@ -61,15 +63,26 @@ def enabled() -> bool:
     return _ENABLED
 
 
+def dispatch_path(recorder=None) -> str:
+    """Which implementation the dispatch seam will pick right now:
+    ``"fast"`` (precomputed kernels) or ``"reference"`` (the readable
+    loops — always taken when a trace recorder is attached)."""
+    return "fast" if recorder is None and _ENABLED else "reference"
+
+
 def enable() -> None:
     """Turn the fast-path kernels on globally."""
     global _ENABLED
+    if not _ENABLED:
+        probe.event("fastpath.switch", enabled=True)
     _ENABLED = True
 
 
 def disable() -> None:
     """Force every cipher/hash onto the reference loops globally."""
     global _ENABLED
+    if _ENABLED:
+        probe.event("fastpath.switch", enabled=False)
     _ENABLED = False
 
 
@@ -78,10 +91,14 @@ def force(flag: bool):
     """Temporarily force the switch; restores the prior state on exit."""
     global _ENABLED
     previous = _ENABLED
+    if previous != bool(flag):
+        probe.event("fastpath.switch", enabled=bool(flag), forced=True)
     _ENABLED = bool(flag)
     try:
         yield
     finally:
+        if _ENABLED != previous:
+            probe.event("fastpath.switch", enabled=previous, forced=True)
         _ENABLED = previous
 
 

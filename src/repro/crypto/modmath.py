@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..observability import probe
 from .errors import ParameterError
 
 
@@ -187,5 +188,16 @@ def modexp(base: int, exponent: int, modulus: int) -> int:
 
     Used wherever side-channel realism is not needed (tests,
     protocol-functional paths), keeping the simulation responsive.
+    With telemetry active, each call becomes a ``modexp`` span charged
+    with the §3.2 square-and-multiply cycle model.
     """
-    return pow(base, exponent, modulus)
+    telemetry = probe.active
+    if telemetry is None:              # hot path: one read, one branch
+        return pow(base, exponent, modulus)
+    # Lazy import: attribution pulls in repro.hardware, which imports
+    # back into repro.crypto — resolvable at call time, not load time.
+    from ..observability.attribution import modexp_cycles
+    with telemetry.span("modexp", bits=modulus.bit_length()):
+        telemetry.add_cycles(
+            modexp_cycles(exponent, modulus.bit_length()), kind="modexp")
+        return pow(base, exponent, modulus)

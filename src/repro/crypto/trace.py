@@ -67,6 +67,14 @@ class TraceRecorder:
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        # Maintained incrementally so the read-side queries never have
+        # to re-walk every sample: with ``enabled_labels`` filtering the
+        # recording, a full scan pays for samples that were never kept.
+        self._total_power = 0.0
+        self._by_label: Dict[str, List[TraceSample]] = {}
+        for sample in self.samples:  # pre-seeded samples (rare)
+            self._total_power += sample.power
+            self._by_label.setdefault(sample.label, []).append(sample)
 
     def record(self, label: str, index: int, value: int) -> None:
         """Record one intermediate value as a power sample."""
@@ -75,30 +83,40 @@ class TraceRecorder:
         power = float(hamming_weight(value))
         if self.noise_sigma:
             power += self._rng.gauss(0.0, self.noise_sigma)
-        self.samples.append(TraceSample(label, index, value, power))
+        sample = TraceSample(label, index, value, power)
+        self.samples.append(sample)
+        self._total_power += power
+        self._by_label.setdefault(label, []).append(sample)
 
     def powers(self, label: Optional[str] = None) -> List[float]:
         """Return the recorded power values, optionally for one label."""
-        return [s.power for s in self.samples if label is None or s.label == label]
+        if label is None:
+            return [s.power for s in self.samples]
+        return [s.power for s in self._by_label.get(label, ())]
 
     def values(self, label: Optional[str] = None) -> List[int]:
         """Return raw intermediate values (for white-box debugging only)."""
-        return [s.value for s in self.samples if label is None or s.label == label]
+        if label is None:
+            return [s.value for s in self.samples]
+        return [s.value for s in self._by_label.get(label, ())]
 
     def by_label(self) -> Dict[str, List[TraceSample]]:
         """Group samples by probe label."""
-        grouped: Dict[str, List[TraceSample]] = {}
-        for sample in self.samples:
-            grouped.setdefault(sample.label, []).append(sample)
-        return grouped
+        return {label: list(group) for label, group in self._by_label.items()}
 
     def total_power(self) -> float:
-        """Sum of all samples — a crude single-number 'energy' proxy."""
-        return sum(s.power for s in self.samples)
+        """Sum of all samples — a crude single-number 'energy' proxy.
+
+        Maintained as a running sum at record time, so the query is
+        O(1) even when ``enabled_labels`` kept the trace sparse.
+        """
+        return self._total_power
 
     def clear(self) -> None:
         """Drop all recorded samples, keeping configuration."""
         self.samples.clear()
+        self._total_power = 0.0
+        self._by_label.clear()
 
     def __len__(self) -> int:
         return len(self.samples)

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from ..observability import probe
+
 
 class BatteryEmpty(Exception):
     """Raised when a drain request exceeds the remaining charge.
@@ -66,6 +68,11 @@ class Battery:
                 remaining_mj=self.remaining_j * 1000.0,
             )
         self.remaining_j -= joules
+        # Attribute only *successful* withdrawals: refused drains leave
+        # the ledger untouched, so telemetry reconciles by construction.
+        telemetry = probe.active
+        if telemetry is not None:
+            telemetry.add_energy_mj(millijoules, kind="battery")
 
     def can_supply_mj(self, millijoules: float) -> bool:
         """Whether the battery can supply the requested energy."""

@@ -1,0 +1,86 @@
+"""Unified telemetry plane: spans, metrics, attribution, export.
+
+Only :mod:`~repro.observability.probe` — the zero-overhead seam every
+instrumented layer consults — is imported eagerly.  Everything else
+loads lazily (PEP 562): instrumented modules deep in the stack (e.g.
+:mod:`repro.hardware.battery`) import ``observability.probe`` at module
+load, and an eager import of :mod:`~repro.observability.scenario` from
+here would cycle straight back through the protocol stack.
+"""
+
+from __future__ import annotations
+
+from . import probe
+
+__all__ = [
+    "probe",
+    "Telemetry",
+    "Span",
+    "SpanEvent",
+    "derive_trace_id",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "REGISTRY",
+    "attach_ledger",
+    "record_cycles",
+    "handshake_cycles",
+    "modexp_cycles",
+    "span_rollup",
+    "phase_energy_mj",
+    "reconcile_energy",
+    "EnergyReconciliation",
+    "to_jsonl",
+    "write_jsonl",
+    "prometheus_text",
+    "span_tree",
+    "flamegraph_folds",
+    "rollup_table",
+    "run_gateway_chaos",
+    "ChaosTelemetryResult",
+]
+
+_LAZY = {
+    "Telemetry": "spans",
+    "Span": "spans",
+    "SpanEvent": "spans",
+    "derive_trace_id": "spans",
+    "MetricsRegistry": "metrics",
+    "Counter": "metrics",
+    "Gauge": "metrics",
+    "Histogram": "metrics",
+    "REGISTRY": "metrics",
+    "attach_ledger": "metrics",
+    "record_cycles": "attribution",
+    "handshake_cycles": "attribution",
+    "modexp_cycles": "attribution",
+    "span_rollup": "attribution",
+    "phase_energy_mj": "attribution",
+    "reconcile_energy": "attribution",
+    "EnergyReconciliation": "attribution",
+    "to_jsonl": "export",
+    "write_jsonl": "export",
+    "prometheus_text": "export",
+    "span_tree": "export",
+    "flamegraph_folds": "export",
+    "rollup_table": "export",
+    "run_gateway_chaos": "scenario",
+    "ChaosTelemetryResult": "scenario",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,419 @@
+"""Process-wide metrics registry: counters, gauges, histograms, adapters.
+
+The stack grew one ad-hoc ledger per subsystem —
+:class:`~repro.protocols.faults.FaultStats`,
+:class:`~repro.core.supervisor.DegradationReport`,
+:class:`~repro.protocols.gateway_runtime.RuntimeStats`, raw ``int``
+attributes on :class:`~repro.protocols.wap.WAPGateway` — none of which
+could be correlated in one place.  This module is the unification:
+
+* first-class :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  metrics with label sets, owned by a :class:`MetricsRegistry`;
+* **ledger adapters** (:func:`attach_ledger` and the ``export_*``
+  helpers) that re-export the existing ledgers *live*: the ledger
+  attributes stay the authoritative store the old code keeps mutating,
+  and every scrape reads through them at collection time — so one
+  :meth:`MetricsRegistry.render` sees gateway traffic, channel faults,
+  supervisor degradations and battery state together without changing
+  a single existing call site.
+
+Everything renders deterministically (families sorted by name, series
+by label tuple), because telemetry exports must be byte-identical
+across same-seed runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets (virtual seconds / generic magnitudes).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, float("inf"))
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    """Canonical, hashable, sorted form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class _Series:
+    """One labelled series of a counter or gauge."""
+
+    __slots__ = ("_store", "_key")
+
+    def __init__(self, store: Dict[LabelKey, float], key: LabelKey) -> None:
+        self._store = store
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (counters must only ever go up)."""
+        self._store[self._key] = self._store.get(self._key, 0.0) + amount
+
+    def set(self, value: float) -> None:
+        """Set the series to an absolute value (gauges)."""
+        self._store[self._key] = float(value)
+
+    @property
+    def value(self) -> float:
+        """Current value of this series."""
+        return self._store.get(self._key, 0.0)
+
+
+class Counter:
+    """A monotonically increasing metric with optional labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._values: Dict[LabelKey, float] = {}
+
+    def labels(self, **labels) -> _Series:
+        """The series for one label set (created on first touch)."""
+        return _Series(self._values, _label_key(labels))
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Increment (the unlabelled series unless labels are given)."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        self.labels(**labels).inc(amount)
+
+    def value(self, **labels) -> float:
+        """Read one series' current value."""
+        return self.labels(**labels).value
+
+    def samples(self) -> List[Tuple[str, LabelKey, float]]:
+        """All series, deterministically ordered."""
+        return [(self.name, key, self._values[key])
+                for key in sorted(self._values)]
+
+
+class Gauge(Counter):
+    """A metric that can go up and down (or be set outright)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (may be negative for gauges)."""
+        self.labels(**labels).inc(amount)
+
+    def set(self, value: float, **labels) -> None:
+        """Set the (labelled) gauge to an absolute value."""
+        self.labels(**labels).set(value)
+
+
+class Histogram:
+    """A bucketed distribution with Prometheus-style exposition.
+
+    Exports ``name_bucket{le=...}`` (cumulative), ``name_sum`` and
+    ``name_count`` per label set.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.help_text = help_text
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds or bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation."""
+        key = _label_key(labels)
+        counts = self._counts.setdefault(key, [0] * len(self.buckets))
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[index] += 1
+                break
+        self._sums[key] = self._sums.get(key, 0.0) + value
+
+    def count(self, **labels) -> int:
+        """Total observations for one label set."""
+        return sum(self._counts.get(_label_key(labels), ()))
+
+    def sum(self, **labels) -> float:
+        """Sum of observations for one label set."""
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[str, LabelKey, float]]:
+        """Bucket/sum/count series, deterministically ordered."""
+        out: List[Tuple[str, LabelKey, float]] = []
+        for key in sorted(self._counts):
+            cumulative = 0
+            for bound, count in zip(self.buckets, self._counts[key]):
+                cumulative += count
+                le = "+Inf" if bound == float("inf") else repr(bound)
+                out.append((f"{self.name}_bucket",
+                            key + (("le", le),), float(cumulative)))
+            out.append((f"{self.name}_sum", key, self._sums[key]))
+            out.append((f"{self.name}_count", key, float(cumulative)))
+        return out
+
+
+#: A collector returns live samples: (name, help, labels, value).
+Collector = Callable[[], Iterable[Tuple[str, str, Dict[str, object], float]]]
+
+
+class MetricsRegistry:
+    """Owns a namespace of metrics plus live read-through collectors."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._collectors: List[Collector] = []
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}")
+            return existing
+        metric = cls(name, help_text, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get-or-create a counter."""
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get-or-create a gauge."""
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """Get-or-create a histogram."""
+        return self._get_or_create(Histogram, name, help_text,
+                                   buckets=buckets)
+
+    def register_collector(self, collector: Collector) -> None:
+        """Add a live collector consulted at every scrape."""
+        self._collectors.append(collector)
+
+    # -- scraping ------------------------------------------------------------
+
+    def samples(self) -> List[Tuple[str, LabelKey, float]]:
+        """Every series — stored metrics plus collector read-throughs —
+        as ``(name, label_key, value)``, deterministically ordered."""
+        out: List[Tuple[str, LabelKey, float]] = []
+        for name in sorted(self._metrics):
+            out.extend(self._metrics[name].samples())
+        collected: List[Tuple[str, LabelKey, float]] = []
+        for collector in self._collectors:
+            for name, _help, labels, value in collector():
+                collected.append((name, _label_key(labels), float(value)))
+        out.extend(sorted(collected))
+        return out
+
+    def value(self, name: str, **labels) -> float:
+        """Scrape-time read of one series (collectors included)."""
+        key = _label_key(labels)
+        for sample_name, sample_key, sample_value in self.samples():
+            if sample_name == name and sample_key == key:
+                return sample_value
+        raise KeyError(f"no series {name!r} with labels {labels!r}")
+
+    def render(self) -> str:
+        """Prometheus-style text exposition, byte-deterministic."""
+        lines: List[str] = []
+        helps: Dict[str, Tuple[str, str]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            helps[name] = (metric.kind, metric.help_text)
+        families: Dict[str, List[Tuple[LabelKey, float]]] = {}
+        for name, key, value in self.samples():
+            family = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in helps:
+                    family = name[: -len(suffix)]
+                    break
+            families.setdefault(family, []).append((key, value))
+            families[family].sort()
+        for family in sorted(families):
+            kind, help_text = helps.get(family, ("gauge", ""))
+            if help_text:
+                lines.append(f"# HELP {family} {help_text}")
+            lines.append(f"# TYPE {family} {kind}")
+            for key, value in families[family]:
+                rendered = repr(value) if value != int(value) else str(int(value))
+                lines.append(f"{family}{_format_labels(key)} {rendered}")
+        return "\n".join(lines) + "\n"
+
+
+#: The default process-wide registry (a fresh one per run is usually
+#: better for determinism — :class:`~repro.observability.spans.Telemetry`
+#: creates its own unless told otherwise).
+REGISTRY = MetricsRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Ledger adapters: the old counter idioms, unified behind one scrape
+# ---------------------------------------------------------------------------
+
+def _numeric_fields(obj) -> List[str]:
+    if dataclasses.is_dataclass(obj):
+        names = [f.name for f in dataclasses.fields(obj)]
+    else:
+        names = [n for n in vars(obj) if not n.startswith("_")]
+    out = []
+    for name in names:
+        value = getattr(obj, name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        out.append(name)
+    return out
+
+
+def attach_ledger(registry: MetricsRegistry, prefix: str, obj,
+                  fields: Optional[Sequence[str]] = None,
+                  labels: Optional[Dict[str, object]] = None,
+                  help_text: str = "") -> None:
+    """Re-export a ledger object's numeric attributes as live gauges.
+
+    ``obj``'s attributes remain the authoritative store (existing code
+    keeps doing ``ledger.field += 1``); every scrape reads the current
+    values through ``getattr``.  ``fields`` defaults to the object's
+    numeric dataclass fields / instance attributes and may name
+    properties too (e.g. ``FaultStats.total_drops``).
+    """
+    chosen = list(fields) if fields is not None else _numeric_fields(obj)
+    fixed = dict(labels or {})
+    note = help_text or f"live read-through of {type(obj).__name__}"
+
+    def collect():
+        out = []
+        for field in chosen:
+            value = getattr(obj, field)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            out.append((f"{prefix}_{field}", note, fixed, float(value)))
+        return out
+
+    registry.register_collector(collect)
+
+
+def export_fault_stats(registry: MetricsRegistry, stats,
+                       channel: str = "radio") -> None:
+    """Adapter for :class:`~repro.protocols.faults.FaultStats`."""
+    attach_ledger(registry, "repro_channel_faults", stats,
+                  fields=["drops", "burst_drops", "duplicates", "corruptions",
+                          "reorders", "delivered", "bad_state_frames",
+                          "total_drops"],
+                  labels={"channel": channel},
+                  help_text="channel fault-injection ledger")
+
+
+def export_degradation_report(registry: MetricsRegistry, report,
+                              device: str = "appliance") -> None:
+    """Adapter for :class:`~repro.core.supervisor.DegradationReport`."""
+    attach_ledger(registry, "repro_supervisor", report,
+                  fields=["engine_fallbacks", "engine_restorations",
+                          "suite_downgrades", "suite_restorations",
+                          "brownout_refusals", "tamper_zeroizations",
+                          "reprovisions"],
+                  labels={"device": device},
+                  help_text="appliance supervisor degradation ledger")
+
+
+def export_reliable_stats(registry: MetricsRegistry, stats,
+                          endpoint: str) -> None:
+    """Adapter for :class:`~repro.protocols.reliable.ReliableStats`."""
+    attach_ledger(registry, "repro_arq", stats,
+                  labels={"endpoint": endpoint},
+                  help_text="go-back-N ARQ endpoint ledger")
+
+
+def export_recovery_report(registry: MetricsRegistry, report,
+                           session: str = "session") -> None:
+    """Adapter for :class:`~repro.protocols.recovery.RecoveryReport`."""
+    attach_ledger(registry, "repro_recovery", report,
+                  labels={"session": session},
+                  help_text="session recovery ledger")
+
+
+def export_battery(registry: MetricsRegistry, battery,
+                   device: str = "appliance") -> None:
+    """Live gauges for a :class:`~repro.hardware.battery.Battery`."""
+    labels = {"device": device}
+
+    def collect():
+        drained_mj = (battery.capacity_j - battery.remaining_j) * 1000.0
+        return [
+            ("repro_battery_capacity_j", "battery capacity", labels,
+             battery.capacity_j),
+            ("repro_battery_remaining_j", "battery charge remaining", labels,
+             battery.remaining_j),
+            ("repro_battery_drained_mj", "energy withdrawn so far", labels,
+             drained_mj),
+            ("repro_battery_fraction_remaining", "charge fraction", labels,
+             battery.fraction_remaining),
+        ]
+
+    registry.register_collector(collect)
+
+
+def export_gateway(registry: MetricsRegistry, gateway) -> None:
+    """Adapter for the raw ``int`` counters on
+    :class:`~repro.protocols.wap.WAPGateway` (plus the WAP-gap
+    plaintext exposure, which is a *security* metric)."""
+    attach_ledger(registry, "repro_gateway", gateway,
+                  fields=["wired_leg_failures", "handler_failures",
+                          "degraded_responses"],
+                  help_text="WAP gateway proxy ledger")
+
+    def collect():
+        return [("repro_gateway_plaintext_records",
+                 "records exposed in gateway memory (the WAP gap)", {},
+                 float(len(gateway.plaintext_log)))]
+
+    registry.register_collector(collect)
+
+
+def export_runtime(registry: MetricsRegistry, runtime) -> None:
+    """One call wiring a whole
+    :class:`~repro.protocols.gateway_runtime.GatewayRuntime` world:
+    runtime stats, the gateway's raw counters, per-origin breaker
+    state, and every attached session battery."""
+    attach_ledger(registry, "repro_gateway_runtime", runtime.stats,
+                  fields=["submitted", "admitted", "served", "degraded",
+                          "shed_rate_limited", "shed_queue_full",
+                          "shed_deadline", "breaker_fast_fails",
+                          "wired_failures", "handler_failures",
+                          "battery_refusals", "energy_mj", "shed",
+                          "answered"],
+                  help_text="gateway runtime answer ledger")
+    export_gateway(registry, runtime.gateway)
+
+    def collect_breakers():
+        out = []
+        for origin in sorted(runtime.breakers):
+            breaker = runtime.breakers[origin]
+            out.append(("repro_gateway_breaker_fast_fails",
+                        "requests fast-failed by an open breaker",
+                        {"origin": origin}, float(breaker.fast_fails)))
+            out.append(("repro_gateway_breaker_transitions",
+                        "breaker state transitions",
+                        {"origin": origin}, float(len(breaker.transitions))))
+        return out
+
+    registry.register_collector(collect_breakers)
+    for session_id in sorted(runtime.sessions):
+        battery = runtime.sessions[session_id].battery
+        if battery is not None:
+            export_battery(registry, battery, device=session_id)

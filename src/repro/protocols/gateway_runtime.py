@@ -42,6 +42,7 @@ from collections import deque
 from ..crypto.rng import DeterministicDRBG
 from ..hardware.battery import Battery, BatteryEmpty
 from ..hardware.energy import EnergyModel
+from ..observability import probe
 from .alerts import ProtocolAlert
 from .certificates import CertificateAuthority
 from .handshake import ClientConfig, ServerConfig
@@ -101,6 +102,8 @@ class CircuitBreaker:
 
     def _transition(self, now: float, to: str) -> None:
         self.transitions.append((now, self.state, to))
+        probe.event("gateway.breaker", origin=self.origin,
+                    from_state=self.state, to_state=to)
         self.state = to
 
     def allow(self, now: float) -> bool:
@@ -390,6 +393,15 @@ class GatewayRuntime:
     # -- admission -----------------------------------------------------------
 
     def _admit(self, arrival: _Arrival) -> None:
+        telemetry = probe.active
+        if telemetry is None:
+            self._admit_inner(arrival)
+            return
+        with telemetry.span("gateway.admit", session=arrival.session_id,
+                            origin=arrival.destination) as span:
+            span.set(verdict=self._admit_inner(arrival))
+
+    def _admit_inner(self, arrival: _Arrival) -> str:
         session = self.sessions[arrival.session_id]
         now = self.clock.now
         request = session.conn.receive()          # WTLS decrypt: the gap
@@ -400,23 +412,33 @@ class GatewayRuntime:
             session.shed += 1
             self._reply(session, busy_reply(
                 "rate-limited", self._bucket.seconds_until_token(now)))
-            return
+            return "rate-limited"
         if len(self._queue) >= self.config.queue_limit:
             self.stats.shed_queue_full += 1
             session.shed += 1
             self._reply(session, busy_reply(
                 "queue-full",
                 self.config.service_time_s * len(self._queue)))
-            return
+            return "queue-full"
         self.stats.admitted += 1
         self._queue.append(_Pending(
             request=request, session_id=arrival.session_id,
             destination=arrival.destination, arrival=now,
             deadline=now + self.config.deadline_s))
+        return "admitted"
 
     # -- service -------------------------------------------------------------
 
     def _serve_one(self) -> None:
+        telemetry = probe.active
+        if telemetry is None:
+            self._serve_one_inner()
+            return
+        with telemetry.span("gateway.serve") as span:
+            session_id, outcome = self._serve_one_inner()
+            span.set(session=session_id, outcome=outcome)
+
+    def _serve_one_inner(self) -> Tuple[str, str]:
         pending = self._queue.popleft()
         session = self.sessions[pending.session_id]
         start = max(self._server_free_at, pending.arrival)
@@ -427,13 +449,16 @@ class GatewayRuntime:
             self.stats.shed_deadline += 1
             session.shed += 1
             self._reply(session, busy_reply("deadline"))
-            return
+            return pending.session_id, "shed-deadline"
         finish = start + self.config.service_time_s
         self._server_free_at = finish
         self._advance(finish)
         reply = self._proxy(pending, session)
         self._reply(session, reply)
         self.stats.latencies.append(finish - pending.arrival)
+        outcome = ("degraded" if reply.startswith(DEGRADED_PREFIX)
+                   else "served")
+        return pending.session_id, outcome
 
     def _proxy(self, pending: _Pending, session: _Session) -> bytes:
         destination = pending.destination
@@ -520,6 +545,7 @@ def build_gateway_runtime_world(
         handler: Optional[Callable[[bytes], bytes]] = None,
         config: Optional[RuntimeConfig] = None,
         batteries: Optional[Dict[str, Battery]] = None,
+        clock: Optional[VirtualClock] = None,
 ) -> Tuple[GatewayRuntime, Dict[str, WTLSConnection], CertificateAuthority]:
     """A full N-handset world: CA, origin, gateway, runtime, and
     ``sessions`` attached handsets named ``handset-00`` ....
@@ -547,7 +573,7 @@ def build_gateway_runtime_world(
             rng=DeterministicDRBG(("gw-srv-rng", seed).__repr__()),
             certificate=gw_cert, private_key=gw_key))
     gateway.register_origin(origin)
-    runtime = GatewayRuntime(gateway, config=config)
+    runtime = GatewayRuntime(gateway, config=config, clock=clock)
     handsets: Dict[str, WTLSConnection] = {}
     batteries = batteries or {}
     for index in range(sessions):

@@ -25,6 +25,8 @@ from ..crypto.errors import CryptoError, SignatureError
 from ..crypto.rng import DeterministicDRBG
 from ..crypto.rsa import RSAPrivateKey
 from ..crypto.sha1 import sha1
+from ..observability import probe
+from ..observability.attribution import handshake_cycles
 from .alerts import BadRecordMAC, CertificateError, DecodeError, HandshakeFailure
 from .certificates import Certificate, CertificateAuthority
 from .ciphersuites import ALL_SUITES, SUITES_BY_NAME, CipherSuite, negotiate
@@ -90,6 +92,27 @@ def run_handshake(client: ClientConfig, server: ServerConfig,
     Raises :class:`HandshakeFailure` / :class:`CertificateError` on any
     negotiation, authentication, or transcript-binding failure.
     """
+    telemetry = probe.active
+    if telemetry is None:
+        return _run_handshake(client, server, client_ep, server_ep)
+    with telemetry.span("handshake") as span:
+        try:
+            sessions = _run_handshake(client, server, client_ep, server_ep)
+        except Exception as exc:
+            span.set(outcome="failure", error=type(exc).__name__)
+            raise
+        span.set(outcome="success", suite=sessions[0].suite.name)
+        modulus = getattr(server.private_key, "n", None)
+        telemetry.add_cycles(
+            handshake_cycles(
+                rsa_bits=modulus.bit_length() if modulus else 1024),
+            kind="handshake")
+        return sessions
+
+
+def _run_handshake(client: ClientConfig, server: ServerConfig,
+                   client_ep: Endpoint, server_ep: Endpoint
+                   ) -> Tuple[Session, Session]:
     # Each side hashes its OWN view of the handshake: the client what
     # it sent/received, the server what it received/sent.  The Finished
     # exchange then catches any in-flight tampering (the view digests
@@ -157,30 +180,31 @@ def run_handshake(client: ClientConfig, server: ServerConfig,
     )
 
     # -- key exchange ----------------------------------------------------------
-    if chosen.key_exchange == "RSA":
-        premaster = client.rng.random_bytes(PREMASTER_BYTES)
-        kex_bytes = server_cert.public_key.encrypt(premaster, client.rng)
-    elif chosen.key_exchange == "KEA":
-        group, srv_static, srv_ephemeral = _decode_kea_server(
-            hello_reply.key_exchange, server_cert
-        )
-        kea_client = KEAParty(group, client.rng)
-        premaster = kea_client.shared_key(
-            srv_static, srv_ephemeral, PREMASTER_BYTES)
-        width = (group.p.bit_length() + 7) // 8
-        kex_bytes = (
-            kea_client.static.public.to_bytes(width, "big")
-            + kea_client.ephemeral.public.to_bytes(width, "big")
-        )
-    else:
-        group, server_public = _decode_dh_server(
-            hello_reply.key_exchange, server_cert
-        )
-        dh_client = DHParty(group, client.rng)
-        premaster = dh_client.shared_key(server_public, PREMASTER_BYTES)
-        kex_bytes = dh_client.public.to_bytes(
-            (group.p.bit_length() + 7) // 8, "big"
-        )
+    with probe.span("kex", side="client", algo=chosen.key_exchange):
+        if chosen.key_exchange == "RSA":
+            premaster = client.rng.random_bytes(PREMASTER_BYTES)
+            kex_bytes = server_cert.public_key.encrypt(premaster, client.rng)
+        elif chosen.key_exchange == "KEA":
+            group, srv_static, srv_ephemeral = _decode_kea_server(
+                hello_reply.key_exchange, server_cert
+            )
+            kea_client = KEAParty(group, client.rng)
+            premaster = kea_client.shared_key(
+                srv_static, srv_ephemeral, PREMASTER_BYTES)
+            width = (group.p.bit_length() + 7) // 8
+            kex_bytes = (
+                kea_client.static.public.to_bytes(width, "big")
+                + kea_client.ephemeral.public.to_bytes(width, "big")
+            )
+        else:
+            group, server_public = _decode_dh_server(
+                hello_reply.key_exchange, server_cert
+            )
+            dh_client = DHParty(group, client.rng)
+            premaster = dh_client.shared_key(server_public, PREMASTER_BYTES)
+            kex_bytes = dh_client.public.to_bytes(
+                (group.p.bit_length() + 7) // 8, "big"
+            )
 
     client_cert_bytes = b""
     verify_bytes = b""
@@ -204,26 +228,30 @@ def run_handshake(client: ClientConfig, server: ServerConfig,
 
     # -- server recovers premaster / authenticates client ----------------------
     client_cert: Optional[Certificate] = None
-    if suite.key_exchange == "RSA":
-        try:
-            server_premaster = server.private_key.decrypt(ckx_seen.key_exchange)
-        except CryptoError as exc:
-            raise HandshakeFailure(f"premaster decryption failed: {exc}") from exc
-        if len(server_premaster) != PREMASTER_BYTES:
-            raise HandshakeFailure("premaster has wrong length")
-    elif suite.key_exchange == "KEA":
-        assert kea_server is not None
-        width = (kea_server.group.p.bit_length() + 7) // 8
-        client_static = int.from_bytes(
-            ckx_seen.key_exchange[:width], "big")
-        client_ephemeral = int.from_bytes(
-            ckx_seen.key_exchange[width:], "big")
-        server_premaster = kea_server.shared_key(
-            client_static, client_ephemeral, PREMASTER_BYTES)
-    else:
-        assert dh_server is not None
-        client_public = int.from_bytes(ckx_seen.key_exchange, "big")
-        server_premaster = dh_server.shared_key(client_public, PREMASTER_BYTES)
+    with probe.span("kex", side="server", algo=suite.key_exchange):
+        if suite.key_exchange == "RSA":
+            try:
+                server_premaster = server.private_key.decrypt(
+                    ckx_seen.key_exchange)
+            except CryptoError as exc:
+                raise HandshakeFailure(
+                    f"premaster decryption failed: {exc}") from exc
+            if len(server_premaster) != PREMASTER_BYTES:
+                raise HandshakeFailure("premaster has wrong length")
+        elif suite.key_exchange == "KEA":
+            assert kea_server is not None
+            width = (kea_server.group.p.bit_length() + 7) // 8
+            client_static = int.from_bytes(
+                ckx_seen.key_exchange[:width], "big")
+            client_ephemeral = int.from_bytes(
+                ckx_seen.key_exchange[width:], "big")
+            server_premaster = kea_server.shared_key(
+                client_static, client_ephemeral, PREMASTER_BYTES)
+        else:
+            assert dh_server is not None
+            client_public = int.from_bytes(ckx_seen.key_exchange, "big")
+            server_premaster = dh_server.shared_key(
+                client_public, PREMASTER_BYTES)
     if server.require_client_auth:
         if server.ca is None:
             raise HandshakeFailure("server requires client auth but has no CA")

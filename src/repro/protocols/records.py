@@ -16,11 +16,14 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from ..crypto import fastpath
 from ..crypto.bitops import constant_time_compare
 from ..crypto.errors import PaddingError
 from ..crypto.hmac import HMAC
 from ..crypto.modes import CBC
 from ..crypto.rc4 import RC4
+from ..observability import probe
+from ..observability.attribution import record_cycles
 from .alerts import BadRecordMAC, DecodeError
 from .ciphersuites import CipherSuite
 from .kdf import KeyBlock
@@ -68,8 +71,27 @@ class RecordEncoder:
         )
         return self._mac_base.copy().update(header + payload).digest()
 
+    #: Span attribute distinguishing mini-TLS from WTLS record paths.
+    layer = "tls"
+
     def encode(self, content_type: int, payload: bytes) -> bytes:
         """Protect one payload into a wire record."""
+        telemetry = probe.active
+        if telemetry is None:          # hot path: one read, one branch
+            return self._encode(content_type, payload)
+        suite = self.suite
+        cipher = self._stream if self._stream is not None else self._cipher
+        with telemetry.span(
+                "record.encode", layer=self.layer, suite=suite.name,
+                n=len(payload),
+                path=fastpath.dispatch_path(
+                    getattr(cipher, "recorder", None))):
+            telemetry.add_cycles(
+                record_cycles(suite.cipher, suite.mac, len(payload)),
+                kind="record")
+            return self._encode(content_type, payload)
+
+    def _encode(self, content_type: int, payload: bytes) -> bytes:
         protected = payload + self._mac(content_type, payload)
         if self._stream is not None:
             body = self._stream.process(protected)
@@ -108,8 +130,32 @@ class RecordDecoder:
         """Next expected record sequence number (diagnostics)."""
         return self._sequence
 
+    #: Span attribute distinguishing mini-TLS from WTLS record paths.
+    layer = "tls"
+
     def decode(self, record: bytes) -> Tuple[int, bytes]:
         """Verify and open one wire record -> (content_type, payload)."""
+        telemetry = probe.active
+        if telemetry is None:          # hot path: one read, one branch
+            return self._decode(record)
+        suite = self.suite
+        cipher = self._stream if self._stream is not None else self._cipher
+        with telemetry.span(
+                "record.decode", layer=self.layer, suite=suite.name,
+                n=len(record),
+                path=fastpath.dispatch_path(
+                    getattr(cipher, "recorder", None))) as span:
+            try:
+                content_type, payload = self._decode(record)
+            except Exception as exc:
+                span.set(error=type(exc).__name__)
+                raise
+            telemetry.add_cycles(
+                record_cycles(suite.cipher, suite.mac, len(payload)),
+                kind="record")
+            return content_type, payload
+
+    def _decode(self, record: bytes) -> Tuple[int, bytes]:
         if len(record) < 3:
             raise DecodeError("record shorter than header")
         content_type = record[0]

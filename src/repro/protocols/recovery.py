@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from ..crypto.rng import DeterministicDRBG
+from ..observability import probe
 from .alerts import BadRecordMAC, HandshakeFailure
 from .handshake import ClientConfig, ServerConfig
 from .resumption import CachedSession, SessionCache, resume
@@ -111,9 +112,10 @@ class ResilientSession:
 
     def establish(self) -> None:
         """Full handshake (with retry + suite fallback) and cache it."""
-        client_conn, server_conn, log = connect_with_fallback(
-            self.client, self.server, endpoint_factory=self._factory,
-            max_attempts=self.max_handshake_attempts)
+        with probe.span("recovery.establish", path="full"):
+            client_conn, server_conn, log = connect_with_fallback(
+                self.client, self.server, endpoint_factory=self._factory,
+                max_attempts=self.max_handshake_attempts)
         self.report.full_handshakes += 1
         self.report.suite_fallbacks += log.suite_fallbacks
         self.report.handshake_link_failures += log.link_failures
@@ -145,10 +147,11 @@ class ResilientSession:
         if self._session_id is not None:
             endpoints = self._factory()
             try:
-                client_session, server_session = resume(
-                    self.client, self.server,
-                    self.client_cache, self.server_cache,
-                    self._session_id, endpoints=endpoints)
+                with probe.span("recovery.reconnect", path="resume"):
+                    client_session, server_session = resume(
+                        self.client, self.server,
+                        self.client_cache, self.server_cache,
+                        self._session_id, endpoints=endpoints)
             except (HandshakeFailure, ChannelClosed) as exc:
                 self.report.failures.append(f"resume: {exc}")
             else:
@@ -202,6 +205,8 @@ class ResilientSession:
                 # Tampering or key divergence: invalidate + full rekey.
                 self.report.mac_failures += 1
                 self.report.failures.append(f"mac: {exc}")
+                probe.event("recovery.mac-failure",
+                            error=type(exc).__name__)
                 self.teardown()
                 self.report.rehandshakes_after_mac += 1
                 self.establish()
@@ -212,6 +217,8 @@ class ResilientSession:
                 self.report.link_failures += 1
                 self.report.failures.append(
                     f"link: {type(exc).__name__}: {exc}")
+                probe.event("recovery.link-failure",
+                            error=type(exc).__name__)
                 self.reconnect()
                 self.report.redeliveries += 1
         raise ChannelClosed(

@@ -34,6 +34,7 @@ from ..crypto.crc import crc32
 from ..crypto.rng import DeterministicDRBG
 from ..hardware.battery import Battery
 from ..hardware.energy import EnergyModel
+from ..observability import probe
 from .transport import ChannelClosed, ChannelEmpty, DuplexChannel
 
 KIND_DATA = 1
@@ -291,16 +292,18 @@ class ReliableEndpoint:
         # Go-back-N: the single (oldest-frame) timer fired — retransmit
         # the whole window with backed-off deadlines.
         self.stats.timeouts += 1
-        for seq, pending in self._window.items():
-            pending.attempts += 1
-            if pending.attempts > self._link.config.retry_budget:
-                raise RetryBudgetExhausted(
-                    f"{self.name}: frame {seq} exceeded retry budget of "
-                    f"{self._link.config.retry_budget}")
-            pending.deadline = (
-                self._link.clock.now
-                + self._link.timeout_for(pending.attempts))
-            self._transmit(pending.frame, retransmit=True)
+        with probe.span("arq.retransmit", endpoint=self.name,
+                        window=len(self._window)):
+            for seq, pending in self._window.items():
+                pending.attempts += 1
+                if pending.attempts > self._link.config.retry_budget:
+                    raise RetryBudgetExhausted(
+                        f"{self.name}: frame {seq} exceeded retry budget of "
+                        f"{self._link.config.retry_budget}")
+                pending.deadline = (
+                    self._link.clock.now
+                    + self._link.timeout_for(pending.attempts))
+                self._transmit(pending.frame, retransmit=True)
 
 
 class ReliableLink:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Tuple
 
+from ..observability import probe
 from .alerts import ProtocolAlert, UnexpectedMessage
 from .handshake import (
     ClientConfig,
@@ -79,9 +80,11 @@ def connect(client: ClientConfig, server: ServerConfig,
         channel = channel or DuplexChannel()
         client_ep = channel.endpoint_a()
         server_ep = channel.endpoint_b()
-    client_session, server_session = run_handshake(
-        client, server, client_ep, server_ep
-    )
+    with probe.span("session", kind="tls",
+                    server=server.certificate.subject):
+        client_session, server_session = run_handshake(
+            client, server, client_ep, server_ep
+        )
     return (
         SecureConnection(client_session, client_ep),
         SecureConnection(server_session, server_ep),

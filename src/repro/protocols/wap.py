@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..crypto.rng import DeterministicDRBG
+from ..observability import probe
 from .alerts import ProtocolAlert
 from .certificates import CertificateAuthority
 from .handshake import ClientConfig, ServerConfig
@@ -98,6 +99,18 @@ class WAPGateway:
         self._origin_sides.pop(name, None)
 
     def _proxy_once(self, destination: str, request: bytes) -> bytes:
+        telemetry = probe.active
+        if telemetry is None:
+            return self._proxy_once_inner(destination, request)
+        with telemetry.span("gateway.wired-leg", origin=destination,
+                            n=len(request)) as span:
+            try:
+                return self._proxy_once_inner(destination, request)
+            except Exception as exc:
+                span.set(error=type(exc).__name__)
+                raise
+
+    def _proxy_once_inner(self, destination: str, request: bytes) -> bytes:
         gw_conn, server = self._server_connection(destination)
         gw_conn.send(request)                     # TLS re-encrypt
         origin_conn = self._origin_sides[destination]
@@ -128,6 +141,16 @@ class WAPGateway:
         """
         if self.handset_side is None:
             raise RuntimeError("gateway has no handset WTLS session")
+        telemetry = probe.active
+        if telemetry is None:
+            return self._forward_inner(destination, wired_retries)
+        with telemetry.span("gateway.forward",
+                            origin=destination) as span:
+            reply = self._forward_inner(destination, wired_retries)
+            span.set(degraded=reply.startswith(DEGRADED_PREFIX))
+            return reply
+
+    def _forward_inner(self, destination: str, wired_retries: int) -> bytes:
         request = self.handset_side.receive()     # WTLS decrypt: the gap
         self.plaintext_log.append(request)
         reply: Optional[bytes] = None

@@ -22,10 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..crypto import fastpath
 from ..crypto.bitops import constant_time_compare
 from ..crypto.errors import PaddingError
 from ..crypto.hmac import hmac
 from ..crypto.modes import CBC
+from ..observability import probe
+from ..observability.attribution import record_cycles
 from .alerts import BadRecordMAC, DecodeError, ReplayError
 from .ciphersuites import CipherSuite
 from .handshake import ClientConfig, ServerConfig, run_handshake
@@ -57,6 +60,19 @@ class WTLSRecordEncoder:
 
     def encode(self, payload: bytes) -> bytes:
         """Protect one datagram."""
+        telemetry = probe.active
+        if telemetry is None:          # hot path: one read, one branch
+            return self._encode(payload)
+        suite = self.suite
+        with telemetry.span(
+                "record.encode", layer="wtls", suite=suite.name,
+                n=len(payload), path=fastpath.dispatch_path()):
+            telemetry.add_cycles(
+                record_cycles(suite.cipher, suite.mac, len(payload)),
+                kind="record")
+            return self._encode(payload)
+
+    def _encode(self, payload: bytes) -> bytes:
         sequence = self._sequence
         self._sequence += 1
         header = sequence.to_bytes(4, "big")
@@ -108,6 +124,24 @@ class WTLSRecordDecoder:
 
     def decode(self, record: bytes) -> Tuple[int, bytes]:
         """Open one datagram -> (sequence, payload); tolerates gaps."""
+        telemetry = probe.active
+        if telemetry is None:          # hot path: one read, one branch
+            return self._decode(record)
+        suite = self.suite
+        with telemetry.span(
+                "record.decode", layer="wtls", suite=suite.name,
+                n=len(record), path=fastpath.dispatch_path()) as span:
+            try:
+                sequence, payload = self._decode(record)
+            except Exception as exc:
+                span.set(error=type(exc).__name__)
+                raise
+            telemetry.add_cycles(
+                record_cycles(suite.cipher, suite.mac, len(payload)),
+                kind="record")
+            return sequence, payload
+
+    def _decode(self, record: bytes) -> Tuple[int, bytes]:
         if len(record) < 6:
             raise DecodeError("WTLS record shorter than header")
         sequence = int.from_bytes(record[:4], "big")
@@ -220,9 +254,11 @@ def wtls_connect(client: ClientConfig, server: ServerConfig,
         channel = channel or DuplexChannel()
         client_ep = channel.endpoint_a()
         server_ep = channel.endpoint_b()
-    client_session, server_session = run_handshake(
-        client, server, client_ep, server_ep
-    )
+    with probe.span("session", kind="wtls",
+                    server=server.certificate.subject):
+        client_session, server_session = run_handshake(
+            client, server, client_ep, server_ep
+        )
     suite = client_session.suite
     client_keys = _rederive(client_session.master, client, server, suite)
     server_keys = _rederive(server_session.master, client, server, suite)

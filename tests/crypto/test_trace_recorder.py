@@ -1,0 +1,103 @@
+"""Regression guard for the TraceRecorder fast-path bookkeeping.
+
+The recorder now maintains ``total_power`` and the per-label index
+incrementally at record time.  These tests pin the invariants the
+incremental path must preserve against the naive full-scan semantics —
+and the original opt-in contract: a cipher with **no** recorder
+attached must record nothing and take the precomputed-table fast path.
+"""
+
+import pytest
+
+from repro.crypto import fastpath
+from repro.crypto.aes import AES
+from repro.crypto.des import DES
+from repro.crypto.trace import TraceRecorder, TraceSample
+
+
+class TestIncrementalBookkeeping:
+    def test_total_power_matches_full_scan(self):
+        recorder = TraceRecorder(noise_sigma=0.5, seed=3)
+        for index, value in enumerate((0xFF, 0x0F, 0x01, 0x00)):
+            recorder.record("p", index, value)
+        assert recorder.total_power() == pytest.approx(
+            sum(s.power for s in recorder.samples))
+
+    def test_powers_and_values_by_label_match_filtering(self):
+        recorder = TraceRecorder()
+        recorder.record("a", 0, 0b111)
+        recorder.record("b", 0, 0b1)
+        recorder.record("a", 1, 0b11)
+        assert recorder.powers("a") == [
+            s.power for s in recorder.samples if s.label == "a"]
+        assert recorder.values("b") == [
+            s.value for s in recorder.samples if s.label == "b"]
+        assert recorder.powers("missing") == []
+        assert recorder.values("missing") == []
+        assert recorder.powers() == [s.power for s in recorder.samples]
+
+    def test_label_filter_keeps_index_consistent(self):
+        recorder = TraceRecorder(enabled_labels=frozenset({"keep"}))
+        recorder.record("keep", 0, 0b11)
+        recorder.record("drop", 0, 0xFF)
+        assert recorder.total_power() == 2.0
+        assert set(recorder.by_label()) == {"keep"}
+        assert recorder.powers("drop") == []
+
+    def test_clear_resets_all_three_stores(self):
+        recorder = TraceRecorder()
+        recorder.record("x", 0, 0xFF)
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.total_power() == 0.0
+        assert recorder.by_label() == {}
+        recorder.record("x", 1, 0b1)
+        assert recorder.total_power() == 1.0
+
+    def test_preseeded_samples_are_indexed(self):
+        seeded = [TraceSample("pre", 0, 0b11, 2.0),
+                  TraceSample("pre", 1, 0b1, 1.0)]
+        recorder = TraceRecorder(samples=list(seeded))
+        assert recorder.total_power() == 3.0
+        assert recorder.powers("pre") == [2.0, 1.0]
+
+    def test_by_label_returns_copies(self):
+        recorder = TraceRecorder()
+        recorder.record("a", 0, 1)
+        recorder.by_label()["a"].clear()   # mutate the copy
+        assert recorder.powers("a") == [1.0]
+
+
+class TestUnattachedRecorderContract:
+    """A cipher with ``recorder=None`` must add no samples anywhere and
+    keep using the fast path (the zero-overhead opt-in contract the
+    telemetry plane inherits)."""
+
+    def test_aes_without_recorder_adds_no_samples(self):
+        bystander = TraceRecorder()      # exists, but never attached
+        AES(bytes(range(16))).encrypt_block(b"\x00" * 16)
+        assert len(bystander) == 0
+
+    def test_des_without_recorder_adds_no_samples(self):
+        bystander = TraceRecorder()
+        DES(bytes(range(8))).encrypt_block(b"\x00" * 8)
+        assert len(bystander) == 0
+
+    def test_attached_recorder_still_collects(self):
+        recorder = TraceRecorder()
+        AES(bytes(range(16)), recorder=recorder).encrypt_block(b"\x00" * 16)
+        assert len(recorder) > 0
+        assert recorder.total_power() == pytest.approx(
+            sum(s.power for s in recorder.samples))
+
+    def test_dispatch_path_prefers_fast_without_recorder(self):
+        assert fastpath.dispatch_path(None) == (
+            "fast" if fastpath.enabled() else "reference")
+        assert fastpath.dispatch_path(TraceRecorder()) == "reference"
+
+    def test_recorder_forces_reference_path_same_ciphertext(self):
+        key = bytes(range(16))
+        block = bytes(range(16))
+        plain = AES(key).encrypt_block(block)
+        probed = AES(key, recorder=TraceRecorder()).encrypt_block(block)
+        assert plain == probed

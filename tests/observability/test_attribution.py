@@ -1,0 +1,147 @@
+"""Energy/cycle attribution: pricing helpers, roll-ups, and the
+32-session acceptance reconciliation."""
+
+import pytest
+
+from repro.hardware.battery import Battery
+from repro.hardware.cycles import bulk_ipb, handshake_cost, modmult_instructions
+from repro.observability.attribution import (
+    handshake_cycles,
+    modexp_cycles,
+    phase_energy_mj,
+    reconcile_energy,
+    record_cycles,
+    span_rollup,
+)
+from repro.observability.scenario import run_gateway_chaos
+from repro.observability.spans import Telemetry
+
+
+class TestPricingHelpers:
+    def test_record_cycles_matches_bulk_model(self):
+        assert record_cycles("AES", "SHA1", 1024) == \
+            bulk_ipb("AES", "SHA1") * 1024
+
+    def test_handshake_cycles_matches_handshake_model(self):
+        expected = handshake_cost(1024, False, resumed=False).total_mi * 1e6
+        assert handshake_cycles(rsa_bits=1024) == expected
+        assert handshake_cycles(rsa_bits=1024, resumed=True) < expected
+
+    def test_modexp_cycles_square_and_multiply(self):
+        # exponent 5 = 0b101: 3 bits, 2 set bits -> 4 multiplies.
+        assert modexp_cycles(5, 512) == 4 * modmult_instructions(512)
+        assert modexp_cycles(0, 512) == 0.0
+        assert modexp_cycles(-3, 512) == 0.0
+
+
+class TestRollups:
+    def _traced(self):
+        telemetry = Telemetry()
+        with telemetry.span("session"):
+            with telemetry.span("handshake"):
+                telemetry.add_energy_mj(2.0)
+                with telemetry.span("modexp"):
+                    telemetry.add_cycles(1e6)
+            with telemetry.span("record.encode"):
+                telemetry.add_energy_mj(0.5)
+        telemetry.add_energy_mj(0.25)  # outside any span
+        return telemetry
+
+    def test_span_rollup_self_vs_inclusive(self):
+        rows = {row.name: row for row in span_rollup(self._traced())}
+        assert rows["handshake"].self_mj == 2.0
+        assert rows["handshake"].inclusive_cycles == 1e6
+        assert rows["session"].self_mj == 0.0
+        assert rows["session"].inclusive_mj == pytest.approx(2.5)
+        # Sorted heaviest-inclusive first.
+        ordered = [row.name for row in span_rollup(self._traced())]
+        assert ordered[0] == "session"
+
+    def test_phase_energy_accounts_for_everything(self):
+        telemetry = self._traced()
+        phases = phase_energy_mj(telemetry)
+        assert phases["handshake"] == pytest.approx(2.0)
+        assert phases["record.encode"] == pytest.approx(0.5)
+        assert phases["unattributed"] == pytest.approx(0.25)
+        assert sum(phases.values()) == pytest.approx(
+            telemetry.total_energy_mj())
+
+    def test_nested_phase_counted_once(self):
+        telemetry = Telemetry()
+        with telemetry.span("handshake"):
+            telemetry.add_energy_mj(1.0)
+            with telemetry.span("record.encode"):  # nested phase span
+                telemetry.add_energy_mj(0.5)
+        phases = phase_energy_mj(telemetry)
+        # The inner phase is inside the outer phase's inclusive total;
+        # it must not be double-counted at the top level.
+        assert phases["handshake"] == pytest.approx(1.5)
+        assert phases["record.encode"] == pytest.approx(0.0)
+        assert sum(phases.values()) == pytest.approx(1.5)
+
+
+class TestReconciliation:
+    def test_simple_reconciliation(self):
+        telemetry = Telemetry()
+        battery = Battery(capacity_j=1.0)
+        with telemetry.span("work"):
+            # Mirror what Battery.drain_mj does when probed.
+            battery.drain_mj(100.0)
+            telemetry.add_energy_mj(100.0, kind="battery")
+        result = reconcile_energy(telemetry, [battery])
+        assert result.ok
+        assert result.attributed_mj == pytest.approx(100.0)
+        assert result.battery_drain_mj == pytest.approx(100.0)
+
+    def test_mismatch_detected(self):
+        telemetry = Telemetry()
+        battery = Battery(capacity_j=1.0)
+        battery.drain_mj(100.0)  # drained with telemetry off: unattributed
+        result = reconcile_energy(telemetry, [battery])
+        assert not result.ok
+        assert result.delta_mj == pytest.approx(-100.0)
+
+
+class TestAcceptanceScenario:
+    """The ISSUE acceptance criterion: a seeded 32-session chaos run
+    whose per-phase attribution reconciles with the batteries."""
+
+    @pytest.fixture(scope="class")
+    def chaos(self):
+        return run_gateway_chaos(sessions=32, requests_per_session=4,
+                                 fault_rate=0.2, seed=0)
+
+    def test_energy_reconciles_with_battery_drain(self, chaos):
+        recon = chaos.reconciliation
+        assert recon.ok, (
+            f"attributed {recon.attributed_mj} mJ vs battery drain "
+            f"{recon.battery_drain_mj} mJ (delta {recon.delta_mj})")
+        drained = sum((b.capacity_j - b.remaining_j) * 1000.0
+                      for b in chaos.batteries.values())
+        assert recon.battery_drain_mj == pytest.approx(drained)
+        assert drained > 0.0
+
+    def test_per_phase_rollup_covers_the_total(self, chaos):
+        phases = phase_energy_mj(chaos.telemetry)
+        total = chaos.telemetry.total_energy_mj()
+        assert sum(phases.values()) == pytest.approx(total)
+        # The gateway runtime charges radio energy inside admit/serve.
+        assert phases["gateway.admit"] + phases["gateway.serve"] > 0.0
+
+    def test_span_taxonomy_present(self, chaos):
+        names = {span.name for span in chaos.telemetry.spans}
+        assert {"session", "handshake", "kex", "modexp",
+                "record.encode", "record.decode",
+                "gateway.admit", "gateway.serve"} <= names
+        assert chaos.telemetry.open_spans() == []
+
+    def test_every_request_answered(self, chaos):
+        assert sum(chaos.counts.values()) == 32 * 4
+
+    def test_registry_unifies_the_ledgers(self, chaos):
+        registry = chaos.telemetry.registry
+        names = {name for name, _key, _value in registry.samples()}
+        assert "repro_gateway_runtime_submitted" in names
+        assert "repro_battery_drained_mj" in names
+        assert "repro_telemetry_energy_mj_total" in names
+        assert registry.value("repro_gateway_runtime_submitted") == 128.0

@@ -1,0 +1,147 @@
+"""Metrics registry and the ledger adapters (satellite: one scrape
+unifies every pre-existing ad-hoc counter, old attributes untouched)."""
+
+import pytest
+
+from repro.core.supervisor import DegradationReport
+from repro.hardware.battery import Battery
+from repro.observability.metrics import (
+    MetricsRegistry,
+    attach_ledger,
+    export_battery,
+    export_degradation_report,
+    export_fault_stats,
+    export_gateway,
+)
+from repro.protocols.faults import FaultStats
+
+
+class TestPrimitives:
+    def test_counter_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "test counter")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value() == 3.0
+
+    def test_counter_labels_are_independent_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("replies_total")
+        counter.inc(outcome="served")
+        counter.inc(outcome="served")
+        counter.inc(outcome="shed")
+        assert counter.value(outcome="served") == 2.0
+        assert counter.value(outcome="shed") == 1.0
+        assert counter.value(outcome="degraded") == 0.0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("ups_total").inc(-1.0)
+
+    def test_gauge_goes_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth")
+        gauge.set(5.0)
+        gauge.inc(-2.0)
+        assert gauge.value() == 3.0
+
+    def test_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_s", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(6.05)
+        samples = dict(((name, key), v)
+                       for name, key, v in histogram.samples())
+        assert samples[("latency_s_bucket", (("le", "0.1"),))] == 1.0
+        assert samples[("latency_s_bucket", (("le", "1.0"),))] == 3.0
+        assert samples[("latency_s_bucket", (("le", "+Inf"),))] == 4.0
+
+    def test_get_or_create_is_idempotent_but_typed(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("thing_total")
+        assert registry.counter("thing_total") is counter
+        with pytest.raises(ValueError):
+            registry.gauge("thing_total")
+
+    def test_registry_value_raises_on_unknown_series(self):
+        registry = MetricsRegistry()
+        registry.counter("known_total").inc()
+        with pytest.raises(KeyError):
+            registry.value("unknown_total")
+
+    def test_render_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("b_total", "second").inc(2.0, kind="x")
+            registry.counter("a_total", "first").inc()
+            registry.gauge("c").set(1.5)
+            return registry.render()
+
+        first, second = build(), build()
+        assert first == second
+        assert first.index("a_total") < first.index("b_total")
+        assert "# TYPE a_total counter" in first
+
+
+class TestLedgerAdapters:
+    def test_attach_ledger_reads_through_live(self):
+        registry = MetricsRegistry()
+        stats = FaultStats()
+        export_fault_stats(registry, stats, channel="radio")
+        assert registry.value("repro_channel_faults_drops",
+                              channel="radio") == 0.0
+        stats.drops += 3          # the old idiom keeps working
+        assert registry.value("repro_channel_faults_drops",
+                              channel="radio") == 3.0
+        # Property fields ride along too.
+        assert registry.value("repro_channel_faults_total_drops",
+                              channel="radio") == stats.total_drops
+
+    def test_degradation_report_adapter(self):
+        registry = MetricsRegistry()
+        report = DegradationReport()
+        export_degradation_report(registry, report, device="unit")
+        report.engine_fallbacks += 2
+        assert registry.value("repro_supervisor_engine_fallbacks",
+                              device="unit") == 2.0
+
+    def test_battery_adapter_tracks_drain(self):
+        registry = MetricsRegistry()
+        battery = Battery(capacity_j=1.0)
+        export_battery(registry, battery, device="handset-00")
+        battery.drain_mj(250.0)
+        assert registry.value("repro_battery_drained_mj",
+                              device="handset-00") == pytest.approx(250.0)
+        assert registry.value("repro_battery_fraction_remaining",
+                              device="handset-00") == pytest.approx(0.75)
+
+    def test_gateway_adapter_counts_plaintext_exposure(self):
+        class FakeGateway:
+            def __init__(self):
+                self.wired_leg_failures = 0
+                self.handler_failures = 0
+                self.degraded_responses = 0
+                self.plaintext_log = []
+
+        registry = MetricsRegistry()
+        gateway = FakeGateway()
+        export_gateway(registry, gateway)
+        gateway.plaintext_log.extend([b"req", b"resp"])
+        gateway.degraded_responses = 1
+        assert registry.value("repro_gateway_plaintext_records") == 2.0
+        assert registry.value("repro_gateway_degraded_responses") == 1.0
+
+    def test_attach_ledger_skips_non_numeric(self):
+        class Mixed:
+            def __init__(self):
+                self.count = 4
+                self.label = "not-a-number"
+                self.flag = True
+
+        registry = MetricsRegistry()
+        attach_ledger(registry, "repro_mixed", Mixed())
+        names = {name for name, _key, _v in registry.samples()}
+        assert names == {"repro_mixed_count"}

@@ -1,0 +1,79 @@
+"""Wall-clock guard for the telemetry probe seam.
+
+Same philosophy (and budget) as ``tests/crypto/test_timing_guard.py``:
+a deliberately generous tripwire, not a benchmark.  The workload below
+finishes in well under a second when the disabled probe points cost
+their contracted single ``if`` — but blows the budget if a probe
+regresses to allocating spans, formatting attributes, or touching the
+registry while telemetry is off.
+``benchmarks/bench_telemetry_overhead.py`` measures the actual
+percentages.
+"""
+
+import time
+
+from repro.observability import probe
+from repro.observability.spans import Telemetry
+from repro.protocols.ciphersuites import RSA_WITH_AES_SHA
+from repro.protocols.kdf import KeyBlock
+from repro.protocols.records import CONTENT_APPLICATION, make_record_pair
+
+BUDGET_SECONDS = 8.0
+
+
+def _record_pair():
+    suite = RSA_WITH_AES_SHA
+
+    def material(tag, count):
+        return bytes((tag + i) % 256 for i in range(count))
+
+    keys = KeyBlock(
+        client_mac_key=material(1, suite.mac_key_bytes),
+        server_mac_key=material(2, suite.mac_key_bytes),
+        client_cipher_key=material(3, suite.cipher_key_bytes),
+        server_cipher_key=material(4, suite.cipher_key_bytes),
+        client_iv=material(5, suite.iv_bytes),
+        server_iv=material(6, suite.iv_bytes),
+    )
+    encoder, _ = make_record_pair(suite, keys, is_client=True)
+    _, decoder = make_record_pair(suite, keys, is_client=False)
+    return encoder, decoder
+
+
+def test_disabled_probes_within_budget():
+    assert probe.active is None
+    encoder, decoder = _record_pair()
+    payload = b"\xA5" * 256
+
+    start = time.perf_counter()
+    for _ in range(2000):
+        decoder.decode(encoder.encode(CONTENT_APPLICATION, payload))
+    # The cool-path conveniences must also be near-free when disabled.
+    for _ in range(100_000):
+        probe.span("arq.retransmit", endpoint="a", window=4)
+        probe.event("gateway.breaker", origin="x")
+    elapsed = time.perf_counter() - start
+
+    assert elapsed < BUDGET_SECONDS, (
+        f"disabled-telemetry workload took {elapsed:.1f}s (budget "
+        f"{BUDGET_SECONDS}s); a probe point has likely regressed to "
+        "doing real work while telemetry is off")
+
+
+def test_disabled_record_path_records_nothing():
+    encoder, decoder = _record_pair()
+    record = encoder.encode(CONTENT_APPLICATION, b"quiet")
+    decoder.decode(record)
+    assert probe.active is None  # nothing installed, nothing leaked
+
+
+def test_enabled_then_disabled_leaves_no_residue():
+    encoder, decoder = _record_pair()
+    telemetry = Telemetry()
+    with probe.activate(telemetry):
+        decoder.decode(encoder.encode(CONTENT_APPLICATION, b"loud"))
+    spans_after = len(telemetry.spans)
+    assert spans_after >= 2  # encode + decode landed in the trace
+    # Back to disabled: further traffic must not grow the trace.
+    decoder.decode(encoder.encode(CONTENT_APPLICATION, b"quiet"))
+    assert len(telemetry.spans) == spans_after

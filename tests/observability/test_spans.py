@@ -1,0 +1,180 @@
+"""Span trees, deterministic identities, and the probe seam contract."""
+
+import pytest
+
+from repro.observability import probe
+from repro.observability.spans import (
+    Telemetry,
+    derive_trace_id,
+    fnv1a_64,
+)
+from repro.protocols.reliable import VirtualClock
+
+
+class TestDeterministicIdentity:
+    def test_fnv1a_offset_basis(self):
+        # FNV-1a of the empty string is the offset basis by definition.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+    def test_fnv1a_known_vector(self):
+        # Classic FNV-1a test vector: "a" -> 0xaf63dc4c8601ec8c.
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_trace_id_is_pure_function_of_seed(self):
+        assert derive_trace_id("x", 1) == derive_trace_id("x", 1)
+        assert derive_trace_id("x", 1) != derive_trace_id("x", 2)
+        assert derive_trace_id("x", 1) != derive_trace_id("y", 1)
+        assert len(derive_trace_id("x", 1)) == 16
+
+    def test_same_seed_same_trace_id(self):
+        a = Telemetry(seed=("chaos", 32, 0), label="gateway")
+        b = Telemetry(seed=("chaos", 32, 0), label="gateway")
+        assert a.trace_id == b.trace_id
+
+    def test_span_ids_sequential(self):
+        telemetry = Telemetry()
+        with telemetry.span("one"):
+            with telemetry.span("two"):
+                pass
+        with telemetry.span("three"):
+            pass
+        assert [s.span_id for s in telemetry.spans] == [1, 2, 3]
+
+
+class TestSpanTree:
+    def test_nesting_sets_parent_ids(self):
+        telemetry = Telemetry()
+        with telemetry.span("session") as session:
+            with telemetry.span("handshake") as handshake:
+                with telemetry.span("kex") as kex:
+                    pass
+        assert session.parent_id is None
+        assert handshake.parent_id == session.span_id
+        assert kex.parent_id == handshake.span_id
+        assert telemetry.children(session) == [handshake]
+        assert telemetry.open_spans() == []
+
+    def test_siblings_share_parent(self):
+        telemetry = Telemetry()
+        with telemetry.span("record") as parent:
+            with telemetry.span("cipher"):
+                pass
+            with telemetry.span("mac"):
+                pass
+        names = [s.name for s in telemetry.children(parent)]
+        assert names == ["cipher", "mac"]
+
+    def test_strict_stack_discipline(self):
+        telemetry = Telemetry()
+        outer = telemetry.start_span("outer")
+        telemetry.start_span("inner")
+        with pytest.raises(RuntimeError):
+            telemetry.end_span(outer)
+
+    def test_virtual_clock_stamps(self):
+        clock = VirtualClock()
+        telemetry = Telemetry(clock=clock)
+        span = telemetry.start_span("work")
+        clock.advance_to(2.5)
+        telemetry.end_span(span)
+        assert span.start_s == 0.0
+        assert span.end_s == 2.5
+        assert span.duration_s == 2.5
+
+    def test_exception_still_closes_span(self):
+        telemetry = Telemetry()
+        with pytest.raises(ValueError):
+            with telemetry.span("doomed"):
+                raise ValueError("boom")
+        assert telemetry.open_spans() == []
+        assert telemetry.spans[0].end_s is not None
+
+    def test_events_attach_to_current_span_or_trace(self):
+        telemetry = Telemetry()
+        telemetry.event("trace-level", detail="a")
+        with telemetry.span("work") as span:
+            telemetry.event("span-level", detail="b")
+        assert [e.name for e in telemetry.events] == ["trace-level"]
+        assert [e.name for e in span.events] == ["span-level"]
+
+    def test_attrs_set_and_find(self):
+        telemetry = Telemetry()
+        with telemetry.span("record", n=42) as span:
+            span.set(path="fast")
+        found = telemetry.find("record")
+        assert found == [span]
+        assert span.attrs == {"n": 42, "path": "fast"}
+
+
+class TestAttributionSinks:
+    def test_energy_charges_innermost_span(self):
+        telemetry = Telemetry()
+        with telemetry.span("outer") as outer:
+            with telemetry.span("inner") as inner:
+                telemetry.add_energy_mj(3.0)
+            telemetry.add_energy_mj(1.0)
+        assert inner.energy_mj == 3.0
+        assert outer.energy_mj == 1.0
+        assert telemetry.total_energy_mj() == 4.0
+
+    def test_unattributed_bucket(self):
+        telemetry = Telemetry()
+        telemetry.add_energy_mj(2.0)
+        telemetry.add_cycles(100.0)
+        assert telemetry.unattributed_mj == 2.0
+        assert telemetry.unattributed_cycles == 100.0
+        assert telemetry.total_energy_mj() == 2.0
+        assert telemetry.total_cycles() == 100.0
+
+    def test_sinks_mirror_into_registry(self):
+        telemetry = Telemetry()
+        with telemetry.span("handshake"):
+            telemetry.add_energy_mj(1.5, kind="battery")
+            telemetry.add_cycles(1e6, kind="model")
+        assert telemetry.registry.value(
+            "repro_telemetry_energy_mj_total",
+            kind="battery", span="handshake") == 1.5
+        assert telemetry.registry.value(
+            "repro_telemetry_cycles_total",
+            kind="model", span="handshake") == 1e6
+
+
+class TestProbeSeam:
+    def test_disabled_by_default(self):
+        assert probe.active is None
+
+    def test_disabled_span_is_shared_null_context(self):
+        assert probe.span("anything", n=1) is probe.span("other")
+        with probe.span("no-op") as span:
+            assert span is None
+
+    def test_disabled_event_is_noop(self):
+        probe.event("nothing", detail="ignored")  # must not raise
+
+    def test_activate_restores_previous(self):
+        outer = Telemetry(label="outer")
+        inner = Telemetry(label="inner")
+        with probe.activate(outer):
+            assert probe.active is outer
+            with probe.activate(inner):
+                assert probe.active is inner
+            assert probe.active is outer
+        assert probe.active is None
+
+    def test_activate_restores_on_exception(self):
+        telemetry = Telemetry()
+        with pytest.raises(RuntimeError):
+            with probe.activate(telemetry):
+                raise RuntimeError("boom")
+        assert probe.active is None
+
+    def test_install_uninstall(self):
+        telemetry = Telemetry()
+        try:
+            assert probe.install(telemetry) is telemetry
+            assert probe.active is telemetry
+            with probe.span("live") as span:
+                assert span is telemetry.spans[0]
+        finally:
+            probe.uninstall()
+        assert probe.active is None

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.attacks",
     "repro.core",
     "repro.analysis",
+    "repro.observability",
 ]
 
 

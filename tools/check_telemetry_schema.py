@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Validate a telemetry JSONL export against the documented schema.
+
+The export format (see ``repro.observability.export``) is line-oriented
+JSON with four record types:
+
+* exactly one ``trace`` header, on the first line;
+* ``span`` records (ids positive and strictly increasing, parents
+  resolving to earlier spans, ``end_s >= start_s``);
+* ``event`` records (trace-level events only; span events live inside
+  their span's ``events`` array);
+* ``metric`` records (sorted label pairs, numeric values).
+
+Exit status 0 when the file conforms, 1 with a per-line diagnosis when
+it does not.  Used by the CI telemetry smoke job:
+
+    PYTHONPATH=src python -m repro telemetry-report --jsonl trace.jsonl
+    python tools/check_telemetry_schema.py trace.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+TRACE_KEYS = {
+    "type", "trace_id", "label", "spans", "events", "energy_mj",
+    "cycles", "unattributed_mj", "unattributed_cycles",
+}
+SPAN_KEYS = {
+    "type", "id", "parent", "name", "start_s", "end_s", "attrs",
+    "events", "energy_mj", "cycles",
+}
+EVENT_KEYS = {"type", "time_s", "name", "attrs"}
+METRIC_KEYS = {"type", "name", "labels", "value"}
+
+
+def _is_num(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_file(path: str) -> List[str]:
+    """Return a list of schema violations (empty = conforming)."""
+    errors: List[str] = []
+    seen_span_ids = set()
+    last_span_id = 0
+    declared_spans = declared_events = None
+    span_count = event_count = 0
+
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        return ["file is empty: expected a trace header line"]
+
+    for lineno, raw in enumerate(lines, start=1):
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {lineno}: expected an object")
+            continue
+        kind = record.get("type")
+
+        if lineno == 1:
+            if kind != "trace":
+                errors.append("line 1: first record must be the trace "
+                              f"header, got type={kind!r}")
+                continue
+            if set(record) != TRACE_KEYS:
+                errors.append(f"line 1: trace keys {sorted(record)} != "
+                              f"{sorted(TRACE_KEYS)}")
+            if not isinstance(record.get("trace_id"), str) \
+                    or len(record.get("trace_id", "")) != 16:
+                errors.append("line 1: trace_id must be 16 hex chars")
+            declared_spans = record.get("spans")
+            declared_events = record.get("events")
+            continue
+
+        if kind == "trace":
+            errors.append(f"line {lineno}: duplicate trace header")
+        elif kind == "span":
+            span_count += 1
+            if set(record) != SPAN_KEYS:
+                errors.append(f"line {lineno}: span keys "
+                              f"{sorted(record)} != {sorted(SPAN_KEYS)}")
+                continue
+            span_id = record["id"]
+            if not isinstance(span_id, int) or span_id <= last_span_id:
+                errors.append(f"line {lineno}: span id {span_id!r} not "
+                              "strictly increasing")
+            else:
+                last_span_id = span_id
+                seen_span_ids.add(span_id)
+            parent = record["parent"]
+            if parent is not None and parent not in seen_span_ids:
+                errors.append(f"line {lineno}: parent {parent!r} does "
+                              "not resolve to an earlier span")
+            if not (_is_num(record["start_s"]) and _is_num(record["end_s"])
+                    and record["end_s"] >= record["start_s"]):
+                errors.append(f"line {lineno}: bad span interval")
+            if not (_is_num(record["energy_mj"]) and _is_num(record["cycles"])):
+                errors.append(f"line {lineno}: non-numeric attribution")
+            if not isinstance(record["attrs"], dict) \
+                    or not isinstance(record["events"], list):
+                errors.append(f"line {lineno}: attrs/events malformed")
+        elif kind == "event":
+            event_count += 1
+            if set(record) != EVENT_KEYS:
+                errors.append(f"line {lineno}: event keys "
+                              f"{sorted(record)} != {sorted(EVENT_KEYS)}")
+        elif kind == "metric":
+            if set(record) != METRIC_KEYS:
+                errors.append(f"line {lineno}: metric keys "
+                              f"{sorted(record)} != {sorted(METRIC_KEYS)}")
+            elif not _is_num(record["value"]):
+                errors.append(f"line {lineno}: metric value must be numeric")
+            elif not isinstance(record["labels"], dict):
+                errors.append(f"line {lineno}: metric labels must be an "
+                              "object")
+        else:
+            errors.append(f"line {lineno}: unknown record type {kind!r}")
+
+    if declared_spans is not None and declared_spans != span_count:
+        errors.append(f"trace header declares {declared_spans} spans but "
+                      f"{span_count} span records follow")
+    if declared_events is not None and declared_events != event_count:
+        errors.append(f"trace header declares {declared_events} trace "
+                      f"events but {event_count} event records follow")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} TRACE.jsonl", file=sys.stderr)
+        return 2
+    errors = check_file(argv[1])
+    if errors:
+        for error in errors:
+            print(f"{argv[1]}: {error}", file=sys.stderr)
+        return 1
+    print(f"{argv[1]}: schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
