@@ -36,6 +36,10 @@ Subpackages
     The unified telemetry plane: virtual-time spans, the metrics
     registry with ledger adapters, energy/cycle attribution, and the
     deterministic exports behind ``python -m repro telemetry-report``.
+``repro.conformance``
+    The conformance plane: official-vector registry, differential
+    oracles, the handshake state-machine model checker, and the
+    seeded wire-format fuzzer behind ``python -m repro conformance``.
 
 Quickstart
 ----------
@@ -50,6 +54,7 @@ __version__ = "1.0.0"
 from . import (  # noqa: F401
     analysis,
     attacks,
+    conformance,
     core,
     crypto,
     hardware,
@@ -59,5 +64,5 @@ from . import (  # noqa: F401
 
 __all__ = [
     "crypto", "protocols", "hardware", "attacks", "core", "analysis",
-    "observability", "__version__",
+    "observability", "conformance", "__version__",
 ]

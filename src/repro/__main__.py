@@ -11,6 +11,11 @@ Gives the reproduction a front door:
 * ``telemetry-report`` — seeded gateway chaos run with the telemetry
   plane on: span-tree roll-up, per-phase energy attribution, metrics
   dump, optional deterministic JSONL / flamegraph exports.
+* ``conformance``    — the full conformance plane: official vectors on
+  both dispatch paths, differential oracles, the handshake
+  state-machine check, the seeded wire-format fuzzer, and replay of
+  the committed regression corpus.  Deterministic: same seed, byte-
+  identical report.
 """
 
 from __future__ import annotations
@@ -177,6 +182,22 @@ def _cmd_telemetry_report(args: argparse.Namespace) -> int:
     return 0 if recon.ok else 1
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from .conformance.runner import format_report, run_conformance
+
+    report = run_conformance(
+        seed=args.seed,
+        fuzz_iterations=args.fuzz_iterations,
+        statemachine_depth=args.depth,
+    )
+    text = format_report(report)
+    print(text, end="")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(text)
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -210,6 +231,16 @@ def main(argv=None) -> int:
                            help="write the deterministic JSONL trace here")
     telemetry.add_argument("--folded", metavar="PATH", default=None,
                            help="write flamegraph-style folded stacks here")
+    conformance = sub.add_parser(
+        "conformance",
+        help="vectors + oracles + state machine + fuzzing, one report")
+    conformance.add_argument("--seed", type=int, default=2003)
+    conformance.add_argument("--fuzz-iterations", type=int, default=150,
+                             help="mutations per fuzz target")
+    conformance.add_argument("--depth", type=int, default=4,
+                             help="state-machine enumeration depth")
+    conformance.add_argument("--report", metavar="PATH", default=None,
+                             help="also write the report text here")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -220,6 +251,7 @@ def main(argv=None) -> int:
         "battery": _cmd_battery,
         "appliance": _cmd_appliance,
         "telemetry-report": _cmd_telemetry_report,
+        "conformance": _cmd_conformance,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,73 @@
+"""Conformance and differential-verification plane.
+
+The paper's premise (§2–§3.1) is that the mobile appliance must speak
+*exactly* the wired Internet's protocols — interoperability is the
+security property.  This subpackage is the standing proof obligation
+for the whole reproduction:
+
+``vectors``
+    Declarative registry over the JSON corpus in ``tests/vectors/``:
+    official KATs (FIPS 197/46-3, RFC 6229, RFC 2268, RFC 1321,
+    FIPS 180-1, RFC 2202, frozen RSA/DH pairs) executed through both
+    the reference loops and the fast-path kernels.
+``oracles``
+    Differential oracles against ``hashlib``/``hmac``, cross-path
+    round-trip properties for ciphers with no stdlib twin, and the
+    TLS↔WTLS record-layer agreement oracle.
+``statemachine``
+    The explicit handshake state-machine model (states, allowed
+    transitions, forbidden-message matrix) checked by exhaustive
+    small-depth enumeration.
+``fuzzcorpus``
+    A seeded, deterministic mutation fuzzer over every wire parser,
+    with greedy crash minimization and a persisted regression corpus
+    replayed forever after.
+``runner``
+    One-call orchestration behind ``python -m repro conformance``,
+    rendering a byte-stable report for CI's run-twice-and-``cmp``
+    discipline.
+"""
+
+from .fuzzcorpus import (
+    CrashRecord,
+    FuzzReport,
+    FuzzTarget,
+    default_targets,
+    load_regressions,
+    minimize,
+    persist_crashers,
+    replay_regression,
+    run_fuzz,
+)
+from .oracles import ORACLES, run_oracles
+from .runner import ConformanceReport, format_report, run_conformance
+from .statemachine import (
+    STATES,
+    SYMBOLS,
+    TRANSITIONS,
+    ReferenceServerMachine,
+    StateMachineReport,
+    check_model,
+    golden_messages,
+)
+from .vectors import (
+    CheckResult,
+    VectorCorpus,
+    VectorFile,
+    check_vector,
+    load_corpus,
+    run_vectors,
+)
+
+__all__ = [
+    "CheckResult", "VectorCorpus", "VectorFile",
+    "load_corpus", "check_vector", "run_vectors",
+    "ORACLES", "run_oracles",
+    "STATES", "SYMBOLS", "TRANSITIONS",
+    "ReferenceServerMachine", "StateMachineReport",
+    "check_model", "golden_messages",
+    "FuzzTarget", "FuzzReport", "CrashRecord",
+    "default_targets", "run_fuzz", "minimize",
+    "persist_crashers", "load_regressions", "replay_regression",
+    "ConformanceReport", "run_conformance", "format_report",
+]

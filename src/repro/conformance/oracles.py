@@ -1,0 +1,279 @@
+"""Differential and property oracles for the from-scratch stacks.
+
+Three oracle families, in descending order of independence:
+
+* **cross-implementation** — our MD5/SHA-1/HMAC against the platform's
+  ``hashlib``/``hmac`` (a genuinely independent implementation; this
+  module is test tooling, so the no-stdlib-crypto rule for the
+  reference modules does not apply here);
+* **self-inverse / round-trip** — encrypt→decrypt identity for every
+  cipher and mode where no stdlib twin exists (DES, 3DES, AES, RC2,
+  RC4, ECB/CBC/CTR), checked *across* dispatch paths: fast-path
+  encrypt must be opened by reference decrypt and vice versa;
+* **record-layer agreement** — the mini-TLS and WTLS record layers,
+  keyed identically, must both round-trip the same payloads on every
+  shared cipher suite and must both reject the same tampering with
+  :class:`~repro.protocols.alerts.BadRecordMAC` (the shared
+  MAC-then-encrypt contract the paper's §3.1 "close resemblance to
+  SSL/TLS" implies).
+
+Every oracle returns a list of
+:class:`~repro.conformance.vectors.CheckResult` rows so the runner
+and the pytest suite consume one shape.  Inputs are deterministic —
+derived from fixed seeds, never from the wall clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as stdlib_hmac
+from typing import Callable, Dict, List
+
+from ..crypto import fastpath
+from ..crypto.aes import AES
+from ..crypto.des import DES
+from ..crypto.hmac import hmac
+from ..crypto.md5 import MD5, md5
+from ..crypto.modes import CBC, CTR, ECB
+from ..crypto.rc2 import RC2
+from ..crypto.rc4 import RC4
+from ..crypto.rng import DeterministicDRBG
+from ..crypto.sha1 import SHA1, sha1
+from ..crypto.tdes import TripleDES
+from ..protocols.alerts import BadRecordMAC
+from ..protocols.ciphersuites import ALL_SUITES
+from ..protocols.records import (
+    CONTENT_APPLICATION,
+    RecordDecoder,
+    RecordEncoder,
+)
+from ..protocols.wtls import WTLSRecordDecoder, WTLSRecordEncoder
+from .vectors import CheckResult
+
+#: Message lengths spanning compression-block boundaries (0, partial,
+#: exactly one block, the 55/56 padding edge, multi-block).
+HASH_LENGTHS = (0, 1, 3, 8, 55, 56, 63, 64, 65, 127, 128, 200)
+
+#: (key length, message length) pairs for the HMAC sweep, including
+#: keys shorter than, equal to, and longer than the block size.
+HMAC_SHAPES = ((0, 17), (1, 0), (16, 50), (20, 64), (64, 13), (65, 13),
+               (100, 128))
+
+
+def _result(oracle: str, case: str, detail: str) -> CheckResult:
+    return CheckResult(file=oracle, vector_id=case, path="both",
+                       ok=detail == "", detail=detail)
+
+
+def _material(label: str, length: int) -> bytes:
+    """Deterministic bytes for oracle inputs (never wall-clock seeded)."""
+    return DeterministicDRBG(f"conformance-oracle:{label}").random_bytes(
+        length)
+
+
+def hash_oracle() -> List[CheckResult]:
+    """Our MD5/SHA-1 vs ``hashlib`` over boundary-spanning lengths,
+    on both dispatch paths."""
+    results = []
+    pairs: Dict[str, tuple] = {
+        "md5": (md5, lambda d: hashlib.md5(d).digest()),
+        "sha1": (sha1, lambda d: hashlib.sha1(d).digest()),
+    }
+    for name, (ours, theirs) in sorted(pairs.items()):
+        for length in HASH_LENGTHS:
+            data = _material(f"hash-{length}", length)
+            expected = theirs(data)
+            for path in ("fast", "reference"):
+                with fastpath.force(path == "fast"):
+                    got = ours(data)
+                detail = ("" if got == expected else
+                          f"{name}({length}B) diverges from hashlib "
+                          f"on {path} path")
+                results.append(_result(
+                    "hash-vs-hashlib", f"{name}-{length}-{path}", detail))
+    return results
+
+
+def hmac_oracle() -> List[CheckResult]:
+    """Our HMAC vs stdlib ``hmac`` across key/message shapes."""
+    results = []
+    factories = {"md5": (MD5, "md5"), "sha1": (SHA1, "sha1")}
+    for name, (factory, digestmod) in sorted(factories.items()):
+        for key_len, msg_len in HMAC_SHAPES:
+            key = _material(f"hmac-key-{key_len}", key_len)
+            msg = _material(f"hmac-msg-{msg_len}", msg_len)
+            expected = stdlib_hmac.new(key, msg, digestmod).digest()
+            for path in ("fast", "reference"):
+                with fastpath.force(path == "fast"):
+                    got = hmac(key, msg, factory)
+                detail = ("" if got == expected else
+                          f"hmac-{name}(key={key_len},msg={msg_len}) "
+                          f"diverges from stdlib on {path} path")
+                results.append(_result(
+                    "hmac-vs-stdlib",
+                    f"{name}-k{key_len}-m{msg_len}-{path}", detail))
+    return results
+
+
+#: Block/stream ciphers with no stdlib twin: name -> (factory, key bytes).
+CIPHERS: Dict[str, tuple] = {
+    "aes128": (AES, 16),
+    "aes192": (AES, 24),
+    "aes256": (AES, 32),
+    "des": (DES, 8),
+    "3des": (TripleDES, 24),
+    "rc2": (RC2, 16),
+}
+
+
+def roundtrip_oracle() -> List[CheckResult]:
+    """Self-inverse checks where no independent twin exists.
+
+    The cross-path variants are the strongest form: a fast-path
+    encryption must decrypt on the reference loops (and vice versa),
+    so the two implementations are pinned against each other, not
+    merely against themselves.
+    """
+    results = []
+    for name in sorted(CIPHERS):
+        factory, key_bytes = CIPHERS[name]
+        key = _material(f"cipher-key-{name}", key_bytes)
+        cipher = factory(key)
+        block = _material(f"cipher-block-{name}", cipher.block_size)
+        for enc_path in ("fast", "reference"):
+            for dec_path in ("fast", "reference"):
+                with fastpath.force(enc_path == "fast"):
+                    encrypted = factory(key).encrypt_block(block)
+                with fastpath.force(dec_path == "fast"):
+                    back = factory(key).decrypt_block(encrypted)
+                detail = ("" if back == block else
+                          f"{name}: {enc_path}-encrypt not inverted by "
+                          f"{dec_path}-decrypt")
+                results.append(_result(
+                    "cipher-roundtrip",
+                    f"{name}-{enc_path}-{dec_path}", detail))
+        # Mode round-trips (one representative length per mode).
+        data = _material(f"mode-data-{name}", 5 * cipher.block_size + 3)
+        iv = _material(f"mode-iv-{name}", cipher.block_size)
+        for mode_name in ("ecb", "cbc", "ctr"):
+            if mode_name == "ecb":
+                aligned = data[:5 * cipher.block_size]  # ECB: aligned only
+                encrypted = ECB(factory(key)).encrypt(aligned)
+                back = ECB(factory(key)).decrypt(encrypted)
+                detail = ("" if back == aligned else
+                          f"{name}-ecb: round trip diverged")
+                results.append(_result("mode-roundtrip", f"{name}-ecb",
+                                       detail))
+                continue
+            if mode_name == "cbc":
+                encrypted = CBC(factory(key), iv).encrypt(data)
+                back = CBC(factory(key), iv).decrypt(encrypted)
+            else:
+                encrypted = CTR(factory(key), iv).process(data)
+                back = CTR(factory(key), iv).process(encrypted)
+            detail = ("" if back == data else
+                      f"{name}-{mode_name}: round trip diverged")
+            results.append(_result(
+                "mode-roundtrip", f"{name}-{mode_name}", detail))
+    # RC4 is its own inverse.
+    key = _material("rc4-key", 16)
+    data = _material("rc4-data", 301)
+    back = RC4(key).process(RC4(key).process(data))
+    results.append(_result(
+        "cipher-roundtrip", "rc4-self-inverse",
+        "" if back == data else "rc4: process∘process is not identity"))
+    return results
+
+
+def _record_pairs(suite, label: str):
+    """A (TLS encoder/decoder, WTLS encoder/decoder) quad with shared
+    deterministic key material for one suite."""
+    rng = DeterministicDRBG(f"conformance-record:{label}:{suite.name}")
+    cipher_key = rng.random_bytes(suite.cipher_key_bytes)
+    mac_key = rng.random_bytes(suite.mac_key_bytes)
+    iv = rng.random_bytes(suite.iv_bytes)
+    tls = (RecordEncoder(suite, cipher_key, mac_key, iv),
+           RecordDecoder(suite, cipher_key, mac_key, iv))
+    wtls = (WTLSRecordEncoder(suite, cipher_key, mac_key, iv),
+            WTLSRecordDecoder(suite, cipher_key, mac_key, iv))
+    return tls, wtls
+
+
+def record_layer_oracle() -> List[CheckResult]:
+    """TLS↔WTLS agreement on every shared suite.
+
+    Both layers, keyed identically, must (a) round-trip the same
+    payload sequence and (b) reject a flipped ciphertext bit with
+    :class:`~repro.protocols.alerts.BadRecordMAC` — never by returning
+    corrupted plaintext or crashing.
+    """
+    results = []
+    payloads = [_material(f"record-payload-{i}", n)
+                for i, n in enumerate((1, 13, 64, 200))]
+    for suite in ALL_SUITES:
+        (tls_enc, tls_dec), (wtls_enc, wtls_dec) = _record_pairs(
+            suite, "agree")
+        detail = ""
+        for payload in payloads:
+            tls_type, tls_payload = tls_dec.decode(
+                tls_enc.encode(CONTENT_APPLICATION, payload))
+            wtls_seq, wtls_payload = wtls_dec.decode(wtls_enc.encode(payload))
+            if tls_payload != payload:
+                detail = f"TLS record layer corrupted a {len(payload)}B payload"
+                break
+            if wtls_payload != payload:
+                detail = (f"WTLS record layer corrupted a "
+                          f"{len(payload)}B payload")
+                break
+            if tls_type != CONTENT_APPLICATION:
+                detail = "TLS content type not preserved"
+                break
+        results.append(_result(
+            "record-agreement", f"{suite.name}-roundtrip", detail))
+
+        # Tamper rejection must agree too (fresh pairs: the CBC residue
+        # chain in TLS makes decoder state matter).
+        (tls_enc, tls_dec), (wtls_enc, wtls_dec) = _record_pairs(
+            suite, "tamper")
+        detail = ""
+        for name, encode, decode in (
+                ("tls",
+                 lambda d=tls_enc: tls_enc.encode(CONTENT_APPLICATION,
+                                                  payloads[3]),
+                 tls_dec.decode),
+                ("wtls",
+                 lambda d=wtls_enc: wtls_enc.encode(payloads[3]),
+                 wtls_dec.decode)):
+            record = bytearray(encode())
+            record[-1] ^= 0x01
+            try:
+                decode(bytes(record))
+            except BadRecordMAC:
+                continue
+            except Exception as exc:
+                detail = (f"{name}: tampering raised "
+                          f"{type(exc).__name__}, want BadRecordMAC")
+                break
+            else:
+                detail = f"{name}: tampered record accepted"
+                break
+        results.append(_result(
+            "record-agreement", f"{suite.name}-tamper", detail))
+    return results
+
+
+#: The oracle registry the runner iterates, in report order.
+ORACLES: Dict[str, Callable[[], List[CheckResult]]] = {
+    "hash-vs-hashlib": hash_oracle,
+    "hmac-vs-stdlib": hmac_oracle,
+    "cipher-roundtrip": roundtrip_oracle,
+    "record-agreement": record_layer_oracle,
+}
+
+
+def run_oracles() -> List[CheckResult]:
+    """Run every registered oracle; deterministic result order."""
+    results: List[CheckResult] = []
+    for name in sorted(ORACLES):
+        results.extend(ORACLES[name]())
+    return results

@@ -1,0 +1,130 @@
+"""The conformance runner: one call, one deterministic report.
+
+Glues the four planes together — official vectors on both dispatch
+paths, differential/property oracles, the exhaustive state-machine
+check, the seeded fuzz campaign, and the replay of the committed
+regression corpus — and renders a byte-stable text report (sorted
+iteration everywhere, no wall-clock content), so CI can run it twice
+with the same seed and ``cmp`` the outputs, the same discipline the
+telemetry job uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .fuzzcorpus import (
+    FuzzReport,
+    default_targets,
+    load_regressions,
+    replay_regression,
+    run_fuzz,
+)
+from .statemachine import StateMachineReport, check_model
+from .vectors import CheckResult, load_corpus, run_vectors
+from .oracles import run_oracles
+
+
+@dataclass
+class ConformanceReport:
+    """Everything one conformance run observed."""
+
+    seed: int
+    vector_results: List[CheckResult]
+    oracle_results: List[CheckResult]
+    statemachine: StateMachineReport
+    fuzz: FuzzReport
+    regressions: List[Tuple[str, Optional[str]]]  # (file label, escape)
+
+    @property
+    def ok(self) -> bool:
+        """True when every plane is green."""
+        return (all(r.ok for r in self.vector_results)
+                and all(r.ok for r in self.oracle_results)
+                and self.statemachine.ok
+                and self.fuzz.ok
+                and all(escape is None for _, escape in self.regressions))
+
+
+def run_conformance(seed: int = 2003, fuzz_iterations: int = 150,
+                    statemachine_depth: int = 4) -> ConformanceReport:
+    """Run every conformance plane with one seed."""
+    targets = default_targets()
+    regressions = []
+    for record in load_regressions():
+        label = f"{record['target']}:{record['blob'][:16]}"
+        regressions.append((label, replay_regression(record, targets)))
+    return ConformanceReport(
+        seed=seed,
+        vector_results=run_vectors(load_corpus()),
+        oracle_results=run_oracles(),
+        statemachine=check_model(depth=statemachine_depth),
+        fuzz=run_fuzz(seed=seed, iterations=fuzz_iterations,
+                      targets=targets),
+        regressions=regressions,
+    )
+
+
+def _summarize(results: List[CheckResult]) -> List[str]:
+    lines = []
+    by_file: dict = {}
+    for result in results:
+        by_file.setdefault(result.file, []).append(result)
+    for name in sorted(by_file):
+        rows = by_file[name]
+        failures = [r for r in rows if not r.ok]
+        status = "ok" if not failures else f"{len(failures)} FAILED"
+        lines.append(f"  {name:<24} {len(rows):>4} checks  {status}")
+        for failure in failures:
+            lines.append(f"    FAIL {failure.vector_id} [{failure.path}]: "
+                         f"{failure.detail}")
+    return lines
+
+
+def format_report(report: ConformanceReport) -> str:
+    """Render the deterministic text report (byte-stable per seed)."""
+    corpus = load_corpus()
+    lines = []
+    lines.append("=" * 20 + f" conformance report (seed {report.seed}) "
+                 + "=" * 20)
+    lines.append(f"corpus: {len(corpus.files)} files, "
+                 f"{corpus.vector_count} official vectors")
+    lines.append("")
+    lines.append("-- official vectors (both dispatch paths) " + "-" * 20)
+    lines.extend(_summarize(report.vector_results))
+    lines.append("")
+    lines.append("-- differential / property oracles " + "-" * 27)
+    lines.extend(_summarize(report.oracle_results))
+    lines.append("")
+    lines.append("-- handshake state machine " + "-" * 35)
+    sm = report.statemachine
+    lines.append(f"  depth {sm.depth}: {sm.sequences} sequences, "
+                 f"{sm.steps} steps, {sm.alerts} alerts, "
+                 f"{sm.transitions_covered} transitions covered")
+    for mismatch in sm.mismatches:
+        lines.append(f"    MISMATCH at {mismatch.sequence!r} step "
+                     f"{mismatch.step}: ({mismatch.state}, "
+                     f"{mismatch.symbol}) expected {mismatch.expected}, "
+                     f"observed {mismatch.observed}")
+    lines.append("")
+    lines.append("-- seeded wire-format fuzzing " + "-" * 32)
+    fuzz = report.fuzz
+    lines.append(f"  {fuzz.iterations} iterations x "
+                 f"{len(default_targets())} targets: "
+                 f"{fuzz.executions} executions, {fuzz.accepted} accepted, "
+                 f"{fuzz.rejections} cleanly rejected, "
+                 f"{len(fuzz.crashers)} contract escapes")
+    for crash in fuzz.crashers:
+        lines.append(f"    CRASH {crash.target}: {crash.error} "
+                     f"(blob {crash.blob.hex()})")
+    lines.append("")
+    lines.append("-- regression corpus replay " + "-" * 34)
+    if not report.regressions:
+        lines.append("  (no committed regression vectors)")
+    for label, escape in report.regressions:
+        status = "ok" if escape is None else f"REGRESSED: {escape}"
+        lines.append(f"  {label:<42} {status}")
+    lines.append("")
+    lines.append(f"RESULT: {'PASS' if report.ok else 'FAIL'}")
+    return "\n".join(lines) + "\n"

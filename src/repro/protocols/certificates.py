@@ -76,12 +76,22 @@ class Certificate:
         (signature,), leftover = _decode_fields(rest[16:], 1)
         if leftover:
             raise CertificateError("trailing bytes after certificate")
+        if len(n_bytes) > 1024 or len(e_bytes) > 8:
+            raise CertificateError("certificate key fields oversized")
+        n = int.from_bytes(n_bytes, "big")
+        e = int.from_bytes(e_bytes, "big")
+        if n < 3 or e < 2:
+            raise CertificateError("certificate key degenerate")
+        try:
+            subject_name = subject.decode()
+            issuer_name = issuer.decode()
+        except UnicodeDecodeError as exc:
+            raise CertificateError(
+                f"certificate name is not valid UTF-8: {exc}") from exc
         return cls(
-            subject=subject.decode(),
-            issuer=issuer.decode(),
-            public_key=RSAPublicKey(
-                int.from_bytes(n_bytes, "big"), int.from_bytes(e_bytes, "big")
-            ),
+            subject=subject_name,
+            issuer=issuer_name,
+            public_key=RSAPublicKey(n, e),
             not_before=not_before,
             not_after=not_after,
             signature=signature,

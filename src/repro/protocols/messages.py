@@ -56,6 +56,15 @@ def decode_fields(blob: bytes, expected_type: int, count: int) -> List[bytes]:
     return fields
 
 
+def decode_text(data: bytes, what: str) -> str:
+    """Decode a textual field; malformed UTF-8 is a wire-format error,
+    not a crash (an attacker controls these bytes)."""
+    try:
+        return data.decode()
+    except UnicodeDecodeError as exc:
+        raise DecodeError(f"{what} is not valid UTF-8: {exc}") from exc
+
+
 @dataclass
 class ClientHello:
     """Client's opening offer: nonce + cipher-suite preference list."""
@@ -74,7 +83,8 @@ class ClientHello:
     def from_bytes(cls, blob: bytes) -> "ClientHello":
         """Parse."""
         random_bytes, suites = decode_fields(blob, MSG_CLIENT_HELLO, 2)
-        names = suites.decode().split(",") if suites else []
+        names = (decode_text(suites, "suite list").split(",")
+                 if suites else [])
         return cls(client_random=random_bytes, suite_names=names)
 
 
@@ -110,7 +120,7 @@ class ServerHello:
         )
         return cls(
             server_random=random_bytes,
-            suite_name=name.decode(),
+            suite_name=decode_text(name, "suite name"),
             certificate=cert,
             key_exchange=kex,
             request_client_auth=auth == b"\x01",

@@ -18,7 +18,7 @@ from typing import Optional, Tuple
 
 from ..crypto import fastpath
 from ..crypto.bitops import constant_time_compare
-from ..crypto.errors import PaddingError
+from ..crypto.errors import InvalidBlockSize, PaddingError
 from ..crypto.hmac import HMAC
 from ..crypto.modes import CBC
 from ..crypto.rc4 import RC4
@@ -171,7 +171,7 @@ class RecordDecoder:
             cbc = CBC(self._cipher, self._iv)
             try:
                 protected = cbc.decrypt(body)
-            except PaddingError as exc:
+            except (PaddingError, InvalidBlockSize) as exc:
                 raise BadRecordMAC(f"padding invalid: {exc}") from exc
             self._iv = body[-self._cipher.block_size :]
         else:

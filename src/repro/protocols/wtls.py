@@ -24,7 +24,7 @@ from typing import Optional, Tuple
 
 from ..crypto import fastpath
 from ..crypto.bitops import constant_time_compare
-from ..crypto.errors import PaddingError
+from ..crypto.errors import InvalidBlockSize, PaddingError
 from ..crypto.hmac import hmac
 from ..crypto.modes import CBC
 from ..observability import probe
@@ -168,6 +168,8 @@ class WTLSRecordDecoder:
                 if self.distinguishable_errors:
                     raise  # the Vaudenay-era flaw: padding error visible
                 raise BadRecordMAC(f"WTLS padding invalid: {exc}") from exc
+            except InvalidBlockSize as exc:
+                raise BadRecordMAC(f"WTLS body misaligned: {exc}") from exc
         if len(protected) < WTLS_MAC_BYTES:
             raise BadRecordMAC("WTLS record too short for MAC")
         payload, tag = protected[:-WTLS_MAC_BYTES], protected[-WTLS_MAC_BYTES:]

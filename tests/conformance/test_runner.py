@@ -1,0 +1,41 @@
+"""The conformance runner: one green report, byte-stable per seed."""
+
+from repro.conformance.runner import format_report, run_conformance
+
+
+def _small_run(seed=2003):
+    # Small fuzz budget + shallow enumeration: the full campaign runs
+    # in CI via ``python -m repro conformance``; this test checks the
+    # wiring and the determinism contract.
+    return run_conformance(seed=seed, fuzz_iterations=25,
+                           statemachine_depth=2)
+
+
+def test_full_run_is_green():
+    report = _small_run()
+    assert report.ok
+    assert report.vector_results and report.oracle_results
+    assert report.statemachine.ok
+    assert report.fuzz.ok
+    assert report.regressions  # the committed corpus replayed
+    assert all(escape is None for _, escape in report.regressions)
+
+
+def test_report_text_is_byte_stable():
+    first = format_report(_small_run())
+    second = format_report(_small_run())
+    assert first == second
+    assert first.endswith("RESULT: PASS\n")
+    # Every plane shows up in the rendered report.
+    for heading in ("official vectors", "oracles", "state machine",
+                    "fuzzing", "regression corpus replay"):
+        assert heading in first
+
+
+def test_failure_is_reported_not_hidden():
+    report = _small_run()
+    report.regressions = [("client_hello:deadbeef", "RuntimeError: boom")]
+    assert not report.ok
+    text = format_report(report)
+    assert "REGRESSED: RuntimeError: boom" in text
+    assert text.endswith("RESULT: FAIL\n")

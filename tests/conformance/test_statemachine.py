@@ -1,0 +1,107 @@
+"""The handshake state-machine model: matrix completeness, golden
+replay, the exhaustive check, and targeted forbidden transitions."""
+
+import pytest
+
+from repro.conformance.statemachine import (
+    AWAIT_FINISHED,
+    AWAIT_HELLO,
+    AWAIT_KEY_EXCHANGE,
+    CLOSED,
+    DATA_RECEIVED,
+    ESTABLISHED,
+    STATES,
+    SYMBOLS,
+    TRANSITIONS,
+    ReferenceServerMachine,
+    check_model,
+    golden_messages,
+)
+from repro.protocols.alerts import (
+    BadRecordMAC,
+    DecodeError,
+    ProtocolAlert,
+    UnexpectedMessage,
+)
+
+
+def test_transition_matrix_is_total():
+    """Every (state, symbol) pair is declared — no undefined behaviour."""
+    assert set(TRANSITIONS) == {(state, symbol)
+                                for state in STATES for symbol in SYMBOLS}
+    for value in TRANSITIONS.values():
+        assert value in STATES or (isinstance(value, type)
+                                   and issubclass(value, ProtocolAlert))
+
+
+def test_golden_messages_replay_on_a_fresh_machine():
+    golden = golden_messages()
+    assert set(golden) == set(SYMBOLS)
+    machine = ReferenceServerMachine()
+    machine.feed(golden["client_hello"])
+    assert machine.state == AWAIT_KEY_EXCHANGE
+    machine.feed(golden["client_key_exchange"])
+    assert machine.state == AWAIT_FINISHED
+    reply = machine.feed(golden["finished"])
+    assert machine.state == ESTABLISHED
+    assert reply  # server Finished
+    machine.feed(golden["appdata"])
+    assert machine.state == DATA_RECEIVED
+    assert machine.inbox == [b"conformance: application data"]
+
+
+@pytest.mark.parametrize("symbol,alert", [
+    ("server_hello", UnexpectedMessage),   # reflected server message
+    ("client_key_exchange", UnexpectedMessage),  # skipped ClientHello
+    ("finished", DecodeError),             # record framing in plaintext state
+    ("appdata", DecodeError),
+    ("junk", DecodeError),
+])
+def test_forbidden_opening_moves(symbol, alert):
+    machine = ReferenceServerMachine()
+    with pytest.raises(alert):
+        machine.feed(golden_messages()[symbol])
+    assert machine.state == CLOSED
+
+
+def test_replayed_finished_is_rejected():
+    """A replayed Finished record must die on the MAC (sequence number
+    moved on), not re-run the handshake logic."""
+    golden = golden_messages()
+    machine = ReferenceServerMachine()
+    machine.feed(golden["client_hello"])
+    machine.feed(golden["client_key_exchange"])
+    machine.feed(golden["finished"])
+    with pytest.raises(BadRecordMAC):
+        machine.feed(golden["finished"])
+    assert machine.state == CLOSED
+
+
+def test_closed_machine_rejects_everything():
+    golden = golden_messages()
+    for symbol in SYMBOLS:
+        machine = ReferenceServerMachine()
+        with pytest.raises(ProtocolAlert):
+            machine.feed(golden["junk"])
+        assert machine.state == CLOSED
+        with pytest.raises(UnexpectedMessage):
+            machine.feed(golden[symbol])
+
+
+def test_exhaustive_model_check():
+    report = check_model(depth=3)
+    assert report.ok, report.mismatches
+    # 6 + 6^2 + 6^3 sequences of the six symbols.
+    assert report.sequences == 6 + 36 + 216
+    assert report.steps > report.sequences
+    assert report.alerts > 0
+
+
+def test_depth_four_covers_all_live_transitions():
+    """Depth 4 reaches every declared transition except the
+    DATA_RECEIVED row (first reachable at step 4, so its outgoing
+    edges need depth 5)."""
+    report = check_model(depth=4)
+    assert report.ok, report.mismatches
+    assert report.sequences == 6 + 36 + 216 + 1296
+    assert report.transitions_covered == len(TRANSITIONS) - len(SYMBOLS)

@@ -1,0 +1,125 @@
+"""The official-vector registry: corpus integrity, both dispatch
+paths, the negative control, and the session-cache behaviour."""
+
+import time
+
+import pytest
+
+from repro.conformance.vectors import (
+    CORPUS_DIR,
+    PATHS,
+    check_vector,
+    clear_cache,
+    load_corpus,
+    run_vectors,
+)
+
+EXPECTED_FILES = {
+    "aes_fips197", "des_fips46_3", "hmac_rfc2202", "md5_rfc1321",
+    "rc2_rfc2268", "rc4_rfc6229", "rsa_dh_pairs", "sha1_rfc3174",
+}
+
+
+def _all_cases():
+    corpus = load_corpus()
+    cases = []
+    for name in sorted(corpus.files):
+        file = corpus.files[name]
+        for vector in file.vectors:
+            paths = ("fast",) if vector.get("fast_only") else PATHS
+            for path in paths:
+                cases.append(pytest.param(
+                    file, vector, path,
+                    id=f"{name}:{vector['id']}:{path}"))
+    return cases
+
+
+class TestCorpusIntegrity:
+    def test_expected_files_present(self, vector_corpus):
+        assert set(vector_corpus.files) == EXPECTED_FILES
+
+    def test_every_file_cites_its_source(self, vector_corpus):
+        for file in vector_corpus.files.values():
+            assert file.source, f"{file.name} has no source citation"
+            assert file.algorithm
+            assert file.kind in ("block", "stream", "hash", "hmac",
+                                 "asymmetric")
+            assert file.vectors, f"{file.name} is empty"
+
+    def test_vector_ids_unique_per_file(self, vector_corpus):
+        for file in vector_corpus.files.values():
+            ids = [v["id"] for v in file.vectors]
+            assert len(ids) == len(set(ids)), f"duplicate ids in {file.name}"
+
+
+@pytest.mark.parametrize("file,vector,path", _all_cases())
+def test_official_vector(file, vector, path):
+    result = check_vector(file, vector, path)
+    assert result.ok, (f"{file.name}:{vector['id']} [{path}] "
+                       f"failed: {result.detail}")
+
+
+def test_run_vectors_all_green(vector_corpus):
+    results = run_vectors(vector_corpus)
+    failures = [r for r in results if not r.ok]
+    assert not failures
+    # Every non-fast_only vector appears on both dispatch paths.
+    assert {r.path for r in results} == set(PATHS)
+
+
+def test_negative_control_detects_corruption(vector_corpus):
+    """A corrupted expected value must be flagged, proving the harness
+    actually compares something (guards against vacuous green)."""
+    file = vector_corpus.files["aes_fips197"]
+    vector = dict(file.vectors[0])
+    good = vector["ciphertext"]
+    vector["ciphertext"] = ("0" if good[0] != "0" else "1") + good[1:]
+    for path in PATHS:
+        result = check_vector(file, vector, path)
+        assert not result.ok
+        assert "encrypt" in result.detail
+
+
+def test_negative_control_detects_crash(vector_corpus):
+    """A malformed vector surfaces as a failure detail, not a raise."""
+    file = vector_corpus.files["aes_fips197"]
+    vector = dict(file.vectors[0])
+    vector["key"] = "00"  # invalid AES key length
+    result = check_vector(file, vector, "fast")
+    assert not result.ok
+    assert "raised" in result.detail
+
+
+class TestCorpusCache:
+    def test_fixture_shares_the_module_cache(self, vector_corpus):
+        assert load_corpus() is vector_corpus
+
+    def test_cached_load_skips_file_io(self):
+        """The session fixture is free after first use: a cold load
+        pays JSON parsing, a warm load is a dict lookup.  (Run pytest
+        with ``--durations=10`` to see the cold parse charged to at
+        most one test.)"""
+        clear_cache()
+        start = time.perf_counter()
+        cold = load_corpus()
+        cold_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(100):
+            warm = load_corpus()
+        warm_time = (time.perf_counter() - start) / 100
+
+        assert warm is cold
+        assert warm_time < cold_time, (
+            f"cached load ({warm_time:.6f}s) not faster than cold "
+            f"parse ({cold_time:.6f}s)")
+
+    def test_unknown_directory_yields_empty_corpus(self, tmp_path):
+        corpus = load_corpus(tmp_path)
+        assert corpus.files == {}
+        assert corpus.vector_count == 0
+        clear_cache()  # do not leak the scratch dir into the cache
+
+    def test_default_directory_is_the_committed_corpus(self):
+        assert CORPUS_DIR.name == "vectors"
+        assert (CORPUS_DIR / "regressions").is_dir()

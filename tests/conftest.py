@@ -17,6 +17,20 @@ from repro.protocols.handshake import ClientConfig, ServerConfig
 
 
 @pytest.fixture(scope="session")
+def vector_corpus():
+    """The official-vector corpus, parsed from JSON once per session.
+
+    ``load_corpus`` keeps a module-level cache keyed by directory, so
+    every later use (fixtures, parametrized cases, the conformance
+    runner itself) is a dict lookup — ``pytest --durations`` should
+    show corpus-heavy tests paying the file I/O at most once.
+    """
+    from repro.conformance.vectors import load_corpus
+
+    return load_corpus()
+
+
+@pytest.fixture(scope="session")
 def ca():
     """A session-wide certificate authority."""
     return CertificateAuthority("TestRootCA", DeterministicDRBG("ca-seed"))

@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Standalone conformance-plane runner for CI and local checks.
+
+Thin wrapper over ``python -m repro conformance`` that works without
+installing the package: it puts ``src/`` on ``sys.path`` itself, so CI
+jobs and developers can run it from the repository root with no
+environment setup:
+
+    python tools/run_conformance.py --seed 2003 --report report.txt
+
+The report is byte-stable per seed (sorted iteration, no wall-clock
+content), so the CI job runs it twice and ``cmp``s the outputs — any
+hidden nondeterminism in the crypto/protocol stack fails the build.
+Exit status 0 when every plane (official vectors, oracles, state
+machine, fuzzing, regression replay) is green, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.__main__ import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["conformance", *sys.argv[1:]]))
