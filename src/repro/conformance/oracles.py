@@ -262,12 +262,109 @@ def record_layer_oracle() -> List[CheckResult]:
     return results
 
 
+def record_batch_oracle() -> List[CheckResult]:
+    """Batched vs single-record framing equivalence (the both-path rule).
+
+    On every suite and both dispatch paths, ``encode_batch`` of N
+    payloads must be byte-identical to N sequential ``encode`` calls
+    from an identically-keyed codec (so the batch pipeline can never
+    drift from the vetted single-record wire format), ``decode_batch``
+    must return the same payloads, and the transactional contract must
+    hold: a tampered record inside a batch surfaces as
+    :class:`~repro.protocols.records_batch.BatchRecordError` with its
+    neighbours intact, and a retransmission of the genuine record is
+    accepted afterwards.
+    """
+    from ..protocols.records_batch import BatchRecordError
+
+    results = []
+    payloads = [_material(f"batch-payload-{i}", n)
+                for i, n in enumerate((0, 1, 64, 333, 1024))]
+    for suite in ALL_SUITES:
+        for path in ("fast", "reference"):
+            with fastpath.force(path == "fast"):
+                label = f"batch-{path}"
+                (tls_enc, tls_dec), (wtls_enc, wtls_dec) = _record_pairs(
+                    suite, label)
+                (tls_enc2, tls_dec2), (wtls_enc2, wtls_dec2) = _record_pairs(
+                    suite, label)
+                singles = b"".join(
+                    tls_enc.encode(CONTENT_APPLICATION, payload)
+                    for payload in payloads)
+                batch = tls_enc2.encode_batch(
+                    [(CONTENT_APPLICATION, payload) for payload in payloads])
+                detail = ""
+                if batch != singles:
+                    detail = ("TLS batched encode diverges from "
+                              "single-record encode")
+                elif [payload for _, payload
+                      in tls_dec2.decode_batch(batch)] != payloads:
+                    detail = "TLS batched decode corrupted a payload"
+                results.append(_result(
+                    "record-batch", f"{suite.name}-tls-{path}", detail))
+
+                singles = b"".join(
+                    wtls_enc.encode(payload) for payload in payloads)
+                batch = wtls_enc2.encode_batch(payloads)
+                detail = ""
+                if batch != singles:
+                    detail = ("WTLS batched encode diverges from "
+                              "single-record encode")
+                else:
+                    records, damaged = wtls_dec2.decode_batch(batch)
+                    if [payload for _, payload in records] != payloads:
+                        detail = "WTLS batched decode corrupted a payload"
+                    elif damaged:
+                        detail = "WTLS batched decode flagged intact records"
+                results.append(_result(
+                    "record-batch", f"{suite.name}-wtls-{path}", detail))
+
+        # Transactional contract: tamper the middle record of a batch.
+        (tls_enc, tls_dec), _ = _record_pairs(suite, "batch-tamper")
+        records = [tls_enc.encode(CONTENT_APPLICATION, payload)
+                   for payload in payloads[:3]]
+        tampered = bytearray(records[1])
+        tampered[-1] ^= 0x01
+        detail = ""
+        try:
+            tls_dec.decode_batch(records[0] + bytes(tampered) + records[2])
+        except BatchRecordError as exc:
+            if exc.index != 1:
+                detail = f"tampered record flagged at index {exc.index}, want 1"
+            elif [payload for _, payload in exc.decoded] != payloads[:1]:
+                detail = "records before the tampered one were not delivered"
+            elif not isinstance(exc.cause, BadRecordMAC):
+                detail = (f"tampering surfaced as {type(exc.cause).__name__},"
+                          f" want BadRecordMAC")
+            else:
+                try:
+                    # Retransmission of the genuine records must verify:
+                    # the failed record committed no decoder state.
+                    recovered = [tls_dec.decode(records[1]),
+                                 tls_dec.decode(records[2])]
+                except Exception as exc2:  # noqa: BLE001 - oracle boundary
+                    detail = (f"decoder poisoned after tampered record: "
+                              f"retransmission raised {type(exc2).__name__}")
+                else:
+                    if [payload for _, payload in recovered] != payloads[1:3]:
+                        detail = "retransmitted records decoded incorrectly"
+        except Exception as exc:  # noqa: BLE001 - oracle boundary
+            detail = (f"tampered batch raised {type(exc).__name__}, "
+                      f"want BatchRecordError")
+        else:
+            detail = "tampered batch accepted"
+        results.append(_result(
+            "record-batch", f"{suite.name}-transactional", detail))
+    return results
+
+
 #: The oracle registry the runner iterates, in report order.
 ORACLES: Dict[str, Callable[[], List[CheckResult]]] = {
     "hash-vs-hashlib": hash_oracle,
     "hmac-vs-stdlib": hmac_oracle,
     "cipher-roundtrip": roundtrip_oracle,
     "record-agreement": record_layer_oracle,
+    "record-batch": record_batch_oracle,
 }
 
 

@@ -11,7 +11,10 @@ depending on whether the modelled processor has the extensions.
 
 from __future__ import annotations
 
+from hmac import compare_digest
 from typing import Iterable, List, Sequence
+
+from . import fastpath
 
 MASK32 = 0xFFFFFFFF
 MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -128,11 +131,17 @@ def constant_time_compare(a: bytes, b: bytes) -> bool:
 
     The timing-attack countermeasure (Section 3.4 / paper ref. [47]):
     a naive ``==`` short-circuits at the first mismatch, leaking the
-    length of the matching prefix through execution time.
+    length of the matching prefix through execution time.  Like
+    :func:`xor_bytes`, the comparison runs as one wide big-int XOR —
+    every limb is combined before the zero test, so there is no
+    per-byte branch to leak through (and the record layers verify one
+    MAC per record on their hot path, so the width matters).  On the
+    fast dispatch path this delegates to :func:`hmac.compare_digest`
+    (the same reference-loop-plus-stdlib-delegate split as
+    :func:`repro.crypto.crc.crc32`).
     """
+    if fastpath.enabled():
+        return compare_digest(a, b)
     if len(a) != len(b):
         return False
-    result = 0
-    for x, y in zip(a, b):
-        result |= x ^ y
-    return result == 0
+    return not int.from_bytes(a, "big") ^ int.from_bytes(b, "big")

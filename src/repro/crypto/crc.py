@@ -10,7 +10,10 @@ that forgery against our own WEP stack.
 
 from __future__ import annotations
 
+import zlib
 from typing import List
+
+from . import fastpath
 
 _POLY = 0xEDB88320
 
@@ -37,8 +40,15 @@ def crc32(data: bytes, initial: int = 0) -> int:
     Matches :func:`zlib.crc32` (same polynomial, reflection, and final
     XOR) so the implementation can be cross-checked, but is built from
     first principles because WEP's weakness lives in the algorithm's
-    linear structure, not in any library binding.
+    linear structure, not in any library binding.  On the fast path the
+    whole-message computation is delegated to :func:`zlib.crc32` (same
+    pattern as the hashlib SHA-1/MD5 delegation): the table loop below
+    stays the instrumentable ground truth, and the differential tests
+    pin the two bit-for-bit.  The reliable transport checksums every
+    frame, so this is a record-plane hot spot.
     """
+    if fastpath.enabled():
+        return zlib.crc32(data, initial)
     crc = initial ^ 0xFFFFFFFF
     for byte in data:
         crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]

@@ -59,6 +59,18 @@ class HMAC:
         """MAC as lowercase hex."""
         return self.digest().hex()
 
+    def mac(self, message: bytes) -> bytes:
+        """One-shot MAC of ``message`` from the cached pad states.
+
+        Equivalent to ``self.copy().update(message).digest()`` but
+        without allocating the intermediate ``HMAC`` wrapper: the
+        batched record plane calls this once per record, so the only
+        per-message work is the two hash-state clones the construction
+        requires.  Leaves ``self`` untouched."""
+        inner = self._inner.copy()
+        inner.update(message)
+        return self._outer.copy().update(inner.digest()).digest()
+
     def copy(self) -> "HMAC":
         """Independent copy of the running MAC state.
 

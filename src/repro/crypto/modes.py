@@ -55,9 +55,15 @@ class CBC:
     A ``CBC`` instance binds one IV to one message: calling
     :meth:`encrypt` twice on the same instance reuses the IV, which
     leaks whether two messages share a prefix (the classic CBC
-    IV-reuse hazard).  The record layers therefore build a fresh
-    ``CBC`` per record; a second ``encrypt`` call here raises a
+    IV-reuse hazard).  A second ``encrypt`` call here raises a
     :class:`RuntimeWarning` so the hazard cannot pass silently.
+
+    Residue chaining — the TLS 1.0 record-layer discipline where the
+    last ciphertext block of message *n* is message *n+1*'s IV — is the
+    one sanctioned way to reuse an instance: :meth:`encrypt_next` /
+    :meth:`decrypt_next` carry the residue across calls, so a record
+    layer keeps **one** CBC context per direction instead of building a
+    fresh object per record (the batched record plane's seam).
     """
 
     def __init__(self, cipher: BlockCipher, iv: bytes) -> None:
@@ -111,6 +117,45 @@ class CBC:
             previous = block
         plaintext = b"".join(out)
         return pkcs7_unpad(plaintext, self.cipher.block_size) if pad else plaintext
+
+    # -- residue chaining (the record layers' batch seam) -------------------
+
+    def encrypt_next(self, plaintext: bytes, pad: bool = True) -> bytes:
+        """Encrypt one message and chain the residue as the next IV.
+
+        Unlike :meth:`encrypt` this is *meant* to be called repeatedly:
+        each message's last ciphertext block becomes the following
+        message's IV (distinct per message, so no IV-reuse hazard and
+        no warning).  State commits unconditionally — encryption cannot
+        fail once input validation passed."""
+        if pad:
+            plaintext = pkcs7_pad(plaintext, self.cipher.block_size)
+        previous = self.iv
+        out = []
+        encrypt_block = self.cipher.encrypt_block
+        for block in split_blocks(plaintext, self.cipher.block_size):
+            previous = encrypt_block(xor_bytes(block, previous))
+            out.append(previous)
+        self.iv = previous
+        self._iv_consumed = True
+        return b"".join(out)
+
+    def decrypt_next(self, ciphertext: bytes, pad: bool = True,
+                     commit: bool = True) -> bytes:
+        """Decrypt one chained message; optionally defer the commit.
+
+        With ``commit=False`` the residue IV is left untouched so a
+        caller can verify the plaintext (e.g. a record MAC) first and
+        only then :meth:`commit_residue` — the transactional-decoder
+        contract: a rejected record must not advance the chain."""
+        plaintext = self.decrypt(ciphertext, pad=pad)
+        if commit:
+            self.commit_residue(ciphertext)
+        return plaintext
+
+    def commit_residue(self, ciphertext: bytes) -> None:
+        """Advance the chain: ``ciphertext``'s last block is the next IV."""
+        self.iv = bytes(ciphertext[-self.cipher.block_size:])
 
 
 class CTR:

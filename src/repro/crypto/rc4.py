@@ -55,6 +55,22 @@ class RC4:
         stream = self.keystream(len(data))
         return bytes(d ^ s for d, s in zip(data, stream))
 
+    def save_state(self):
+        """Snapshot the keystream position (state permutation, i, j).
+
+        The record decoder takes a snapshot before opening a record so
+        a failed MAC can :meth:`restore_state` — a tampered record must
+        not consume keystream, or every later genuine record would
+        decrypt against the wrong stream position."""
+        return self._state.copy(), self._i, self._j
+
+    def restore_state(self, snapshot) -> None:
+        """Rewind to a :meth:`save_state` snapshot."""
+        state, i, j = snapshot
+        self._state = state.copy()
+        self._i = i
+        self._j = j
+
     def __iter__(self) -> Iterator[int]:
         while True:
             yield self.keystream(1)[0]

@@ -32,5 +32,23 @@ class ReplayError(ProtocolAlert):
     """A packet failed anti-replay checks (IPSec window, WEP IV)."""
 
 
+class RecordOverflow(ProtocolAlert):
+    """A plaintext fragment exceeds the record layer's 2^14 ceiling.
+
+    TLS 1.0 §6.2.1: record plaintext fragments are capped at 2^14
+    bytes.  Callers with larger payloads use the batched API
+    (:func:`~repro.protocols.records_batch.encode_batch`), which
+    fragments automatically."""
+
+
+class RenegotiationRequired(ProtocolAlert):
+    """A record sequence counter reached its wire-field width.
+
+    The connection keys have protected as many records as the sequence
+    field can number; continuing would wrap the counter and reuse MAC
+    inputs.  The session must re-handshake (or resume) to refresh keys
+    before sending more data."""
+
+
 class UnexpectedMessage(ProtocolAlert):
     """A message arrived in the wrong handshake state."""

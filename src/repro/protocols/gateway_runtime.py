@@ -182,6 +182,7 @@ class RuntimeConfig:
     bucket_refill_per_s: float = 8.0  # sustained admission rate (req/s)
     service_time_s: float = 0.05    # virtual service time per request
     deadline_s: float = 4.0         # request must *start* by arrival+this
+    reply_batch: int = 1            # replies coalesced per WTLS batch
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
 
     def __post_init__(self) -> None:
@@ -189,6 +190,8 @@ class RuntimeConfig:
             raise ValueError("queue limit must be at least 1")
         if self.service_time_s < 0 or self.deadline_s <= 0:
             raise ValueError("service time / deadline must be sensible")
+        if self.reply_batch < 1:
+            raise ValueError("reply batch must be at least 1")
 
 
 @dataclass
@@ -244,6 +247,7 @@ class _Session:
     degraded: int = 0
     shed: int = 0
     brownouts: int = 0
+    outbox: List[bytes] = field(default_factory=list)
 
 
 @dataclass(order=True)
@@ -382,6 +386,8 @@ class GatewayRuntime:
             arrival = heapq.heappop(self._arrivals)
             self._advance(arrival.time)
             self._admit(arrival)
+        for session in self.sessions.values():
+            self._flush_replies(session)
         return self.stats
 
     def _advance(self, when: float) -> None:
@@ -520,9 +526,29 @@ class GatewayRuntime:
     # -- reply path ----------------------------------------------------------
 
     def _reply(self, session: _Session, payload: bytes) -> None:
+        """Answer one request, coalescing when configured.
+
+        With ``reply_batch > 1`` replies queue in the session's outbox
+        and ship as one batched WTLS transmission
+        (:meth:`~repro.protocols.wtls.WTLSConnection.send_batch`) every
+        ``reply_batch`` replies (and at the end of :meth:`run`); the
+        handset reads them with ``receive_batch``.  Logging and energy
+        accounting happen at answer time either way, so the stats
+        ledger is identical to the unbatched configuration.
+        """
         self.gateway.plaintext_log.append(payload)  # the gap again
-        session.conn.send(payload)
+        if self.config.reply_batch <= 1:
+            session.conn.send(payload)
+        else:
+            session.outbox.append(payload)
+            if len(session.outbox) >= self.config.reply_batch:
+                self._flush_replies(session)
         self._charge(session, len(payload))
+
+    def _flush_replies(self, session: _Session) -> None:
+        if session.outbox:
+            session.conn.send_batch(session.outbox)
+            session.outbox = []
 
     def _charge(self, session: _Session, num_bytes: int) -> None:
         """Account handset radio energy (rx of a reply / tx of a request

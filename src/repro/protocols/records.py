@@ -10,27 +10,38 @@ MAC-then-encrypt with an explicit 64-bit implicit sequence number, per
 the SSL 3.0/TLS 1.0 design the paper's era used.  Tampering, record
 reordering, and truncation all surface as
 :class:`~repro.protocols.alerts.BadRecordMAC`.
+
+The per-record pipeline itself lives in
+:mod:`repro.protocols.records_batch`: each codec compiles its suite
+into a closure once at construction, and the single-record API here is
+a thin delegate over the same pipeline the batched API uses (the
+both-path rule).  Decoder state is transactional — a record that fails
+verification leaves the sequence number, CBC residue chain, and stream
+keystream position untouched, so one tampered record cannot poison the
+valid records behind it.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..crypto import fastpath
-from ..crypto.bitops import constant_time_compare
-from ..crypto.errors import InvalidBlockSize, PaddingError
 from ..crypto.hmac import HMAC
 from ..crypto.modes import CBC
 from ..crypto.rc4 import RC4
 from ..observability import probe
 from ..observability.attribution import record_cycles
-from .alerts import BadRecordMAC, DecodeError
+from . import records_batch
+from .alerts import DecodeError, RecordOverflow
 from .ciphersuites import CipherSuite
 from .kdf import KeyBlock
 
 CONTENT_HANDSHAKE = 22
 CONTENT_APPLICATION = 23
 CONTENT_ALERT = 21
+
+#: Re-exported: TLS 1.0 §6.2.1 plaintext fragment ceiling.
+MAX_FRAGMENT = records_batch.MAX_FRAGMENT
 
 
 class RecordEncoder:
@@ -48,13 +59,20 @@ class RecordEncoder:
         if suite.cipher == "NULL":
             self._stream: Optional[RC4] = None
             self._cipher = None
+            self._cbc: Optional[CBC] = None
         elif suite.cipher_kind == "stream":
             self._stream = suite.make_cipher(cipher_key)
             self._cipher = None
+            self._cbc = None
         else:
             self._stream = None
             self._cipher = suite.make_cipher(cipher_key)
-            self._iv = iv
+            # One CBC context for the connection's lifetime: records chain
+            # the residue IV (TLS 1.0 discipline) instead of rebuilding the
+            # mode object per record.
+            self._cbc = CBC(self._cipher, iv)
+        self._encode_one, self._encode_parts, self._encode_span = \
+            records_batch.compile_tls_encoder(self)
 
     @property
     def sequence(self) -> int:
@@ -64,12 +82,17 @@ class RecordEncoder:
         return self._sequence
 
     def _mac(self, content_type: int, payload: bytes) -> bytes:
+        if len(payload) > MAX_FRAGMENT:
+            raise RecordOverflow(
+                f"record payload of {len(payload)} bytes exceeds the "
+                f"2^14-byte TLS fragment ceiling"
+            )
         header = (
             self._sequence.to_bytes(8, "big")
             + bytes([content_type])
             + len(payload).to_bytes(2, "big")
         )
-        return self._mac_base.copy().update(header + payload).digest()
+        return self._mac_base.mac(header + payload)
 
     #: Span attribute distinguishing mini-TLS from WTLS record paths.
     layer = "tls"
@@ -78,7 +101,7 @@ class RecordEncoder:
         """Protect one payload into a wire record."""
         telemetry = probe.active
         if telemetry is None:          # hot path: one read, one branch
-            return self._encode(content_type, payload)
+            return self._encode_one(content_type, payload)
         suite = self.suite
         cipher = self._stream if self._stream is not None else self._cipher
         with telemetry.span(
@@ -89,24 +112,26 @@ class RecordEncoder:
             telemetry.add_cycles(
                 record_cycles(suite.cipher, suite.mac, len(payload)),
                 kind="record")
-            return self._encode(content_type, payload)
+            return self._encode_one(content_type, payload)
 
     def _encode(self, content_type: int, payload: bytes) -> bytes:
-        protected = payload + self._mac(content_type, payload)
-        if self._stream is not None:
-            body = self._stream.process(protected)
-        elif self._cipher is not None:
-            cbc = CBC(self._cipher, self._iv)
-            body = cbc.encrypt(protected)
-            self._iv = body[-self._cipher.block_size :]  # CBC residue chaining
-        else:
-            body = protected
-        self._sequence += 1
-        return bytes([content_type]) + len(body).to_bytes(2, "big") + body
+        return self._encode_one(content_type, payload)
+
+    def encode_batch(self, items: Iterable[Tuple[int, bytes]],
+                     max_fragment: int = MAX_FRAGMENT) -> bytes:
+        """Protect N ``(content_type, payload)`` items into one buffer.
+
+        See :func:`repro.protocols.records_batch.encode_batch`."""
+        return records_batch.encode_batch(self, items, max_fragment)
 
 
 class RecordDecoder:
-    """One direction of record protection (read side)."""
+    """One direction of record protection (read side).
+
+    Decoding is transactional: sequence number, CBC residue IV, and
+    stream keystream position commit only after the record's MAC
+    verifies, so a tampered record is rejected without desynchronising
+    the decoder for later genuine records."""
 
     def __init__(self, suite: CipherSuite, cipher_key: bytes, mac_key: bytes,
                  iv: bytes) -> None:
@@ -117,13 +142,17 @@ class RecordDecoder:
         if suite.cipher == "NULL":
             self._stream: Optional[RC4] = None
             self._cipher = None
+            self._cbc: Optional[CBC] = None
         elif suite.cipher_kind == "stream":
             self._stream = suite.make_cipher(cipher_key)
             self._cipher = None
+            self._cbc = None
         else:
             self._stream = None
             self._cipher = suite.make_cipher(cipher_key)
-            self._iv = iv
+            self._cbc = CBC(self._cipher, iv)
+        self._decode_one, self._decode_span = \
+            records_batch.compile_tls_decoder(self)
 
     @property
     def sequence(self) -> int:
@@ -158,38 +187,18 @@ class RecordDecoder:
     def _decode(self, record: bytes) -> Tuple[int, bytes]:
         if len(record) < 3:
             raise DecodeError("record shorter than header")
-        content_type = record[0]
         length = int.from_bytes(record[1:3], "big")
-        body = record[3:]
-        if len(body) != length:
+        if len(record) - 3 != length:
             raise DecodeError(
-                f"record length field {length} != body {len(body)}"
+                f"record length field {length} != body {len(record) - 3}"
             )
-        if self._stream is not None:
-            protected = self._stream.process(body)
-        elif self._cipher is not None:
-            cbc = CBC(self._cipher, self._iv)
-            try:
-                protected = cbc.decrypt(body)
-            except (PaddingError, InvalidBlockSize) as exc:
-                raise BadRecordMAC(f"padding invalid: {exc}") from exc
-            self._iv = body[-self._cipher.block_size :]
-        else:
-            protected = body
-        mac_len = self.suite.hash_factory().digest_size
-        if len(protected) < mac_len:
-            raise BadRecordMAC("record too short to hold MAC")
-        payload, tag = protected[:-mac_len], protected[-mac_len:]
-        header = (
-            self._sequence.to_bytes(8, "big")
-            + bytes([content_type])
-            + len(payload).to_bytes(2, "big")
-        )
-        expected = self._mac_base.copy().update(header + payload).digest()
-        if not constant_time_compare(expected, tag):
-            raise BadRecordMAC("record MAC verification failed")
-        self._sequence += 1
-        return content_type, payload
+        return self._decode_one(record[0], memoryview(record)[3:])
+
+    def decode_batch(self, buffer: bytes) -> List[Tuple[int, bytes]]:
+        """Open a buffer of concatenated records -> ``[(type, payload)]``.
+
+        See :func:`repro.protocols.records_batch.decode_batch`."""
+        return records_batch.decode_batch(self, buffer)
 
 
 def make_record_pair(suite: CipherSuite, keys: KeyBlock,

@@ -1,0 +1,727 @@
+"""Batched zero-copy record plane shared by mini-TLS and WTLS.
+
+The paper frames security processing as a *throughput* problem: thin
+appliances must push protected records as fast as the hardware allows
+(§3.2's processing-gap numbers are records-per-second numbers).  PR 1
+made the crypto kernels fast; this module removes the per-record object
+churn that remained in the record layer itself:
+
+* **precompiled per-suite closures** — each encoder/decoder compiles
+  its suite's seal/open pipeline once at construction, so the per
+  record work is the crypto plus a couple of attribute stores, with no
+  per-record dispatch over ``suite.cipher_kind``;
+* **one amortized HMAC pad-state clone chain** — the connection's
+  keyed :class:`~repro.crypto.hmac.HMAC` is built once and every
+  record MAC is two hash-state clones (:meth:`HMAC.mac`), never a
+  re-key;
+* **a single carried CBC context** — block suites keep one
+  :class:`~repro.crypto.modes.CBC` per direction and chain the residue
+  (:meth:`CBC.encrypt_next` / :meth:`CBC.decrypt_next`) instead of
+  building a fresh mode object per record;
+* **memoryview framing** — :func:`decode_batch` walks one buffer with
+  ``memoryview`` slices; record bodies are never copied out of the
+  batch buffer before the cipher/MAC consume them.
+
+Transactional decoder contract
+------------------------------
+
+A record that fails verification must leave the decoder exactly as it
+was: the CBC residue IV is committed only after the MAC check passes
+(:meth:`CBC.decrypt_next` with ``commit=False``), stream-cipher
+keystream position is snapshotted and restored on failure, and the
+implicit sequence number advances only on success.  This is what makes
+batches safe — one tampered record in a batch surfaces as a
+:class:`BatchRecordError` without poisoning its neighbours — and it
+fixes the single-record bug where a tampered record permanently
+desynchronised the CBC chain for every later *valid* record.
+
+Both-path rule: the single-record ``encode``/``decode`` API delegates
+to the same compiled closures, so the differential oracles and the
+official-vector corpus exercise the batched pipeline even when driven
+one record at a time.
+"""
+
+from __future__ import annotations
+
+from hmac import compare_digest
+from typing import Callable, Iterable, List, Tuple
+
+from ..crypto import fastpath
+from ..crypto.bitops import constant_time_compare
+from ..crypto.errors import InvalidBlockSize, PaddingError
+from ..crypto.hmac import HMAC
+from ..crypto.modes import CBC
+from ..observability import probe
+from ..observability.attribution import record_cycles
+from .alerts import (
+    BadRecordMAC,
+    DecodeError,
+    ProtocolAlert,
+    RecordOverflow,
+    RenegotiationRequired,
+    ReplayError,
+)
+
+#: TLS 1.0 §6.2.1 plaintext fragment ceiling (2^14 bytes).
+MAX_FRAGMENT = 1 << 14
+#: Last sequence number the TLS MAC header's 64-bit field can carry.
+TLS_MAX_SEQUENCE = (1 << 64) - 1
+#: Last sequence number WTLS's explicit 32-bit wire field can carry.
+WTLS_MAX_SEQUENCE = (1 << 32) - 1
+#: WTLS truncates record MACs to 10 bytes (constrained profile).
+WTLS_MAC_BYTES = 10
+
+_TLS_HEADER = 3   # type(1) | length(2)
+_WTLS_HEADER = 6  # seq(4) | length(2)
+
+
+class BatchRecordError(ProtocolAlert):
+    """One record inside a batch failed; its neighbours are intact.
+
+    Carries the zero-based ``index`` of the failing record, the list of
+    records already ``decoded`` (the transactional contract guarantees
+    they are committed and the decoder state is positioned exactly
+    after them), and the underlying ``cause`` alert.
+    """
+
+    def __init__(self, index: int, decoded: list, cause: Exception) -> None:
+        super().__init__(f"record {index} of batch failed: {cause}")
+        self.index = index
+        self.decoded = decoded
+        self.cause = cause
+
+
+def _mac_fn(mac_base: HMAC) -> Callable[[bytes, bytes], bytes]:
+    """Per-message MAC closure over a keyed HMAC's cached pad states.
+
+    When both pad states are backed by the hashlib fast path, the
+    closure clones those handles directly — the same two-clone chain as
+    :meth:`HMAC.mac` minus the wrapper attribute traffic.  Otherwise it
+    falls back to :meth:`HMAC.mac` (reference hash loops).  Both paths
+    are bit-identical; the differential tests pin them.
+
+    The closure takes the MAC input as ``(prefix, payload)`` — two
+    hash updates instead of one concatenation, so a 1 KiB payload is
+    never copied just to prepend its 11-byte pseudo-header.
+    """
+    inner = getattr(mac_base._inner, "_impl", None)
+    outer = getattr(mac_base._outer, "_impl", None)
+    if inner is None or outer is None:
+        reference = mac_base.mac
+
+        def mac(prefix: bytes, payload) -> bytes:
+            if type(payload) is not bytes:
+                payload = bytes(payload)
+            return reference(prefix + payload)
+
+        return mac
+    inner_copy = inner.copy
+    outer_copy = outer.copy
+
+    def mac(prefix: bytes, payload) -> bytes:
+        h = inner_copy()
+        h.update(prefix)
+        h.update(payload)
+        o = outer_copy()
+        o.update(h.digest())
+        return o.digest()
+
+    return mac
+
+
+# ---------------------------------------------------------------------------
+# mini-TLS: implicit 64-bit sequence, MAC-then-encrypt, residue-chained CBC
+# ---------------------------------------------------------------------------
+
+
+def compile_tls_encoder(encoder):
+    """Compile a :class:`~repro.protocols.records.RecordEncoder`'s suite
+    into ``(encode_one, encode_parts)`` closures.
+
+    ``encode_parts(content_type, payload, append)`` emits the record as
+    wire fragments via ``append`` — the batched path joins all records'
+    fragments once, so a NULL-cipher record never copies its payload at
+    all (``b"".join`` consumes the caller's ``memoryview`` directly).
+    ``encode_one`` is the single-record wrapper over the same closure,
+    which is what keeps the two paths byte-identical by construction.
+    """
+    mac = _mac_fn(encoder._mac_base)
+    mac_len = encoder._mac_base.digest_size
+    stream = encoder._stream
+    cbc = encoder._cbc
+    if stream is not None:
+        seal = stream.process
+    elif cbc is not None:
+        seal = cbc.encrypt_next
+    else:
+        seal = None
+
+    def encode_parts(content_type: int, payload, append) -> None:
+        sequence = encoder._sequence
+        if sequence > TLS_MAX_SEQUENCE:
+            raise RenegotiationRequired(
+                "TLS record sequence space exhausted (2^64 records sent): "
+                "re-handshake to refresh keys before sending more data"
+            )
+        length = len(payload)
+        if length > MAX_FRAGMENT:
+            raise RecordOverflow(
+                f"record payload of {length} bytes exceeds the 2^14-byte "
+                f"TLS fragment ceiling; encode_batch fragments automatically"
+            )
+        # seq(8) | type(1) | length(2), packed as one 11-byte big-endian
+        # integer write instead of three allocations and a concat.
+        tag = mac(
+            ((sequence << 24) | (content_type << 16) | length)
+            .to_bytes(11, "big"),
+            payload,
+        )
+        if seal is None:
+            body_len = length + mac_len
+            append(bytes((content_type, body_len >> 8, body_len & 0xFF)))
+            append(payload)
+            append(tag)
+        else:
+            if type(payload) is not bytes:
+                payload = bytes(payload)
+            body = seal(payload + tag)
+            body_len = len(body)
+            append(bytes((content_type, body_len >> 8, body_len & 0xFF)))
+            append(body)
+        encoder._sequence = sequence + 1
+
+    def encode_one(content_type: int, payload: bytes) -> bytes:
+        parts: List[bytes] = []
+        encode_parts(content_type, payload, parts.append)
+        return b"".join(parts)
+
+    def encode_span(items, max_fragment: int, append) -> int:
+        emitted = 0
+        for content_type, payload in items:
+            length = len(payload)
+            if length > max_fragment:
+                view = memoryview(payload)
+                for offset in range(0, length, max_fragment):
+                    encode_parts(content_type,
+                                 view[offset:offset + max_fragment], append)
+                    emitted += 1
+            else:
+                encode_parts(content_type, payload, append)
+                emitted += 1
+        return emitted
+
+    inner = getattr(encoder._mac_base._inner, "_impl", None)
+    outer = getattr(encoder._mac_base._outer, "_impl", None)
+    if seal is None and inner is not None and outer is not None:
+        generic_encode_span = encode_span
+        inner_copy = inner.copy
+        outer_copy = outer.copy
+
+        def encode_span(items, max_fragment: int, append) -> int:
+            # Fused walk for cipherless suites on the hashlib-backed
+            # fast path — MAC clone chain and framing inlined into one
+            # loop frame, no per-record closure calls.  Byte-identical
+            # to the generic walk (the hypothesis equivalence property
+            # and the record-batch oracle pin it); oversize payloads
+            # and sequence exhaustion delegate to the generic path for
+            # its exact fragmenting/alert behaviour.
+            sequence = encoder._sequence
+            emitted = 0
+            try:
+                for content_type, payload in items:
+                    length = len(payload)
+                    if length > max_fragment or sequence > TLS_MAX_SEQUENCE:
+                        encoder._sequence = sequence
+                        emitted += generic_encode_span(
+                            [(content_type, payload)], max_fragment, append)
+                        sequence = encoder._sequence
+                        continue
+                    h = inner_copy()
+                    h.update(
+                        ((sequence << 24) | (content_type << 16) | length)
+                        .to_bytes(11, "big"))
+                    h.update(payload)
+                    o = outer_copy()
+                    o.update(h.digest())
+                    body_len = length + mac_len
+                    append(bytes(
+                        (content_type, body_len >> 8, body_len & 0xFF)))
+                    append(payload)
+                    append(o.digest())
+                    sequence += 1
+                    emitted += 1
+            finally:
+                encoder._sequence = sequence
+            return emitted
+
+    return encode_one, encode_parts, encode_span
+
+
+def compile_tls_decoder(decoder):
+    """Compile a :class:`~repro.protocols.records.RecordDecoder`'s suite
+    into ``(open_one, open_span)`` closures.
+
+    ``open_one(content_type, body)`` opens a single record; ``body`` is
+    the record body *without* the 3-byte header — a ``memoryview``
+    slice on the batched path.  State (sequence, CBC residue, stream
+    keystream position) commits only after the MAC verifies: the
+    transactional contract.
+
+    ``open_span(view)`` walks a buffer of concatenated records and
+    returns ``[(type, payload)]``, raising :class:`BatchRecordError` on
+    the first failing record.  For cipherless suites the walk is fused
+    — header parse, MAC, compare and sequence commit in one loop frame
+    with no per-record function calls, which is where the record layer
+    itself (not the cipher) is the bottleneck.  Ciphered suites share
+    the generic walk over ``open_one``; their per-record cost is the
+    cipher kernel, not dispatch.
+    """
+    mac = _mac_fn(decoder._mac_base)
+    mac_len = decoder._mac_base.digest_size
+    stream = decoder._stream
+    cbc = decoder._cbc
+
+    def _verify(sequence: int, content_type: int, protected: bytes):
+        if len(protected) < mac_len:
+            raise BadRecordMAC("record too short to hold MAC")
+        length = len(protected) - mac_len
+        payload = bytes(protected[:length])
+        expected = mac(
+            ((sequence << 24) | (content_type << 16) | length)
+            .to_bytes(11, "big"),
+            payload,
+        )
+        if not constant_time_compare(expected, protected[length:]):
+            raise BadRecordMAC("record MAC verification failed")
+        return payload
+
+    if stream is not None:
+        def open_one(content_type: int, body) -> Tuple[int, bytes]:
+            sequence = decoder._sequence
+            if sequence > TLS_MAX_SEQUENCE:
+                raise RenegotiationRequired(
+                    "TLS record sequence space exhausted (2^64 records "
+                    "received): re-handshake to refresh keys"
+                )
+            snapshot = stream.save_state()
+            try:
+                payload = _verify(sequence, content_type, stream.process(body))
+            except ProtocolAlert:
+                stream.restore_state(snapshot)  # tampering must not eat keystream
+                raise
+            decoder._sequence = sequence + 1
+            return content_type, payload
+    elif cbc is not None:
+        def open_one(content_type: int, body) -> Tuple[int, bytes]:
+            sequence = decoder._sequence
+            if sequence > TLS_MAX_SEQUENCE:
+                raise RenegotiationRequired(
+                    "TLS record sequence space exhausted (2^64 records "
+                    "received): re-handshake to refresh keys"
+                )
+            try:
+                protected = cbc.decrypt_next(body, commit=False)
+            except (PaddingError, InvalidBlockSize) as exc:
+                raise BadRecordMAC(f"padding invalid: {exc}") from exc
+            payload = _verify(sequence, content_type, protected)
+            cbc.commit_residue(body)  # only a verified record advances the chain
+            decoder._sequence = sequence + 1
+            return content_type, payload
+    else:
+        def open_one(content_type: int, body) -> Tuple[int, bytes]:
+            sequence = decoder._sequence
+            if sequence > TLS_MAX_SEQUENCE:
+                raise RenegotiationRequired(
+                    "TLS record sequence space exhausted (2^64 records "
+                    "received): re-handshake to refresh keys"
+                )
+            payload = _verify(sequence, content_type, body)
+            decoder._sequence = sequence + 1
+            return content_type, payload
+
+    def open_span(view) -> List[Tuple[int, bytes]]:
+        out: List[Tuple[int, bytes]] = []
+        append = out.append
+        offset = 0
+        total = len(view)
+        while offset < total:
+            if total - offset < _TLS_HEADER:
+                raise BatchRecordError(
+                    len(out), out,
+                    DecodeError("batch truncated inside a record header"))
+            length = (view[offset + 1] << 8) | view[offset + 2]
+            end = offset + _TLS_HEADER + length
+            if end > total:
+                raise BatchRecordError(
+                    len(out), out,
+                    DecodeError(
+                        f"record length field {length} overruns batch "
+                        f"({total - offset - _TLS_HEADER} bytes left)"))
+            try:
+                append(open_one(view[offset], view[offset + _TLS_HEADER:end]))
+            except ProtocolAlert as exc:
+                raise BatchRecordError(len(out), out, exc) from exc
+            offset = end
+        return out
+
+    inner = getattr(decoder._mac_base._inner, "_impl", None)
+    outer = getattr(decoder._mac_base._outer, "_impl", None)
+    if stream is None and cbc is None and inner is not None \
+            and outer is not None:
+        generic_span = open_span
+        inner_copy = inner.copy
+        outer_copy = outer.copy
+
+        def open_span(view) -> List[Tuple[int, bytes]]:
+            # Fused walk for cipherless suites on the hashlib-backed
+            # fast path — header parse, MAC clone chain, compare and
+            # sequence commit in one loop frame, no per-record closure
+            # calls.  Identical behaviour to the generic walk (the
+            # hypothesis equivalence property and the record-batch
+            # oracle pin it).  Anything unusual — truncation, short
+            # record, MAC mismatch, sequence wrap — breaks to the
+            # generic walk, which raises with the exact single-record
+            # alert and transactional bookkeeping; only its
+            # index/decoded are re-based onto this batch.
+            out: List[Tuple[int, bytes]] = []
+            append = out.append
+            offset = 0
+            total = len(view)
+            sequence = decoder._sequence
+            while offset < total:
+                if total - offset < _TLS_HEADER:
+                    break  # slow path raises the truncation alert
+                length = (view[offset + 1] << 8) | view[offset + 2]
+                end = offset + _TLS_HEADER + length
+                if (end > total or length < mac_len
+                        or sequence > TLS_MAX_SEQUENCE):
+                    break  # slow path raises with the exact message
+                content_type = view[offset]
+                plen = length - mac_len
+                payload = bytes(
+                    view[offset + _TLS_HEADER:offset + _TLS_HEADER + plen])
+                h = inner_copy()
+                h.update(
+                    ((sequence << 24) | (content_type << 16) | plen)
+                    .to_bytes(11, "big"))
+                h.update(payload)
+                o = outer_copy()
+                o.update(h.digest())
+                if not compare_digest(
+                        o.digest(), view[offset + _TLS_HEADER + plen:end]):
+                    break  # slow path raises BadRecordMAC
+                append((content_type, payload))
+                sequence += 1
+                offset = end
+            decoder._sequence = sequence
+            if offset < total:
+                try:
+                    out.extend(generic_span(view[offset:]))
+                except BatchRecordError as exc:
+                    raise BatchRecordError(
+                        len(out) + exc.index, out + exc.decoded, exc.cause
+                    ) from exc.cause
+            return out
+
+    return open_one, open_span
+
+
+def _encode_batch(encoder, items, max_fragment: int) -> Tuple[bytes, int]:
+    if not 0 < max_fragment <= MAX_FRAGMENT:
+        raise ValueError(
+            f"max_fragment must be in 1..{MAX_FRAGMENT}, got {max_fragment}"
+        )
+    parts: List[bytes] = []
+    emitted = encoder._encode_span(items, max_fragment, parts.append)
+    return b"".join(parts), emitted
+
+
+def encode_batch(encoder, items: Iterable[Tuple[int, bytes]],
+                 max_fragment: int = MAX_FRAGMENT) -> bytes:
+    """Protect N ``(content_type, payload)`` items into one wire buffer.
+
+    Concatenated records — a batch of one is byte-identical to
+    :meth:`~repro.protocols.records.RecordEncoder.encode`.  Payloads
+    larger than ``max_fragment`` are fragmented across consecutive
+    records (TLS's answer to the 2^14 ceiling) instead of erroring.
+    """
+    telemetry = probe.active
+    if telemetry is None:              # hot path: one read, one branch
+        return _encode_batch(encoder, items, max_fragment)[0]
+    items = list(items)
+    suite = encoder.suite
+    with telemetry.span(
+            "record.encode_batch", layer=encoder.layer, suite=suite.name,
+            path=fastpath.dispatch_path()) as span:
+        buffer, emitted = _encode_batch(encoder, items, max_fragment)
+        payload_bytes = sum(len(payload) for _, payload in items)
+        telemetry.add_cycles(
+            record_cycles(suite.cipher, suite.mac, payload_bytes),
+            kind="record")
+        span.set(records=emitted, n=payload_bytes)
+        return buffer
+
+
+def _decode_batch(decoder, buffer) -> List[Tuple[int, bytes]]:
+    return decoder._decode_span(memoryview(buffer))
+
+
+def decode_batch(decoder, buffer: bytes) -> List[Tuple[int, bytes]]:
+    """Open a buffer of concatenated records -> ``[(type, payload)]``.
+
+    Walks the buffer with ``memoryview`` slices (record bodies are
+    never copied before the cipher/MAC consume them).  A failing record
+    raises :class:`BatchRecordError` carrying everything decoded before
+    it; thanks to the transactional decoder the caller can resume — a
+    retransmission of the genuine record will verify.
+    """
+    telemetry = probe.active
+    if telemetry is None:              # hot path: one read, one branch
+        return _decode_batch(decoder, buffer)
+    suite = decoder.suite
+    with telemetry.span(
+            "record.decode_batch", layer=decoder.layer, suite=suite.name,
+            n=len(buffer), path=fastpath.dispatch_path()) as span:
+        try:
+            records = _decode_batch(decoder, buffer)
+        except BatchRecordError as exc:
+            span.set(error=type(exc.cause).__name__, index=exc.index)
+            raise
+        payload_bytes = sum(len(payload) for _, payload in records)
+        telemetry.add_cycles(
+            record_cycles(suite.cipher, suite.mac, payload_bytes),
+            kind="record")
+        span.set(records=len(records))
+        return records
+
+
+# ---------------------------------------------------------------------------
+# WTLS: explicit 32-bit sequence, truncated MAC, loss-tolerant records
+# ---------------------------------------------------------------------------
+
+
+def compile_wtls_encoder(encoder) -> Callable[[bytes], bytes]:
+    """Compile a WTLS encoder's suite into ``encode_one(payload)``.
+
+    The per-record key/IV derivations (``key xor seq``, ``iv xor seq``)
+    collapse to one big-int XOR each; block suites reuse one cached
+    cipher instance (the key schedule is per-connection, only the IV is
+    per-record)."""
+    suite = encoder.suite
+    mac = _mac_fn(encoder._mac_base)
+    key = encoder._key
+    iv = encoder._iv
+    if suite.cipher == "NULL":
+        seal = None
+    elif suite.cipher_kind == "stream":
+        make_cipher = suite.make_cipher
+        key_int = int.from_bytes(key, "big")
+        key_len = len(key)
+
+        def seal(sequence: int, protected: bytes) -> bytes:
+            # Per-record re-key from key xor seq (loss tolerance).
+            return make_cipher(
+                (key_int ^ sequence).to_bytes(key_len, "big")
+            ).process(protected)
+    else:
+        cipher = suite.make_cipher(key)
+        iv_int = int.from_bytes(iv, "big")
+        iv_len = len(iv)
+
+        def seal(sequence: int, protected: bytes) -> bytes:
+            record_iv = ((iv_int ^ sequence).to_bytes(iv_len, "big")
+                         if iv_len else b"")
+            return CBC(cipher, record_iv).encrypt(protected)
+
+    def encode_one(payload: bytes) -> bytes:
+        sequence = encoder._sequence
+        if sequence > WTLS_MAX_SEQUENCE:
+            raise RenegotiationRequired(
+                "WTLS record sequence space exhausted (2^32 records sent): "
+                "re-handshake to refresh keys before sending more data"
+            )
+        if len(payload) > MAX_FRAGMENT:
+            raise RecordOverflow(
+                f"record payload of {len(payload)} bytes exceeds the "
+                f"2^14-byte fragment ceiling; send_batch fragments "
+                f"automatically"
+            )
+        if type(payload) is not bytes:
+            payload = bytes(payload)
+        header = sequence.to_bytes(4, "big")
+        protected = payload + mac(header, payload)[:WTLS_MAC_BYTES]
+        body = seal(sequence, protected) if seal is not None else protected
+        encoder._sequence = sequence + 1
+        body_len = len(body)
+        return header + bytes((body_len >> 8, body_len & 0xFF)) + body
+
+    return encode_one
+
+
+def compile_wtls_decoder(decoder) -> Callable[[int, bytes], Tuple[int, bytes]]:
+    """Compile a WTLS decoder's suite into ``open_one(sequence, body)``.
+
+    The WTLS decoder was already transactional by construction — replay
+    set and counters commit only after the MAC verifies; per-record
+    keys/IVs mean there is no chained state to poison."""
+    suite = decoder.suite
+    mac = _mac_fn(decoder._mac_base)
+    key = decoder._key
+    iv = decoder._iv
+    if suite.cipher == "NULL":
+        unseal = None
+    elif suite.cipher_kind == "stream":
+        make_cipher = suite.make_cipher
+        key_int = int.from_bytes(key, "big")
+        key_len = len(key)
+
+        def unseal(sequence: int, body) -> bytes:
+            return make_cipher(
+                (key_int ^ sequence).to_bytes(key_len, "big")
+            ).process(body)
+    else:
+        cipher = suite.make_cipher(key)
+        iv_int = int.from_bytes(iv, "big")
+        iv_len = len(iv)
+
+        def unseal(sequence: int, body) -> bytes:
+            record_iv = ((iv_int ^ sequence).to_bytes(iv_len, "big")
+                         if iv_len else b"")
+            try:
+                return CBC(cipher, record_iv).decrypt(bytes(body))
+            except PaddingError as exc:
+                if decoder.distinguishable_errors:
+                    raise  # the Vaudenay-era flaw: padding error visible
+                raise BadRecordMAC(f"WTLS padding invalid: {exc}") from exc
+            except InvalidBlockSize as exc:
+                raise BadRecordMAC(f"WTLS body misaligned: {exc}") from exc
+
+    def open_one(sequence: int, body) -> Tuple[int, bytes]:
+        if sequence in decoder._seen:
+            raise ReplayError(f"WTLS record {sequence} replayed")
+        protected = unseal(sequence, body) if unseal is not None else body
+        if len(protected) < WTLS_MAC_BYTES:
+            raise BadRecordMAC("WTLS record too short for MAC")
+        length = len(protected) - WTLS_MAC_BYTES
+        payload = bytes(protected[:length])
+        expected = mac(sequence.to_bytes(4, "big"), payload)[:WTLS_MAC_BYTES]
+        if not constant_time_compare(expected, protected[length:]):
+            raise BadRecordMAC("WTLS MAC verification failed")
+        decoder._seen.add(sequence)
+        if sequence > decoder.highest_sequence:
+            decoder.highest_sequence = sequence
+        decoder.received += 1
+        return sequence, payload
+
+    return open_one
+
+
+def _wtls_encode_batch(encoder, payloads, max_fragment: int) -> Tuple[bytes, int]:
+    if not 0 < max_fragment <= MAX_FRAGMENT:
+        raise ValueError(
+            f"max_fragment must be in 1..{MAX_FRAGMENT}, got {max_fragment}"
+        )
+    encode_one = encoder._encode_one
+    parts: List[bytes] = []
+    append = parts.append
+    emitted = 0
+    for payload in payloads:
+        length = len(payload)
+        if length > max_fragment:
+            view = memoryview(payload)
+            for offset in range(0, length, max_fragment):
+                append(encode_one(view[offset:offset + max_fragment]))
+                emitted += 1
+        else:
+            append(encode_one(payload))
+            emitted += 1
+    return b"".join(parts), emitted
+
+
+def wtls_encode_batch(encoder, payloads: Iterable[bytes],
+                      max_fragment: int = MAX_FRAGMENT) -> bytes:
+    """Protect N datagram payloads into one buffer of WTLS records."""
+    telemetry = probe.active
+    if telemetry is None:              # hot path: one read, one branch
+        return _wtls_encode_batch(encoder, payloads, max_fragment)[0]
+    payloads = list(payloads)
+    suite = encoder.suite
+    with telemetry.span(
+            "record.encode_batch", layer="wtls", suite=suite.name,
+            path=fastpath.dispatch_path()) as span:
+        buffer, emitted = _wtls_encode_batch(encoder, payloads, max_fragment)
+        payload_bytes = sum(len(payload) for payload in payloads)
+        telemetry.add_cycles(
+            record_cycles(suite.cipher, suite.mac, payload_bytes),
+            kind="record")
+        span.set(records=emitted, n=payload_bytes)
+        return buffer
+
+
+def _wtls_decode_batch(decoder, buffer, skip_damaged: bool):
+    view = memoryview(buffer)
+    open_one = decoder._decode_one
+    out: List[Tuple[int, bytes]] = []
+    damaged: List[ProtocolAlert] = []
+    offset = 0
+    total = len(view)
+    while offset < total:
+        if total - offset < _WTLS_HEADER:
+            exc: ProtocolAlert = DecodeError(
+                "batch truncated inside a WTLS record header")
+            if skip_damaged:
+                damaged.append(exc)
+                break  # no length field to resynchronise on
+            raise BatchRecordError(len(out), out, exc)
+        sequence = (
+            (view[offset] << 24) | (view[offset + 1] << 16)
+            | (view[offset + 2] << 8) | view[offset + 3]
+        )
+        length = (view[offset + 4] << 8) | view[offset + 5]
+        end = offset + _WTLS_HEADER + length
+        if end > total:
+            exc = DecodeError(
+                f"WTLS record length field {length} overruns batch "
+                f"({total - offset - _WTLS_HEADER} bytes left)")
+            if skip_damaged:
+                damaged.append(exc)
+                break
+            raise BatchRecordError(len(out), out, exc)
+        try:
+            out.append(open_one(sequence, view[offset + _WTLS_HEADER:end]))
+        except (BadRecordMAC, DecodeError, ReplayError) as exc2:
+            if not skip_damaged:
+                raise BatchRecordError(len(out), out, exc2) from exc2
+            damaged.append(exc2)
+        offset = end
+    return out, damaged
+
+
+def wtls_decode_batch(decoder, buffer: bytes, skip_damaged: bool = False
+                      ) -> Tuple[List[Tuple[int, bytes]], List[ProtocolAlert]]:
+    """Open a buffer of WTLS records -> ``([(sequence, payload)], damaged)``.
+
+    With ``skip_damaged`` (the datagram discipline of
+    :meth:`~repro.protocols.wtls.WTLSConnection.receive_next`) corrupt,
+    replayed, or truncated records are collected in ``damaged`` and the
+    walk continues at the next record; otherwise the first failure
+    raises :class:`BatchRecordError`.
+    """
+    telemetry = probe.active
+    if telemetry is None:              # hot path: one read, one branch
+        return _wtls_decode_batch(decoder, buffer, skip_damaged)
+    suite = decoder.suite
+    with telemetry.span(
+            "record.decode_batch", layer="wtls", suite=suite.name,
+            n=len(buffer), path=fastpath.dispatch_path()) as span:
+        try:
+            records, damaged = _wtls_decode_batch(decoder, buffer, skip_damaged)
+        except BatchRecordError as exc:
+            span.set(error=type(exc.cause).__name__, index=exc.index)
+            raise
+        payload_bytes = sum(len(payload) for _, payload in records)
+        telemetry.add_cycles(
+            record_cycles(suite.cipher, suite.mac, payload_bytes),
+            kind="record")
+        span.set(records=len(records), damaged=len(damaged))
+        return records, damaged

@@ -43,6 +43,20 @@ KIND_ACK = 2
 _HEADER_BYTES = 1 + 4 + 2  # kind | seq | length
 _CRC_BYTES = 4
 
+#: Largest payload the frame header's 16-bit length field can carry.
+MAX_FRAME_PAYLOAD = (1 << 16) - 1
+
+
+class FrameTooLarge(ValueError):
+    """A payload exceeds the frame length field's 16-bit width.
+
+    Raised at the API boundary instead of letting ``int.to_bytes``
+    surface a raw ``OverflowError`` mid-transmit (the same bug class
+    the record layer's :class:`~repro.protocols.alerts.RecordOverflow`
+    guards against).  Callers batching records over the link must keep
+    each batch under :data:`MAX_FRAME_PAYLOAD` bytes.
+    """
+
 
 class RetryBudgetExhausted(ChannelClosed):
     """A frame exceeded its retry budget: the link is declared dead.
@@ -59,6 +73,11 @@ class FrameDamaged(Exception):
 
 def encode_frame(kind: int, seq: int, payload: bytes = b"") -> bytes:
     """Frame format: kind(1) | seq(4) | len(2) | crc32(4) | payload."""
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise FrameTooLarge(
+            f"frame payload of {len(payload)} bytes exceeds the 16-bit "
+            f"length field (max {MAX_FRAME_PAYLOAD} bytes per frame)"
+        )
     header = (
         bytes([kind]) + seq.to_bytes(4, "big")
         + len(payload).to_bytes(2, "big")

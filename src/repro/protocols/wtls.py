@@ -20,22 +20,19 @@ The resemblances and the differences are both modelled:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..crypto import fastpath
-from ..crypto.bitops import constant_time_compare
-from ..crypto.errors import InvalidBlockSize, PaddingError
-from ..crypto.hmac import hmac
-from ..crypto.modes import CBC
+from ..crypto.hmac import HMAC
 from ..observability import probe
 from ..observability.attribution import record_cycles
+from . import records_batch
 from .alerts import BadRecordMAC, DecodeError, ReplayError
 from .ciphersuites import CipherSuite
 from .handshake import ClientConfig, ServerConfig, run_handshake
 from .kdf import KeyBlock, derive_key_block
+from .records_batch import WTLS_MAC_BYTES  # truncated HMAC (10 bytes)
 from .transport import DuplexChannel, Endpoint
-
-WTLS_MAC_BYTES = 10  # truncated HMAC, per WTLS's constrained profile
 
 
 class WTLSRecordEncoder:
@@ -51,18 +48,26 @@ class WTLSRecordEncoder:
         self.suite = suite
         self._key = cipher_key
         self._mac_key = mac_key
+        # One keyed HMAC per direction; per-record MACs clone its pad
+        # states (the record layer never re-keys on the hot path).
+        self._mac_base = HMAC(mac_key, suite.hash_factory)
         self._iv = iv
         self._sequence = 0
+        # The suite's seal pipeline, compiled once: per-record key/IV
+        # derivation (key xor seq / iv xor seq) collapses to a big-int
+        # XOR and block suites reuse one cached key schedule.
+        self._encode_one = records_batch.compile_wtls_encoder(self)
 
-    def _record_iv(self, sequence: int) -> bytes:
-        seed = sequence.to_bytes(len(self._iv), "big") if self._iv else b""
-        return bytes(a ^ b for a, b in zip(self._iv, seed))
+    @property
+    def sequence(self) -> int:
+        """Next datagram's explicit sequence number (diagnostics)."""
+        return self._sequence
 
     def encode(self, payload: bytes) -> bytes:
         """Protect one datagram."""
         telemetry = probe.active
         if telemetry is None:          # hot path: one read, one branch
-            return self._encode(payload)
+            return self._encode_one(payload)
         suite = self.suite
         with telemetry.span(
                 "record.encode", layer="wtls", suite=suite.name,
@@ -70,31 +75,17 @@ class WTLSRecordEncoder:
             telemetry.add_cycles(
                 record_cycles(suite.cipher, suite.mac, len(payload)),
                 kind="record")
-            return self._encode(payload)
+            return self._encode_one(payload)
 
     def _encode(self, payload: bytes) -> bytes:
-        sequence = self._sequence
-        self._sequence += 1
-        header = sequence.to_bytes(4, "big")
-        tag = hmac(
-            self._mac_key, header + payload, self.suite.hash_factory
-        )[:WTLS_MAC_BYTES]
-        protected = payload + tag
-        if self.suite.cipher == "NULL":
-            body = protected
-        elif self.suite.cipher_kind == "stream":
-            # Stream suites re-key per record from key xor seq for loss
-            # tolerance (mirrors WTLS's per-record keystream derivation).
-            record_key = bytes(
-                k ^ s for k, s in zip(
-                    self._key, sequence.to_bytes(len(self._key), "big")
-                )
-            )
-            body = self.suite.make_cipher(record_key).process(protected)
-        else:
-            cbc = CBC(self.suite.make_cipher(self._key), self._record_iv(sequence))
-            body = cbc.encrypt(protected)
-        return header + len(body).to_bytes(2, "big") + body
+        return self._encode_one(payload)
+
+    def encode_batch(self, payloads: Iterable[bytes],
+                     max_fragment: int = records_batch.MAX_FRAGMENT) -> bytes:
+        """Protect N datagram payloads into one buffer of records.
+
+        See :func:`repro.protocols.records_batch.wtls_encode_batch`."""
+        return records_batch.wtls_encode_batch(self, payloads, max_fragment)
 
 
 class WTLSRecordDecoder:
@@ -112,15 +103,13 @@ class WTLSRecordDecoder:
         self.suite = suite
         self._key = cipher_key
         self._mac_key = mac_key
+        self._mac_base = HMAC(mac_key, suite.hash_factory)
         self._iv = iv
         self._seen: set = set()
         self.distinguishable_errors = distinguishable_errors
         self.highest_sequence = -1
         self.received = 0
-
-    def _record_iv(self, sequence: int) -> bytes:
-        seed = sequence.to_bytes(len(self._iv), "big") if self._iv else b""
-        return bytes(a ^ b for a, b in zip(self._iv, seed))
+        self._decode_one = records_batch.compile_wtls_decoder(self)
 
     def decode(self, record: bytes) -> Tuple[int, bytes]:
         """Open one datagram -> (sequence, payload); tolerates gaps."""
@@ -145,45 +134,16 @@ class WTLSRecordDecoder:
         if len(record) < 6:
             raise DecodeError("WTLS record shorter than header")
         sequence = int.from_bytes(record[:4], "big")
-        if sequence in self._seen:
-            raise ReplayError(f"WTLS record {sequence} replayed")
         length = int.from_bytes(record[4:6], "big")
-        body = record[6:]
-        if len(body) != length:
+        if len(record) - 6 != length:
             raise DecodeError("WTLS record length mismatch")
-        if self.suite.cipher == "NULL":
-            protected = body
-        elif self.suite.cipher_kind == "stream":
-            record_key = bytes(
-                k ^ s for k, s in zip(
-                    self._key, sequence.to_bytes(len(self._key), "big")
-                )
-            )
-            protected = self.suite.make_cipher(record_key).process(body)
-        else:
-            cbc = CBC(self.suite.make_cipher(self._key), self._record_iv(sequence))
-            try:
-                protected = cbc.decrypt(body)
-            except PaddingError as exc:
-                if self.distinguishable_errors:
-                    raise  # the Vaudenay-era flaw: padding error visible
-                raise BadRecordMAC(f"WTLS padding invalid: {exc}") from exc
-            except InvalidBlockSize as exc:
-                raise BadRecordMAC(f"WTLS body misaligned: {exc}") from exc
-        if len(protected) < WTLS_MAC_BYTES:
-            raise BadRecordMAC("WTLS record too short for MAC")
-        payload, tag = protected[:-WTLS_MAC_BYTES], protected[-WTLS_MAC_BYTES:]
-        expected = hmac(
-            self._mac_key,
-            sequence.to_bytes(4, "big") + payload,
-            self.suite.hash_factory,
-        )[:WTLS_MAC_BYTES]
-        if not constant_time_compare(expected, tag):
-            raise BadRecordMAC("WTLS MAC verification failed")
-        self._seen.add(sequence)
-        self.highest_sequence = max(self.highest_sequence, sequence)
-        self.received += 1
-        return sequence, payload
+        return self._decode_one(sequence, memoryview(record)[6:])
+
+    def decode_batch(self, buffer: bytes, skip_damaged: bool = False):
+        """Open a buffer of records -> ``([(sequence, payload)], damaged)``.
+
+        See :func:`repro.protocols.records_batch.wtls_decode_batch`."""
+        return records_batch.wtls_decode_batch(self, buffer, skip_damaged)
 
     @property
     def records_lost(self) -> int:
@@ -209,6 +169,26 @@ class WTLSConnection:
         """Receive and open the next datagram."""
         _, payload = self.decoder.decode(self.endpoint.receive())
         return payload
+
+    def send_batch(self, payloads: Iterable[bytes]) -> None:
+        """Protect N datagrams into one transmission.
+
+        The whole batch rides a single transport message, so the
+        per-message transport overhead (ARQ framing, checksums, acks)
+        is paid once per batch instead of once per record."""
+        self.endpoint.send(self.encoder.encode_batch(payloads))
+
+    def receive_batch(self) -> List[bytes]:
+        """Receive one transmission and open every record in it.
+
+        Damaged records are discarded (counted in ``discarded``) and
+        their healthy neighbours delivered — the batched form of
+        :meth:`receive_next`'s skip-and-continue discipline, safe
+        because the decoder commits no state for a failed record."""
+        records, damaged = self.decoder.decode_batch(
+            self.endpoint.receive(), skip_damaged=True)
+        self.discarded += len(damaged)
+        return [payload for _, payload in records]
 
     def receive_next(self, max_skip: int = 16) -> bytes:
         """Receive the next *valid* datagram, skipping damaged ones.

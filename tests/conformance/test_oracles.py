@@ -7,7 +7,7 @@ from repro.conformance.oracles import ORACLES, run_oracles
 
 EXPECTED_ORACLES = {
     "hash-vs-hashlib", "hmac-vs-stdlib", "cipher-roundtrip",
-    "record-agreement",
+    "record-agreement", "record-batch",
 }
 
 
@@ -42,6 +42,17 @@ def test_hash_oracle_exercises_both_paths():
 def test_roundtrip_oracle_reports_mode_rows():
     files = {r.file for r in ORACLES["cipher-roundtrip"]()}
     assert files == {"cipher-roundtrip", "mode-roundtrip"}
+
+
+def test_record_batch_covers_every_suite_and_both_paths():
+    from repro.protocols.ciphersuites import ALL_SUITES
+
+    results = ORACLES["record-batch"]()
+    ids = {r.vector_id for r in results}
+    for suite in ALL_SUITES:
+        for tail in ("tls-fast", "tls-reference", "wtls-fast",
+                     "wtls-reference", "transactional"):
+            assert f"{suite.name}-{tail}" in ids
 
 
 def test_record_agreement_covers_every_suite():
