@@ -16,6 +16,10 @@ Gives the reproduction a front door:
   state-machine check, the seeded wire-format fuzzer, and replay of
   the committed regression corpus.  Deterministic: same seed, byte-
   identical report.
+* ``survivability``  — mixed benign/attack load on one virtual clock:
+  four seeded adversary classes against the gateway, exported as a
+  byte-stable JSON survivability report (goodput, shed, breaker
+  transitions, alerts, attacker-vs-user energy).
 """
 
 from __future__ import annotations
@@ -198,6 +202,26 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_survivability(args: argparse.Namespace) -> int:
+    from .adversary import run_survivability
+    from .analysis.survivability import build_report, format_report
+
+    result = run_survivability(
+        sessions=args.sessions,
+        requests_per_session=args.requests,
+        interarrival_s=args.interarrival,
+        attacker_fraction=args.attacker_fraction,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+    )
+    text = format_report(build_report(result))
+    print(text, end="")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(text)
+    return 0 if result.reconciliation.ok else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -241,6 +265,20 @@ def main(argv=None) -> int:
                              help="state-machine enumeration depth")
     conformance.add_argument("--report", metavar="PATH", default=None,
                              help="also write the report text here")
+    survivability = sub.add_parser(
+        "survivability",
+        help="mixed benign/attack load -> byte-stable JSON report")
+    survivability.add_argument("--sessions", type=int, default=32)
+    survivability.add_argument("--requests", type=int, default=4)
+    survivability.add_argument("--interarrival", type=float, default=0.1)
+    survivability.add_argument("--attacker-fraction", type=float,
+                               default=0.5,
+                               help="attacker share of total traffic")
+    survivability.add_argument("--fault-rate", type=float, default=0.0,
+                               help="wired-leg fault probability")
+    survivability.add_argument("--seed", type=int, default=2003)
+    survivability.add_argument("--report", metavar="PATH", default=None,
+                               help="also write the JSON report here")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -252,6 +290,7 @@ def main(argv=None) -> int:
         "appliance": _cmd_appliance,
         "telemetry-report": _cmd_telemetry_report,
         "conformance": _cmd_conformance,
+        "survivability": _cmd_survivability,
     }
     return handlers[args.command](args)
 

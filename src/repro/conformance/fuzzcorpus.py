@@ -233,6 +233,28 @@ def _mutate(blob: bytes, rng: random.Random, seeds: Tuple[bytes, ...]) -> bytes:
     return bytes(data)
 
 
+def _next_mutation(target: FuzzTarget, rng: random.Random) -> bytes:
+    """One structure-aware input: a seed blob under 1–3 stacked mutations."""
+    blob = rng.choice(target.seeds)
+    for _ in range(rng.randrange(1, 4)):
+        blob = _mutate(blob, rng, target.seeds)
+    return blob
+
+
+def mutation_stream(target: FuzzTarget, seed: int):
+    """Endless deterministic stream of mutated wire blobs for ``target``.
+
+    Shares the mutation engine (and the exact per-target RNG stream,
+    ``random.Random(f"{seed}:{target.name}")``) with :func:`run_fuzz`,
+    so live adversarial traffic and the offline fuzz campaign draw from
+    one corpus: the first N items equal the N inputs ``fuzz_target``
+    would execute for the same seed.
+    """
+    rng = random.Random(f"{seed}:{target.name}")
+    while True:
+        yield _next_mutation(target, rng)
+
+
 def _escapes(target: FuzzTarget, blob: bytes) -> Optional[str]:
     """Run one blob; returns the escape description or None."""
     try:
@@ -277,10 +299,7 @@ def fuzz_target(target: FuzzTarget, rng: random.Random,
     """Fuzz one target; found crashers are minimized and recorded."""
     seen_errors = set()
     for _ in range(iterations):
-        seed_blob = rng.choice(target.seeds)
-        blob = seed_blob
-        for _ in range(rng.randrange(1, 4)):   # stacked mutations
-            blob = _mutate(blob, rng, target.seeds)
+        blob = _next_mutation(target, rng)
         report.executions += 1
         try:
             target.parse(blob)

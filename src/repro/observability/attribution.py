@@ -149,6 +149,27 @@ def phase_energy_mj(telemetry: Telemetry,
     return out
 
 
+def adversary_energy_mj(telemetry: Telemetry) -> Dict[str, float]:
+    """Inclusive millijoules per adversary class, from ``adversary.fire``
+    spans (the adversary plane wraps every attack event in one).
+
+    The survivability report uses this to split "energy the attackers
+    spent" by class; benign/user energy is whatever the batteries lost
+    outside these spans."""
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in telemetry.spans:
+        children.setdefault(span.parent_id, []).append(span)
+    cache: Dict[int, tuple] = {}
+    out: Dict[str, float] = {}
+    for span in telemetry.spans:
+        if span.name != "adversary.fire":
+            continue
+        kind = str(span.attrs.get("adversary", "unknown"))
+        mj, _ = _inclusive(span, children, cache)
+        out[kind] = out.get(kind, 0.0) + mj
+    return out
+
+
 @dataclass
 class EnergyReconciliation:
     """Result of checking the trace against the batteries themselves."""

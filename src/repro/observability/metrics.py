@@ -319,6 +319,45 @@ def export_fault_stats(registry: MetricsRegistry, stats,
                   help_text="channel fault-injection ledger")
 
 
+def export_dos_responder(registry: MetricsRegistry, responder,
+                         role: str = "gateway") -> None:
+    """Adapter for :class:`~repro.protocols.dos.CookieProtectedResponder`:
+    the cookie-gate accounting, including the bounded pending table
+    (``pending_cookies`` is a property — read through live) and its
+    flood-pressure evictions."""
+    attach_ledger(registry, "repro_dos_responder", responder,
+                  fields=["pending_cookies", "cookies_issued",
+                          "cookies_verified", "cookies_rejected",
+                          "cookies_grace_accepted", "cookies_unmatched",
+                          "evicted", "secret_rotations",
+                          "handshakes_started", "work_spent_mi"],
+                  labels={"role": role},
+                  help_text="stateless-cookie DoS gate ledger")
+
+
+def export_adversary_population(registry: MetricsRegistry,
+                                population) -> None:
+    """Adapter for :class:`~repro.adversary.population.AdversaryPopulation`:
+    one labelled sample series per adversary, read live from each
+    adversary's ``snapshot()`` ledger."""
+
+    def collect():
+        out = []
+        for adversary in population.adversaries:
+            labels = {"adversary": adversary.kind, "name": adversary.name}
+            for key, value in adversary.snapshot().items():
+                if isinstance(value, bool):
+                    value = int(value)
+                if not isinstance(value, (int, float)):
+                    continue
+                out.append((f"repro_adversary_{key}",
+                            "adversary population ledger", labels,
+                            float(value)))
+        return out
+
+    registry.register_collector(collect)
+
+
 def export_degradation_report(registry: MetricsRegistry, report,
                               device: str = "appliance") -> None:
     """Adapter for :class:`~repro.core.supervisor.DegradationReport`."""
@@ -393,7 +432,8 @@ def export_runtime(registry: MetricsRegistry, runtime) -> None:
     attach_ledger(registry, "repro_gateway_runtime", runtime.stats,
                   fields=["submitted", "admitted", "served", "degraded",
                           "shed_rate_limited", "shed_queue_full",
-                          "shed_deadline", "breaker_fast_fails",
+                          "shed_deadline", "shed_malformed",
+                          "malformed_discarded", "breaker_fast_fails",
                           "wired_failures", "handler_failures",
                           "battery_refusals", "energy_mj", "shed",
                           "answered"],

@@ -79,6 +79,21 @@ class CookieProtectedResponder:
         """Outstanding first-contact entries (always <= pending_limit)."""
         return len(self._pending)
 
+    def snapshot(self) -> dict:
+        """The accounting ledger as a plain dict (report/export seam)."""
+        return {
+            "pending_cookies": self.pending_cookies,
+            "cookies_issued": self.cookies_issued,
+            "cookies_verified": self.cookies_verified,
+            "cookies_rejected": self.cookies_rejected,
+            "cookies_grace_accepted": self.cookies_grace_accepted,
+            "cookies_unmatched": self.cookies_unmatched,
+            "evicted": self.evicted,
+            "secret_rotations": self.secret_rotations,
+            "handshakes_started": self.handshakes_started,
+            "work_spent_mi": round(self.work_spent_mi, 6),
+        }
+
     def rotate_secret(self) -> None:
         """Periodic rotation bounds cookie lifetime (replay window).
 

@@ -96,6 +96,7 @@ class FaultStats:
     reorders: int = 0
     delivered: int = 0
     bad_state_frames: int = 0
+    injected: int = 0
 
     @property
     def total_drops(self) -> int:
@@ -189,6 +190,29 @@ class FaultyChannel(DuplexChannel):
             else:
                 queue.append(frame)
                 self.faults.delivered += 1
+
+    def inject(self, direction: str, frame: bytes,
+               front: bool = False) -> None:
+        """Adversarial wire injection: place ``frame`` on the link as if
+        an on-path attacker transmitted it in ``direction``.
+
+        By default the frame still rides the fault pipeline (injected
+        traffic is not exempt from the weather) but bypasses the
+        endpoint send API and the interceptor — it never existed at
+        either endpoint.  ``front=True`` models an attacker adjacent to
+        the receiver: the frame arrives *ahead* of traffic already in
+        flight (and past the radio weather, so the pipeline is
+        skipped).  Counted in :attr:`FaultStats.injected` either way.
+        """
+        if direction not in ("a->b", "b->a"):
+            raise ValueError(f"unknown direction: {direction!r}")
+        queue = self._a_to_b if direction == "a->b" else self._b_to_a
+        self.faults.injected += 1
+        if front:
+            queue.appendleft(frame)
+            self.faults.delivered += 1
+        else:
+            self._enqueue(queue, frame, direction)
 
     def flush_held(self) -> int:
         """Release any frames the reorder stage is still holding.

@@ -43,11 +43,11 @@ from ..crypto.rng import DeterministicDRBG
 from ..hardware.battery import Battery, BatteryEmpty
 from ..hardware.energy import EnergyModel
 from ..observability import probe
-from .alerts import ProtocolAlert
+from .alerts import BadRecordMAC, DecodeError, ProtocolAlert, ReplayError
 from .certificates import CertificateAuthority
 from .handshake import ClientConfig, ServerConfig
 from .reliable import VirtualClock
-from .transport import ChannelClosed
+from .transport import ChannelClosed, ChannelEmpty, DuplexChannel
 from .wap import DEGRADED_PREFIX, HandlerFailure, OriginServer, WAPGateway
 from .wtls import WTLSConnection, wtls_connect
 
@@ -99,6 +99,10 @@ class CircuitBreaker:
         self.opened_at = 0.0
         self.transitions: List[Tuple[float, str, str]] = []
         self.fast_fails = 0
+        # Half-open admits exactly ONE probe: concurrent sessions racing
+        # the slot fast-fail until the in-flight probe resolves, so a
+        # sick origin sees one trial request, not a thundering herd.
+        self._probe_in_flight = False
 
     def _transition(self, now: float, to: str) -> None:
         self.transitions.append((now, self.state, to))
@@ -111,19 +115,28 @@ class CircuitBreaker:
         if self.state == OPEN:
             if now - self.opened_at >= self.config.reset_timeout_s:
                 self._transition(now, HALF_OPEN)
+                self._probe_in_flight = True
             else:
                 self.fast_fails += 1
                 return False
+        elif self.state == HALF_OPEN:
+            if self._probe_in_flight:
+                # Someone else holds the single probe slot.
+                self.fast_fails += 1
+                return False
+            self._probe_in_flight = True
         return True
 
     def record_success(self, now: float) -> None:
         """A wired-leg exchange succeeded."""
+        self._probe_in_flight = False
         if self.state != CLOSED:
             self._transition(now, CLOSED)
         self.consecutive_failures = 0
 
     def record_failure(self, now: float) -> None:
         """A wired-leg exchange failed."""
+        self._probe_in_flight = False
         self.consecutive_failures += 1
         if self.state == HALF_OPEN or (
                 self.state == CLOSED and self.consecutive_failures
@@ -183,6 +196,7 @@ class RuntimeConfig:
     service_time_s: float = 0.05    # virtual service time per request
     deadline_s: float = 4.0         # request must *start* by arrival+this
     reply_batch: int = 1            # replies coalesced per WTLS batch
+    malformed_skip: int = 16        # damaged records skipped per receive
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
 
     def __post_init__(self) -> None:
@@ -192,6 +206,8 @@ class RuntimeConfig:
             raise ValueError("service time / deadline must be sensible")
         if self.reply_batch < 1:
             raise ValueError("reply batch must be at least 1")
+        if self.malformed_skip < 0:
+            raise ValueError("malformed skip budget cannot be negative")
 
 
 @dataclass
@@ -206,18 +222,24 @@ class RuntimeStats:
     shed_rate_limited: int = 0
     shed_queue_full: int = 0
     shed_deadline: int = 0
+    shed_malformed: int = 0
+    malformed_discarded: int = 0
     breaker_fast_fails: int = 0
     wired_failures: int = 0
     handler_failures: int = 0
     battery_refusals: int = 0
     energy_mj: float = 0.0
     latencies: List[float] = field(default_factory=list)
+    # Radio energy spent *answering* shed traffic, keyed by shed reason:
+    # attacker-induced shedding costs real battery (the reply crosses
+    # the airlink) and must show up in attribution, not read as free.
+    shed_energy_mj: Dict[str, float] = field(default_factory=dict)
 
     @property
     def shed(self) -> int:
         """All load-shed answers."""
         return (self.shed_rate_limited + self.shed_queue_full
-                + self.shed_deadline)
+                + self.shed_deadline + self.shed_malformed)
 
     @property
     def answered(self) -> int:
@@ -305,13 +327,21 @@ class GatewayRuntime:
     # -- session management --------------------------------------------------
 
     def attach_session(self, session_id: str, client: ClientConfig,
-                       battery: Optional[Battery] = None) -> WTLSConnection:
+                       battery: Optional[Battery] = None,
+                       channel: Optional[DuplexChannel] = None
+                       ) -> WTLSConnection:
         """Handshake a new handset WTLS session; returns the handset's
-        connection (the gateway keeps its own side)."""
+        connection (the gateway keeps its own side).
+
+        ``channel`` lets the session ride a caller-owned link — e.g. a
+        :class:`~repro.protocols.faults.FaultyChannel` an adversary can
+        inject frames into (the handset writes ``a->b``, so injected
+        attacker frames travel toward the gateway on that direction).
+        """
         if session_id in self.sessions:
             raise ValueError(f"session {session_id!r} already attached")
         handset_conn, gateway_side = wtls_connect(
-            client, self.gateway.gateway_config)
+            client, self.gateway.gateway_config, channel=channel)
         self.sessions[session_id] = _Session(gateway_side, battery)
         return handset_conn
 
@@ -410,21 +440,41 @@ class GatewayRuntime:
     def _admit_inner(self, arrival: _Arrival) -> str:
         session = self.sessions[arrival.session_id]
         now = self.clock.now
-        request = session.conn.receive()          # WTLS decrypt: the gap
+        discarded_before = session.conn.discarded
+        try:
+            # WTLS decrypt (the gap), skipping records that fail to
+            # open — injected garbage, replays, corrupted frames.
+            request = session.conn.receive_next(
+                max_skip=self.config.malformed_skip)
+        except (BadRecordMAC, DecodeError, ReplayError, ChannelEmpty):
+            # Nothing valid to read: the pending frames were all
+            # malformed (a wire-injection flood) or the link ran dry.
+            # Degrade gracefully with a structured shed, never a crash.
+            self.stats.malformed_discarded += (
+                session.conn.discarded - discarded_before)
+            self.stats.shed_malformed += 1
+            session.shed += 1
+            self._reply(session, busy_reply("malformed"),
+                        shed_reason="malformed")
+            return "malformed"
+        self.stats.malformed_discarded += (
+            session.conn.discarded - discarded_before)
         self.gateway.plaintext_log.append(request)
         self._charge(session, len(request))
         if not self._bucket.try_take(now):
             self.stats.shed_rate_limited += 1
             session.shed += 1
             self._reply(session, busy_reply(
-                "rate-limited", self._bucket.seconds_until_token(now)))
+                "rate-limited", self._bucket.seconds_until_token(now)),
+                shed_reason="rate-limited")
             return "rate-limited"
         if len(self._queue) >= self.config.queue_limit:
             self.stats.shed_queue_full += 1
             session.shed += 1
             self._reply(session, busy_reply(
                 "queue-full",
-                self.config.service_time_s * len(self._queue)))
+                self.config.service_time_s * len(self._queue)),
+                shed_reason="queue-full")
             return "queue-full"
         self.stats.admitted += 1
         self._queue.append(_Pending(
@@ -454,7 +504,8 @@ class GatewayRuntime:
             # service time (the check is bookkeeping, not proxying).
             self.stats.shed_deadline += 1
             session.shed += 1
-            self._reply(session, busy_reply("deadline"))
+            self._reply(session, busy_reply("deadline"),
+                        shed_reason="deadline")
             return pending.session_id, "shed-deadline"
         finish = start + self.config.service_time_s
         self._server_free_at = finish
@@ -525,7 +576,8 @@ class GatewayRuntime:
 
     # -- reply path ----------------------------------------------------------
 
-    def _reply(self, session: _Session, payload: bytes) -> None:
+    def _reply(self, session: _Session, payload: bytes,
+               shed_reason: Optional[str] = None) -> None:
         """Answer one request, coalescing when configured.
 
         With ``reply_batch > 1`` replies queue in the session's outbox
@@ -535,6 +587,11 @@ class GatewayRuntime:
         handset reads them with ``receive_batch``.  Logging and energy
         accounting happen at answer time either way, so the stats
         ledger is identical to the unbatched configuration.
+
+        ``shed_reason`` marks a ``GW-BUSY:`` answer: its airlink energy
+        is additionally booked per reason in ``stats.shed_energy_mj``,
+        so shedding caused by an attack is visibly charged rather than
+        silently folded into the aggregate.
         """
         self.gateway.plaintext_log.append(payload)  # the gap again
         if self.config.reply_batch <= 1:
@@ -543,20 +600,25 @@ class GatewayRuntime:
             session.outbox.append(payload)
             if len(session.outbox) >= self.config.reply_batch:
                 self._flush_replies(session)
-        self._charge(session, len(payload))
+        millijoules = self._charge(session, len(payload))
+        if shed_reason is not None:
+            self.stats.shed_energy_mj[shed_reason] = (
+                self.stats.shed_energy_mj.get(shed_reason, 0.0)
+                + millijoules)
 
     def _flush_replies(self, session: _Session) -> None:
         if session.outbox:
             session.conn.send_batch(session.outbox)
             session.outbox = []
 
-    def _charge(self, session: _Session, num_bytes: int) -> None:
+    def _charge(self, session: _Session, num_bytes: int) -> float:
         """Account handset radio energy (rx of a reply / tx of a request
-        are symmetric enough for the ledger: one airlink crossing)."""
+        are symmetric enough for the ledger: one airlink crossing).
+        Returns the charged millijoules."""
         millijoules = self.energy.frame_receive_mj(num_bytes)
         self.stats.energy_mj += millijoules
         if session.battery is None:
-            return
+            return millijoules
         try:
             session.battery.drain_mj(millijoules)
         except BatteryEmpty:
@@ -564,6 +626,7 @@ class GatewayRuntime:
             # the gateway only records that the charge was refused.
             session.brownouts += 1
             self.stats.battery_refusals += 1
+        return millijoules
 
 
 def build_gateway_runtime_world(
@@ -572,6 +635,7 @@ def build_gateway_runtime_world(
         config: Optional[RuntimeConfig] = None,
         batteries: Optional[Dict[str, Battery]] = None,
         clock: Optional[VirtualClock] = None,
+        channel_factory: Optional[Callable[[str], DuplexChannel]] = None,
 ) -> Tuple[GatewayRuntime, Dict[str, WTLSConnection], CertificateAuthority]:
     """A full N-handset world: CA, origin, gateway, runtime, and
     ``sessions`` attached handsets named ``handset-00`` ....
@@ -608,5 +672,7 @@ def build_gateway_runtime_world(
             rng=DeterministicDRBG((session_id, seed).__repr__()),
             ca=ca, expected_server="gateway.operator")
         handsets[session_id] = runtime.attach_session(
-            session_id, client, battery=batteries.get(session_id))
+            session_id, client, battery=batteries.get(session_id),
+            channel=(channel_factory(session_id)
+                     if channel_factory is not None else None))
     return runtime, handsets, ca

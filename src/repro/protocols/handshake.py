@@ -295,6 +295,8 @@ def _run_handshake(client: ClientConfig, server: ServerConfig,
     try:
         _, payload = server_dec.decode(server_ep.receive())
     except BadRecordMAC as exc:
+        probe.event("handshake.tamper", side="server",
+                    stage="client-finished", kind="undecryptable")
         raise HandshakeFailure(
             f"client Finished undecryptable (keys diverged): {exc}"
         ) from exc
@@ -303,6 +305,8 @@ def _run_handshake(client: ClientConfig, server: ServerConfig,
         server_master, server_digest, b"client finished"
     )
     if not constant_time_compare(expected, seen_finish.verify_data):
+        probe.event("handshake.tamper", side="server",
+                    stage="client-finished", kind="verify-data-mismatch")
         raise HandshakeFailure("client Finished verify_data mismatch")
 
     server_finish = Finished(
@@ -312,6 +316,8 @@ def _run_handshake(client: ClientConfig, server: ServerConfig,
     try:
         _, payload = client_dec.decode(client_ep.receive())
     except BadRecordMAC as exc:
+        probe.event("handshake.tamper", side="client",
+                    stage="server-finished", kind="undecryptable")
         raise HandshakeFailure(
             f"server Finished undecryptable (keys diverged): {exc}"
         ) from exc
@@ -320,6 +326,8 @@ def _run_handshake(client: ClientConfig, server: ServerConfig,
         client_master, client_digest, b"server finished"
     )
     if not constant_time_compare(expected, seen_finish.verify_data):
+        probe.event("handshake.tamper", side="client",
+                    stage="server-finished", kind="verify-data-mismatch")
         raise HandshakeFailure("server Finished verify_data mismatch")
 
     client_session = Session(

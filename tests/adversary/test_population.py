@@ -1,0 +1,193 @@
+"""The adversary classes: seeded arrival processes, per-class damage,
+energy-bounded attackers, and the latched alert rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.population import (
+    Adversary,
+    AdversaryPopulation,
+    CookieFloodAdversary,
+    DowngradeAdversary,
+    FuzzInjectionAdversary,
+    TimingProbeAdversary,
+)
+from repro.conformance.fuzzcorpus import default_targets, mutation_stream
+from repro.crypto.rng import DeterministicDRBG
+from repro.hardware.battery import Battery
+from repro.protocols.certificates import CertificateAuthority
+from repro.protocols.dos import CookieProtectedResponder
+from repro.protocols.faults import FaultyChannel
+from repro.protocols.handshake import ServerConfig
+
+
+class _CountingAdversary(Adversary):
+    kind = "counting"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fired_at = []
+
+    def fire(self, at):
+        self.fired_at.append(round(at, 9))
+        self._spend(64)
+
+
+def _responder(seed=0):
+    return CookieProtectedResponder(
+        rng=DeterministicDRBG(("test-dos", seed).__repr__()),
+        pending_limit=8)
+
+
+def _gateway_credentials(seed=0):
+    ca = CertificateAuthority(
+        "AdvCA", DeterministicDRBG(("adv-ca", seed).__repr__()))
+    key, cert = ca.issue(
+        "gateway.operator", DeterministicDRBG(("adv-gw", seed).__repr__()))
+    server = ServerConfig(
+        rng=DeterministicDRBG(("adv-srv", seed).__repr__()),
+        certificate=cert, private_key=key)
+    return ca, server
+
+
+class TestArrivalProcess:
+    def test_same_seed_same_schedule(self):
+        first = _CountingAdversary("a", 50.0, seed=7)
+        second = _CountingAdversary("a", 50.0, seed=7)
+        for now in (0.1, 0.25, 0.5):
+            first.tick(now)
+            second.tick(now)
+        assert first.fired_at == second.fired_at
+        assert first.events > 0
+
+    def test_different_seed_different_schedule(self):
+        first = _CountingAdversary("a", 50.0, seed=7)
+        second = _CountingAdversary("a", 50.0, seed=8)
+        first.tick(1.0)
+        second.tick(1.0)
+        assert first.fired_at != second.fired_at
+
+    def test_zero_rate_never_fires(self):
+        quiet = _CountingAdversary("q", 0.0, seed=1)
+        quiet.tick(1e9)
+        assert quiet.events == 0
+
+    def test_battery_exhaustion_retires_the_adversary(self):
+        broke = _CountingAdversary(
+            "b", 1000.0, seed=1, battery=Battery(capacity_j=0.01))
+        broke.tick(10.0)
+        assert broke.exhausted
+        events_at_exhaustion = broke.events
+        broke.tick(20.0)   # retired: no further events fire
+        assert broke.events == events_at_exhaustion
+
+    def test_snapshot_shape(self):
+        adversary = _CountingAdversary("s", 10.0, seed=1)
+        adversary.tick(0.5)
+        snap = adversary.snapshot()
+        assert snap["events"] == adversary.events
+        assert snap["energy_spent_mj"] > 0.0
+        assert snap["battery_drained_mj"] == pytest.approx(
+            snap["energy_spent_mj"])
+
+
+class TestCookieFlood:
+    def test_flood_drives_pending_table_to_eviction(self):
+        responder = _responder()
+        flood = CookieFloodAdversary(
+            "f", 100.0, seed=3, responder=responder, floods_per_event=8)
+        flood.tick(1.0)
+        assert flood.hellos_sent > 8
+        assert responder.cookies_issued == flood.hellos_sent
+        assert responder.evicted > 0
+        assert responder.pending_cookies <= responder.pending_limit
+
+    def test_blind_cookie_guesses_are_rejected(self):
+        responder = _responder()
+        flood = CookieFloodAdversary(
+            "f", 100.0, seed=3, responder=responder)
+        flood.tick(1.0)
+        assert flood.forged_cookies > 0
+        assert responder.cookies_rejected == flood.forged_cookies
+        # The flood never gets expensive work out of the responder.
+        assert responder.handshakes_started == 0
+
+
+class TestDowngrade:
+    def test_downgrade_is_always_blocked_at_finished(self):
+        ca, server = _gateway_credentials()
+        mitm = DowngradeAdversary(
+            "m", 40.0, seed=5, server_config=server, ca=ca,
+            expected_server="gateway.operator")
+        mitm.tick(0.2)
+        assert mitm.events > 0
+        assert mitm.downgrades_blocked == mitm.events
+        assert mitm.downgrades_succeeded == 0
+        assert mitm.energy_spent_mj > 0.0
+
+
+class TestTimingProbe:
+    def test_probe_collects_then_attacks_offline(self):
+        probe = TimingProbeAdversary(
+            "t", 100.0, seed=11, samples_per_event=24)
+        probe.tick(1.0)
+        assert probe.samples_collected >= 32
+        probe.finish(1.0)
+        assert probe.attack_ran
+        assert probe.bits_recovered > 0
+        # finish() is idempotent: the offline attack runs once.
+        bits = probe.bits_recovered
+        probe.finish(2.0)
+        assert probe.bits_recovered == bits
+
+    def test_underfunded_probe_never_attacks(self):
+        probe = TimingProbeAdversary(
+            "t", 1.0, seed=11, samples_per_event=1)
+        probe.tick(0.1)
+        probe.finish(0.1)
+        assert not probe.attack_ran
+
+
+class TestFuzzInjection:
+    def test_injects_mutants_into_victim_channels(self):
+        channels = {"handset-00": FaultyChannel(seed=1),
+                    "handset-01": FaultyChannel(seed=2)}
+        target = next(t for t in default_targets()
+                      if t.name == "wtls_record")
+        fuzz = FuzzInjectionAdversary(
+            "z", 100.0, seed=13, channels=channels,
+            mutations=mutation_stream(target, 13))
+        fuzz.tick(0.5)
+        assert fuzz.frames_injected > 0
+        injected = sum(c.faults.injected for c in channels.values())
+        assert injected == fuzz.frames_injected
+        assert fuzz.bytes_injected > 0
+        assert fuzz.bursts_fired >= 1
+
+
+class TestPopulationAlerts:
+    def test_rules_latch_once(self):
+        responder = _responder()
+        flood = CookieFloodAdversary(
+            "f", 100.0, seed=3, responder=responder)
+        population = AdversaryPopulation([flood])
+        population.add_rule(
+            "evictions",
+            lambda: (f"evicted {responder.evicted}"
+                     if responder.evicted > 0 else None))
+        population.tick(1.0)
+        population.tick(2.0)
+        names = [alert.name for alert in population.alerts]
+        assert names == ["evictions"]
+        assert population.alerts[0].at_s == 1.0
+
+    def test_energy_ledger_sums_attacker_batteries(self):
+        flood = CookieFloodAdversary(
+            "f", 100.0, seed=3, responder=_responder(),
+            battery=Battery(capacity_j=1.0))
+        population = AdversaryPopulation([flood])
+        population.tick(0.5)
+        assert population.energy_spent_mj() == pytest.approx(
+            (flood.battery.capacity_j - flood.battery.remaining_j) * 1000.0)
+        assert population.total_events() == flood.events

@@ -184,3 +184,48 @@ class TestFloodExperiment:
             report = flood_experiment(flood_size=50,
                                       require_cookies=require_cookies)
             assert report.legitimate_clients_served == 5
+
+
+# -- the observability seam (PR 7) -------------------------------------------
+
+
+class TestSnapshotAndExport:
+    def test_snapshot_mirrors_counters(self):
+        responder = CookieProtectedResponder(
+            rng=DeterministicDRBG("snap"), pending_limit=4)
+        nonce = b"\x01" * 8
+        cookie = responder.first_contact("10.0.0.1", nonce)
+        responder.second_contact("10.0.0.1", nonce, cookie)
+        responder.second_contact("10.0.0.2", nonce, b"\x00" * 16)
+        snap = responder.snapshot()
+        assert snap["cookies_issued"] == 1
+        assert snap["cookies_verified"] == 1
+        assert snap["cookies_rejected"] == 1
+        assert snap["pending_cookies"] == 0
+        assert snap["handshakes_started"] == 1
+        assert snap["work_spent_mi"] > 0.0
+
+    def test_export_dos_responder_is_live(self):
+        from repro.observability.metrics import (
+            MetricsRegistry,
+            export_dos_responder,
+        )
+
+        responder = CookieProtectedResponder(
+            rng=DeterministicDRBG("export"), pending_limit=2)
+        registry = MetricsRegistry()
+        export_dos_responder(registry, responder, role="gateway")
+
+        def sample(name):
+            for sampled, key, value in registry.samples():
+                if sampled == name and ("role", "gateway") in key:
+                    return value
+            raise AssertionError(f"no sample {name}")
+
+        assert sample("repro_dos_responder_cookies_issued") == 0.0
+        for index in range(3):   # one past the pending limit: evicts
+            responder.first_contact(f"10.0.0.{index}", bytes([index] * 8))
+        # Ledger adapter reads through live, including the property.
+        assert sample("repro_dos_responder_cookies_issued") == 3.0
+        assert sample("repro_dos_responder_pending_cookies") == 2.0
+        assert sample("repro_dos_responder_evicted") == 1.0

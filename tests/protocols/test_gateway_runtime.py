@@ -372,3 +372,123 @@ def test_acceptance_chaos_scenario_is_deterministic():
             == second[0].breaker_for(ORIGIN).transitions)
     assert (first[2].report.actions() == second[2].report.actions())
     assert first[4] == second[4]                      # engine schedule
+
+
+# -- adversarial hardening (PR 7) --------------------------------------------
+
+
+def test_breaker_half_open_admits_exactly_one_probe():
+    """Concurrent sessions racing the half-open slot: only the first
+    ``allow`` wins the probe; the rest fast-fail until it resolves."""
+    breaker = CircuitBreaker(ORIGIN, BreakerConfig(
+        failure_threshold=1, reset_timeout_s=1.0))
+    breaker.record_failure(0.0)
+    assert breaker.state == OPEN
+
+    # Cooling period over: the first caller transitions to half-open
+    # and claims the single probe slot.
+    assert breaker.allow(1.5) is True
+    assert breaker.state == HALF_OPEN
+    # Every racer while the probe is in flight is fast-failed.
+    fast_fails_before = breaker.fast_fails
+    assert breaker.allow(1.5) is False
+    assert breaker.allow(1.6) is False
+    assert breaker.fast_fails == fast_fails_before + 2
+    assert breaker.state == HALF_OPEN
+
+    # Probe succeeds: breaker closes, everyone may pass again.
+    breaker.record_success(1.7)
+    assert breaker.state == CLOSED
+    assert breaker.allow(1.8) is True and breaker.allow(1.8) is True
+
+
+def test_breaker_failed_probe_releases_slot_for_next_cycle():
+    breaker = CircuitBreaker(ORIGIN, BreakerConfig(
+        failure_threshold=1, reset_timeout_s=1.0))
+    breaker.record_failure(0.0)
+    assert breaker.allow(1.5) is True          # probe slot claimed
+    breaker.record_failure(1.6)                # probe failed -> reopen
+    assert breaker.state == OPEN
+    assert breaker.allow(1.7) is False         # back in cooling
+    # Next cooling period: a fresh probe slot is available again.
+    assert breaker.allow(2.7) is True
+    assert breaker.allow(2.7) is False
+
+
+def test_seconds_until_token_at_exact_refill_boundaries():
+    bucket = TokenBucket(capacity=2.0, refill_per_s=4.0)
+    assert bucket.try_take(0.0) and bucket.try_take(0.0)
+    # Empty at t=0: next token exactly 0.25s away.
+    assert bucket.seconds_until_token(0.0) == pytest.approx(0.25)
+    # At the exact refill instant the answer must be 0, not an epsilon.
+    assert bucket.seconds_until_token(0.25) == 0.0
+    assert bucket.try_take(0.25) is True
+    # Straight after consuming at the boundary: a full period again.
+    assert bucket.seconds_until_token(0.25) == pytest.approx(0.25)
+    # Midway through a period, the residual fraction.
+    assert bucket.seconds_until_token(0.375) == pytest.approx(0.125)
+
+
+def test_shed_energy_charged_to_battery_per_reason():
+    """GW-BUSY answers cost real handset battery and are booked per
+    shed reason — attacker-induced shedding is never free."""
+    config = RuntimeConfig(bucket_capacity=1.0, bucket_refill_per_s=1.0)
+    battery = Battery(capacity_j=5.0)
+    runtime, handsets, _ = build_gateway_runtime_world(
+        sessions=1, seed=CHAOS_SEED, config=config,
+        batteries={"handset-00": battery})
+    for index in range(3):
+        handsets["handset-00"].send(f"r{index}".encode())
+        runtime.submit("handset-00", ORIGIN)
+    stats = runtime.run()
+    assert stats.shed_rate_limited == 2
+    shed_mj = stats.shed_energy_mj["rate-limited"]
+    assert shed_mj > 0.0
+    # The shed replies' energy is part of (not additional to) the
+    # total radio ledger, and the battery actually paid for it.
+    assert shed_mj < stats.energy_mj
+    assert battery.remaining_j < battery.capacity_j
+
+
+def test_injected_garbage_is_skipped_and_counted():
+    """Wire-injected malformed frames ahead of a benign request are
+    skipped (counted) and the request still served."""
+    from repro.protocols.faults import FaultyChannel
+
+    channel = FaultyChannel(seed=7)
+    runtime, handsets, _ = build_gateway_runtime_world(
+        sessions=1, seed=CHAOS_SEED,
+        channel_factory=lambda sid: channel)
+    handsets["handset-00"].send(b"real request")
+    for index in range(3):
+        channel.inject("a->b", b"\x17garbage-%d" % index, front=True)
+    runtime.submit("handset-00", ORIGIN)
+    stats = runtime.run()
+    assert stats.malformed_discarded == 3
+    assert stats.shed_malformed == 0
+    assert stats.served == 1
+    reply = handsets["handset-00"].receive()
+    assert classify(reply) == "served"
+
+
+def test_malformed_flood_sheds_structurally():
+    """A garbage flood past the skip budget exhausts the receive and
+    answers a structured ``malformed`` shed — never an exception."""
+    from repro.protocols.faults import FaultyChannel
+
+    channel = FaultyChannel(seed=7)
+    config = RuntimeConfig(malformed_skip=4)
+    runtime, handsets, _ = build_gateway_runtime_world(
+        sessions=1, seed=CHAOS_SEED, config=config,
+        channel_factory=lambda sid: channel)
+    handsets["handset-00"].send(b"drowned request")
+    for index in range(8):
+        channel.inject("a->b", b"\x15junk-%d" % index, front=True)
+    runtime.submit("handset-00", ORIGIN)
+    stats = runtime.run()
+    assert stats.shed_malformed == 1
+    assert stats.malformed_discarded >= 4
+    assert stats.answered == stats.submitted
+    reply = handsets["handset-00"].receive()
+    assert reply.startswith(b"GW-BUSY: reason=malformed")
+    assert stats.shed_energy_mj["malformed"] > 0.0
