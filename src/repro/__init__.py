@@ -40,6 +40,10 @@ Subpackages
     The conformance plane: official-vector registry, differential
     oracles, the handshake state-machine model checker, and the
     seeded wire-format fuzzer behind ``python -m repro conformance``.
+``repro.fleet``
+    The crash-fault-tolerance plane: the sharded gateway fleet on one
+    batched scheduler, durable session checkpoints, crash injection,
+    and deterministic failover behind ``python -m repro failover``.
 
 Quickstart
 ----------
@@ -57,6 +61,7 @@ from . import (  # noqa: F401
     conformance,
     core,
     crypto,
+    fleet,
     hardware,
     observability,
     protocols,
@@ -64,5 +69,5 @@ from . import (  # noqa: F401
 
 __all__ = [
     "crypto", "protocols", "hardware", "attacks", "core", "analysis",
-    "observability", "conformance", "__version__",
+    "observability", "conformance", "fleet", "__version__",
 ]

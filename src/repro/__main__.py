@@ -20,6 +20,11 @@ Gives the reproduction a front door:
   four seeded adversary classes against the gateway, exported as a
   byte-stable JSON survivability report (goodput, shed, breaker
   transitions, alerts, attacker-vs-user energy).
+* ``failover``       — the sharded gateway fleet under a seeded crash
+  sweep that kills every shard at least once: durable checkpoint
+  restores, resumption / re-handshake cold recovery, structured
+  ``recovering`` sheds, exact energy reconciliation, byte-stable
+  JSON report (the CI two-run ``cmp`` gate).
 """
 
 from __future__ import annotations
@@ -222,6 +227,25 @@ def _cmd_survivability(args: argparse.Namespace) -> int:
     return 0 if result.reconciliation.ok else 1
 
 
+def _cmd_failover(args: argparse.Namespace) -> int:
+    from .analysis.failover import build_report, format_report
+    from .fleet import run_failover
+
+    result = run_failover(
+        sessions=args.sessions,
+        shards=args.shards,
+        requests_per_session=args.requests,
+        interarrival_s=args.interarrival,
+        seed=args.seed,
+    )
+    text = format_report(build_report(result))
+    print(text, end="")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(text)
+    return 0 if result.reconciliation.ok else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -279,6 +303,16 @@ def main(argv=None) -> int:
     survivability.add_argument("--seed", type=int, default=2003)
     survivability.add_argument("--report", metavar="PATH", default=None,
                                help="also write the JSON report here")
+    failover = sub.add_parser(
+        "failover",
+        help="sharded-fleet crash sweep -> byte-stable JSON report")
+    failover.add_argument("--sessions", type=int, default=24)
+    failover.add_argument("--shards", type=int, default=4)
+    failover.add_argument("--requests", type=int, default=6)
+    failover.add_argument("--interarrival", type=float, default=0.35)
+    failover.add_argument("--seed", type=int, default=2003)
+    failover.add_argument("--report", metavar="PATH", default=None,
+                          help="also write the JSON report here")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -291,6 +325,7 @@ def main(argv=None) -> int:
         "telemetry-report": _cmd_telemetry_report,
         "conformance": _cmd_conformance,
         "survivability": _cmd_survivability,
+        "failover": _cmd_failover,
     }
     return handlers[args.command](args)
 

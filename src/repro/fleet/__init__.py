@@ -1,0 +1,43 @@
+"""Crash-recoverable sharded gateway fleet.
+
+The scaling-and-availability plane: N
+:class:`~repro.protocols.gateway_runtime.GatewayRuntime` shards on one
+batched discrete-event scheduler, durable per-session checkpoints in a
+write-ahead journal, seeded crash injection with watchdog detection,
+and deterministic failover (warm from checkpoint, cold via the
+resumption / re-handshake paths).
+"""
+
+from .journal import CheckpointJournal
+from .ring import ConsistentRing
+from .runtime import (
+    CrashPlan,
+    FleetConfig,
+    FleetStats,
+    ShardCrash,
+    ShardedFleet,
+)
+from .scenario import FailoverResult, run_failover
+from .scheduler import Event, EventScheduler
+from .snapshot import (
+    SessionSnapshot,
+    capture_connection,
+    restore_connection,
+)
+
+__all__ = [
+    "CheckpointJournal",
+    "ConsistentRing",
+    "CrashPlan",
+    "Event",
+    "EventScheduler",
+    "FailoverResult",
+    "FleetConfig",
+    "FleetStats",
+    "SessionSnapshot",
+    "ShardCrash",
+    "ShardedFleet",
+    "capture_connection",
+    "restore_connection",
+    "run_failover",
+]

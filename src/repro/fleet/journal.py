@@ -1,0 +1,162 @@
+"""Write-ahead checkpoint journal with torn-tail crash semantics.
+
+Each shard appends every session checkpoint to its own journal — the
+stand-in for the cheap stable storage (flash, a log-structured NOR
+partition) a 2003-era gateway box would journal to.  The format is the
+classic WAL frame::
+
+    u32 body-length | u32 crc32(body) | body
+
+Appends are atomic *per frame* in the failure model: a crash may leave
+the final frame half-written (the torn tail — :meth:`tear_tail`
+models it by truncating seeded bytes off the buffer), and recovery
+replays frames from the start, stopping at the first frame whose
+length or CRC does not check out.  Everything before the torn frame is
+durable; nothing after it exists.  Recovery therefore returns the
+*latest fully-durable* checkpoint per session, and the supervisor
+compensates for the possibly-stale tail with the restore-time sequence
+skip (:func:`~repro.fleet.snapshot.restore_connection`).
+
+The per-session index is bounded (the PR 3 pending-table discipline:
+fleet state must not grow without limit).  Beyond ``index_limit``
+sessions, a *seeded* eviction drops a random victim's index entry —
+its frames stay in the log but recovery no longer trusts them, so the
+victim falls back to the cold (resumption/re-handshake) path.  Seeded
+eviction keeps two same-seed runs byte-identical while denying an
+adversary a predictable victim.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+from zlib import crc32
+
+from ..crypto.rng import DeterministicDRBG
+from .snapshot import SessionSnapshot
+
+_FRAME_HEADER = struct.Struct(">II")
+
+
+class CheckpointJournal:
+    """Append-only framed checkpoint log for one shard."""
+
+    def __init__(self, shard_name: str, seed: int = 0,
+                 index_limit: int = 64) -> None:
+        if index_limit < 1:
+            raise ValueError("index limit must be at least 1")
+        self.shard_name = shard_name
+        self.index_limit = index_limit
+        self._buffer = bytearray()
+        # session_id -> mutation counter of its newest durable frame.
+        self._index: Dict[str, int] = {}
+        self._evict_rng = DeterministicDRBG(
+            ("fleet-journal", shard_name, seed).__repr__())
+        self.checkpoints_written = 0
+        self.bytes_written = 0
+        self.evictions = 0
+        self.torn_records = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def tracked_sessions(self) -> int:
+        """Sessions with a trusted (indexed) checkpoint."""
+        return len(self._index)
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, snapshot: SessionSnapshot) -> None:
+        """Durably append one checkpoint frame."""
+        if snapshot.session_id not in self._index and \
+                len(self._index) >= self.index_limit:
+            victims = sorted(self._index)
+            victim = victims[self._evict_rng.randrange(len(victims))]
+            del self._index[victim]
+            self.evictions += 1
+        body = snapshot.to_bytes()
+        self._buffer += _FRAME_HEADER.pack(len(body), crc32(body))
+        self._buffer += body
+        self._index[snapshot.session_id] = snapshot.mutation
+        self.checkpoints_written += 1
+        self.bytes_written = len(self._buffer)
+
+    # -- the crash -----------------------------------------------------------
+
+    def tear_tail(self, torn_bytes: int) -> int:
+        """Model the crash tearing the final in-flight frame.
+
+        Truncates up to ``torn_bytes`` off the end of the buffer — a
+        write that never fully reached stable storage.  Returns how
+        many bytes were actually lost.
+        """
+        if torn_bytes <= 0 or not self._buffer:
+            return 0
+        lost = min(torn_bytes, len(self._buffer))
+        del self._buffer[len(self._buffer) - lost:]
+        return lost
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self) -> Tuple[Dict[str, SessionSnapshot], int]:
+        """Replay the log: ``(latest durable snapshot per session,
+        torn frames detected)``.
+
+        Only sessions still in the bounded index are returned; an
+        evicted session's frames are untrusted history.  The mutation
+        counter guards against index/log divergence after a tear: if
+        the indexed mutation outruns the newest durable frame, the
+        durable frame still wins (it is the best state that exists).
+        """
+        recovered: Dict[str, SessionSnapshot] = {}
+        torn = 0
+        offset = 0
+        buffer = self._buffer
+        while offset < len(buffer):
+            if offset + _FRAME_HEADER.size > len(buffer):
+                torn += 1
+                break
+            length, checksum = _FRAME_HEADER.unpack_from(buffer, offset)
+            body_start = offset + _FRAME_HEADER.size
+            body = bytes(buffer[body_start:body_start + length])
+            if len(body) != length or crc32(body) != checksum:
+                torn += 1
+                break
+            try:
+                snapshot = SessionSnapshot.from_bytes(body)
+            except ValueError:
+                torn += 1
+                break
+            if snapshot.session_id in self._index:
+                previous = recovered.get(snapshot.session_id)
+                if previous is None or snapshot.mutation >= previous.mutation:
+                    recovered[snapshot.session_id] = snapshot
+            offset = body_start + length
+        self.torn_records += torn
+        return recovered, torn
+
+    def latest(self, session_id: str) -> Optional[SessionSnapshot]:
+        """The newest durable checkpoint for one session, if trusted."""
+        return self.recover()[0].get(session_id)
+
+    def forget(self, session_id: str) -> None:
+        """Drop a session from the index (it migrated elsewhere)."""
+        self._index.pop(session_id, None)
+
+    def reset(self) -> None:
+        """Start a fresh log (the shard restarted with clean storage)."""
+        self._buffer = bytearray()
+        self._index = {}
+        self.bytes_written = 0
+
+    def frame_sizes(self) -> List[int]:
+        """Sizes of the durable frames (diagnostics / seeded tearing)."""
+        sizes: List[int] = []
+        offset = 0
+        while offset + _FRAME_HEADER.size <= len(self._buffer):
+            length, _ = _FRAME_HEADER.unpack_from(self._buffer, offset)
+            if offset + _FRAME_HEADER.size + length > len(self._buffer):
+                break
+            sizes.append(_FRAME_HEADER.size + length)
+            offset += _FRAME_HEADER.size + length
+        return sizes

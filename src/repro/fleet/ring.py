@@ -1,0 +1,69 @@
+"""Consistent-hash placement of handsets onto gateway shards.
+
+The fleet places each handset session on a shard by hashing it onto a
+ring of virtual nodes (SHA-1 — the period-correct hash, already the
+workhorse of the WTLS PRF).  Consistent hashing gives the property the
+failover plane needs: when a shard dies, only *its* sessions move, and
+where they move is a pure function of the session id and the surviving
+shard set — so two same-seed runs migrate identically without any
+coordination state.
+
+``owner`` walks clockwise from the key's point to the first virtual
+node belonging to an *eligible* shard, which is exactly "my primary,
+else my successor" — the standard rendezvous for crash failover.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from hashlib import sha1
+from typing import List, Optional, Sequence, Tuple
+
+
+def _point(label: str) -> int:
+    return int.from_bytes(sha1(label.encode("ascii")).digest()[:8], "big")
+
+
+class ConsistentRing:
+    """A fixed ring of ``vnodes`` virtual nodes per shard."""
+
+    def __init__(self, shard_names: Sequence[str], vnodes: int = 8) -> None:
+        if not shard_names:
+            raise ValueError("ring needs at least one shard")
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.shard_names = list(shard_names)
+        self.vnodes = vnodes
+        points: List[Tuple[int, str]] = []
+        for name in self.shard_names:
+            for replica in range(vnodes):
+                points.append((_point(f"{name}#{replica}"), name))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [name for _, name in points]
+
+    def owner(self, key: str,
+              eligible: Optional[Sequence[str]] = None) -> str:
+        """The shard owning ``key``, restricted to ``eligible`` shards.
+
+        With no restriction this is the key's primary; during failover
+        the caller passes the surviving shard set and gets the key's
+        first eligible successor clockwise.
+        """
+        allowed = set(self.shard_names if eligible is None else eligible)
+        if not allowed:
+            raise ValueError("no eligible shard to own the key")
+        start = bisect_right(self._points, _point(key))
+        count = len(self._points)
+        for step in range(count):
+            name = self._owners[(start + step) % count]
+            if name in allowed:
+                return name
+        raise AssertionError("unreachable: allowed is non-empty")
+
+    def spread(self, keys: Sequence[str]) -> dict:
+        """How many of ``keys`` each shard owns (diagnostics)."""
+        counts = {name: 0 for name in self.shard_names}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts

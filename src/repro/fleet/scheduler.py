@@ -1,0 +1,182 @@
+"""Batched discrete-event scheduler for the sharded gateway fleet.
+
+One :class:`~repro.protocols.reliable.VirtualClock` runs the whole
+fleet, but a fleet has two very different kinds of work on it:
+
+* **control events** — one-shot (a crash injection, a migration, a
+  shard restart) or recurring (watchdog heartbeats) actions planned at
+  absolute virtual times;
+* **work sources** — the shards themselves.  A
+  :class:`~repro.protocols.gateway_runtime.GatewayRuntime` exposes
+  ``next_event_time()`` / ``step()``, and the scheduler interleaves N
+  of them on the shared clock.
+
+The seed-state runtime walked its own timers linearly inside a
+monolithic ``run()`` loop; that cannot interleave with anything.  Here
+control events live in one heap (a calendar queue of ``(when, seq)``),
+and each batch advances the clock once to the earliest due time, fires
+*every* control event due at that time in schedule order, then steps
+every due work source once — same-tick batching, so K same-tick
+events cost one clock advance instead of K timer walks.
+
+Determinism: ties break on the monotone sequence number, sources step
+in registration order, and nothing here consults wall time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Protocol, Tuple
+
+from ..protocols.reliable import VirtualClock
+
+
+class WorkSource(Protocol):
+    """Anything with its own event queue the scheduler can interleave."""
+
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the next pending event, ``None`` if idle."""
+
+    def step(self) -> bool:
+        """Process exactly one event; ``False`` when idle."""
+
+
+class Event:
+    """One scheduled control action (cancellable, possibly recurring)."""
+
+    __slots__ = ("when", "seq", "action", "label", "interval", "cancelled")
+
+    def __init__(self, when: float, seq: int,
+                 action: Callable[[float], None], label: str,
+                 interval: Optional[float] = None) -> None:
+        self.when = when
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.interval = interval
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Drop the event (lazy: it is skipped when popped)."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Heap-based calendar queue plus work-source interleaving."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock or VirtualClock()
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._sources: List[WorkSource] = []
+        self.events_fired = 0
+        self.batches = 0
+
+    # -- scheduling ----------------------------------------------------------
+
+    def at(self, when: float, action: Callable[[float], None],
+           label: str = "") -> Event:
+        """Schedule a one-shot action at absolute virtual time."""
+        if when < self.clock.now:
+            when = self.clock.now
+        event = Event(when, self._seq, action, label)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.when, event.seq, event))
+        return event
+
+    def after(self, delay: float, action: Callable[[float], None],
+              label: str = "") -> Event:
+        """Schedule a one-shot action ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        return self.at(self.clock.now + delay, action, label)
+
+    def every(self, interval: float, action: Callable[[float], None],
+              label: str = "") -> Event:
+        """Schedule a recurring action; returns the (cancellable) event.
+
+        The returned handle stays valid across firings: cancelling it
+        stops the recurrence.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        event = Event(self.clock.now + interval, self._seq, action, label,
+                      interval=interval)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.when, event.seq, event))
+        return event
+
+    def add_source(self, source: WorkSource) -> None:
+        """Register a work source (stepped in registration order)."""
+        self._sources.append(source)
+
+    # -- introspection -------------------------------------------------------
+
+    def next_control_time(self) -> Optional[float]:
+        """Earliest pending (non-cancelled) control event time."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def pending_oneshot(self) -> int:
+        """Live one-shot control events still queued (recurring events
+        do not count: they alone never justify keeping the loop alive)."""
+        return sum(1 for _, _, event in self._heap
+                   if not event.cancelled and event.interval is None)
+
+    def next_time(self) -> Optional[float]:
+        """Earliest due time across control events and work sources."""
+        candidates = []
+        control = self.next_control_time()
+        if control is not None:
+            candidates.append(control)
+        for source in self._sources:
+            due = source.next_event_time()
+            if due is not None:
+                candidates.append(due)
+        return min(candidates) if candidates else None
+
+    # -- the batch loop ------------------------------------------------------
+
+    def run_batch(self) -> bool:
+        """Advance to the next due time and run everything due there.
+
+        Fires all control events due at (or before) the selected time
+        in schedule order — re-arming recurring ones — then steps each
+        due work source once.  A source step may itself advance the
+        shared clock (a serve completes); later sources in the same
+        batch see the moved clock, which is deterministic because the
+        source order is fixed.  Returns ``False`` when nothing is due.
+        """
+        when = self.next_time()
+        if when is None:
+            return False
+        self.clock.advance_to(when)
+        self.batches += 1
+        while True:
+            head = self.next_control_time()
+            if head is None or head > self.clock.now:
+                break
+            _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.events_fired += 1
+            event.action(self.clock.now)
+            if event.interval is not None and not event.cancelled:
+                event.when = self.clock.now + event.interval
+                heapq.heappush(self._heap, (event.when, event.seq, event))
+        for source in self._sources:
+            due = source.next_event_time()
+            if due is not None and due <= self.clock.now:
+                source.step()
+        return True
+
+    def run(self, stop: Optional[Callable[[], bool]] = None) -> int:
+        """Run batches until idle (or ``stop()`` turns true); returns
+        the number of batches executed."""
+        ran = 0
+        while not (stop is not None and stop()):
+            if not self.run_batch():
+                break
+            ran += 1
+        return ran

@@ -457,3 +457,72 @@ def export_runtime(registry: MetricsRegistry, runtime) -> None:
         battery = runtime.sessions[session_id].battery
         if battery is not None:
             export_battery(registry, battery, device=session_id)
+
+
+def export_fleet(registry: MetricsRegistry, fleet) -> None:
+    """Adapter for a :class:`~repro.fleet.runtime.ShardedFleet`: the
+    supervisor's crash/recovery ledger plus live per-shard collectors
+    (checkpoints written, journal health, liveness, session counts)
+    and the recovery-latency distribution."""
+    attach_ledger(registry, "repro_fleet", fleet.stats,
+                  fields=["crashes", "detections", "restarts",
+                          "heartbeat_misses", "sessions_migrated",
+                          "migrations_warm", "migrations_cold_resume",
+                          "migrations_cold_full", "checkpoints_restored",
+                          "shed_recovering", "requests_while_down",
+                          "black_holed_frames", "flushed_replies",
+                          "migration_deferrals", "battery_refusals",
+                          "recovery_energy_mj", "journal_bytes_torn"],
+                  help_text="sharded fleet crash/recovery ledger")
+
+    def collect_shards():
+        out = []
+        for shard in fleet.shards:
+            labels = {"shard": shard.name}
+            journal = shard.journal
+            out.append(("repro_fleet_shard_alive",
+                        "1 when the shard is live", labels,
+                        1.0 if shard.alive else 0.0))
+            out.append(("repro_fleet_shard_sessions",
+                        "sessions currently owned", labels,
+                        float(len(shard.runtime.sessions))))
+            out.append(("repro_fleet_shard_crashes",
+                        "times this shard died", labels,
+                        float(shard.crash_count)))
+            out.append(("repro_fleet_checkpoints_written",
+                        "checkpoint frames durably appended", labels,
+                        float(journal.checkpoints_written)))
+            out.append(("repro_fleet_journal_bytes",
+                        "journal bytes on stable storage", labels,
+                        float(len(journal))))
+            out.append(("repro_fleet_journal_evictions",
+                        "journal index evictions (bounded state)", labels,
+                        float(journal.evictions)))
+            out.append(("repro_fleet_journal_torn_records",
+                        "torn frames seen during recovery", labels,
+                        float(journal.torn_records)))
+        return out
+
+    def collect_recovery():
+        stats = fleet.stats
+        cache = fleet.ticket_cache
+        return [
+            ("repro_fleet_recovery_p50_s",
+             "median crash-to-migrated virtual latency", {},
+             stats.recovery_p50_s()),
+            ("repro_fleet_recovery_p95_s",
+             "p95 crash-to-migrated virtual latency", {},
+             stats.recovery_p95_s()),
+            ("repro_fleet_ticket_cache_entries",
+             "resumable tickets currently cached", {},
+             float(len(cache))),
+            ("repro_fleet_ticket_cache_evictions",
+             "tickets evicted by the bounded cache", {},
+             float(cache.evictions)),
+            ("repro_fleet_ticket_cache_expired",
+             "tickets expired by rotation GC", {},
+             float(cache.expired)),
+        ]
+
+    registry.register_collector(collect_shards)
+    registry.register_collector(collect_recovery)

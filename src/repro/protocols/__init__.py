@@ -66,7 +66,7 @@ from .payment import (
 )
 from .kdf import derive_key_block, master_secret, prf
 from .records import RecordDecoder, RecordEncoder, make_record_pair
-from .recovery import RecoveryReport, ResilientSession
+from .recovery import ReconnectPolicy, RecoveryReport, ResilientSession
 from .reliable import (
     ARQConfig,
     ReliableEndpoint,
@@ -109,7 +109,7 @@ __all__ = [
     "FaultyChannel", "FaultModel", "FaultStats", "GilbertElliott",
     "ReliableLink", "ReliableEndpoint", "ReliableStats", "ARQConfig",
     "VirtualClock", "RetryBudgetExhausted",
-    "ResilientSession", "RecoveryReport",
+    "ResilientSession", "RecoveryReport", "ReconnectPolicy",
     "WTLSConnection", "wtls_connect",
     "WEPStation", "WEPFrame",
     "SecurityAssociation", "make_tunnel",

@@ -270,6 +270,7 @@ class _Session:
     shed: int = 0
     brownouts: int = 0
     outbox: List[bytes] = field(default_factory=list)
+    session_id: str = ""
 
 
 @dataclass(order=True)
@@ -323,6 +324,12 @@ class GatewayRuntime:
         self._tickers: List[Callable[[float], None]] = []
         self._outages: Dict[str, List[Tuple[float, float]]] = {}
         self._fault_rates: Dict[str, Tuple[float, DeterministicDRBG]] = {}
+        #: Called with ``(session_id, payload)`` for every answer the
+        #: runtime sends (served, degraded, or shed).  A supervisor one
+        #: layer up — the sharded fleet — uses it to track which
+        #: submitted requests have been answered without reading the
+        #: shard's internals (which vanish when the shard crashes).
+        self.answer_hook: Optional[Callable[[str, bytes], None]] = None
 
     # -- session management --------------------------------------------------
 
@@ -342,7 +349,8 @@ class GatewayRuntime:
             raise ValueError(f"session {session_id!r} already attached")
         handset_conn, gateway_side = wtls_connect(
             client, self.gateway.gateway_config, channel=channel)
-        self.sessions[session_id] = _Session(gateway_side, battery)
+        self.sessions[session_id] = _Session(
+            gateway_side, battery, session_id=session_id)
         return handset_conn
 
     def adopt_session(self, session_id: str, gateway_side: WTLSConnection,
@@ -352,7 +360,8 @@ class GatewayRuntime:
         :func:`~repro.protocols.wap.build_wap_world`)."""
         if session_id in self.sessions:
             raise ValueError(f"session {session_id!r} already attached")
-        self.sessions[session_id] = _Session(gateway_side, battery)
+        self.sessions[session_id] = _Session(
+            gateway_side, battery, session_id=session_id)
 
     # -- fault wiring --------------------------------------------------------
 
@@ -402,23 +411,60 @@ class GatewayRuntime:
         self._seq += 1
         self.stats.submitted += 1
 
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of this runtime's next internal event, or
+        ``None`` when it has nothing left to do.
+
+        A serve whose start time already passed (the server went idle
+        in the past) is due *now*; the fleet scheduler polls this to
+        interleave many shards on one shared clock.
+        """
+        next_arrival = (self._arrivals[0].time
+                        if self._arrivals else None)
+        if self._queue:
+            head_start = max(self._server_free_at, self._queue[0].arrival)
+            due = max(head_start, self.clock.now)
+            if next_arrival is None:
+                return due
+            return min(due, max(next_arrival, self.clock.now))
+        if next_arrival is None:
+            return None
+        return max(next_arrival, self.clock.now)
+
+    def step(self) -> bool:
+        """Process exactly one event (one serve or one admission).
+
+        Returns ``False`` when idle.  The serve-vs-admit choice is the
+        same as the historical monolithic loop: serve the queue head
+        when it can start no later than the next arrival (ties serve
+        first), otherwise admit the next arrival.
+        """
+        if not (self._arrivals or self._queue):
+            return False
+        next_arrival = (self._arrivals[0].time
+                        if self._arrivals else float("inf"))
+        if self._queue:
+            head_start = max(self._server_free_at,
+                             self._queue[0].arrival)
+            if head_start <= next_arrival:
+                self._serve_one()
+                return True
+        arrival = heapq.heappop(self._arrivals)
+        self._advance(arrival.time)
+        self._admit(arrival)
+        return True
+
     def run(self) -> RuntimeStats:
         """Drive the event loop until every request is answered."""
-        while self._arrivals or self._queue:
-            next_arrival = (self._arrivals[0].time
-                            if self._arrivals else float("inf"))
-            if self._queue:
-                head_start = max(self._server_free_at,
-                                 self._queue[0].arrival)
-                if head_start <= next_arrival:
-                    self._serve_one()
-                    continue
-            arrival = heapq.heappop(self._arrivals)
-            self._advance(arrival.time)
-            self._admit(arrival)
+        while self.step():
+            pass
+        self.flush_all_replies()
+        return self.stats
+
+    def flush_all_replies(self) -> None:
+        """Ship every session's batched outbox (end-of-run drain)."""
         for session in self.sessions.values():
             self._flush_replies(session)
-        return self.stats
 
     def _advance(self, when: float) -> None:
         if when > self.clock.now:
@@ -576,6 +622,19 @@ class GatewayRuntime:
 
     # -- reply path ----------------------------------------------------------
 
+    def send_control_reply(self, session_id: str, payload: bytes,
+                           shed_reason: Optional[str] = None) -> None:
+        """Answer a session outside the serve loop.
+
+        The supervisor path: a fleet migrating sessions off a dead
+        shard answers the orphaned requests (``GW-BUSY:
+        reason=recovering``) through the adopting runtime, with the
+        same logging, energy accounting, and answer-hook semantics as
+        a scheduled reply.
+        """
+        self._reply(self.sessions[session_id], payload,
+                    shed_reason=shed_reason)
+
     def _reply(self, session: _Session, payload: bytes,
                shed_reason: Optional[str] = None) -> None:
         """Answer one request, coalescing when configured.
@@ -605,6 +664,8 @@ class GatewayRuntime:
             self.stats.shed_energy_mj[shed_reason] = (
                 self.stats.shed_energy_mj.get(shed_reason, 0.0)
                 + millijoules)
+        if self.answer_hook is not None:
+            self.answer_hook(session.session_id, payload)
 
     def _flush_replies(self, session: _Session) -> None:
         if session.outbox:

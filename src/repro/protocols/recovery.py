@@ -31,11 +31,43 @@ from ..crypto.rng import DeterministicDRBG
 from ..observability import probe
 from .alerts import BadRecordMAC, HandshakeFailure
 from .handshake import ClientConfig, ServerConfig
+from .reliable import VirtualClock
 from .resumption import CachedSession, SessionCache, resume
 from .tls import SecureConnection, connect_with_fallback
 from .transport import ChannelClosed, DuplexChannel, Endpoint
 
 EndpointFactory = Callable[[], Tuple[Endpoint, Endpoint]]
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Virtual-time budget for the resumption path of a reconnect.
+
+    Each failed resumption attempt backs off exponentially (with
+    seeded jitter so concurrent sessions don't thunder in lockstep)
+    on the session's virtual clock; once the clock passes
+    ``deadline_s`` past the reconnect start — or ``max_attempts``
+    resumes have failed — the client stops burning the battery on
+    abbreviated handshakes that aren't landing and falls back to one
+    full handshake.
+    """
+
+    deadline_s: float = 2.0
+    base_backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 0.8
+    jitter_s: float = 0.02
+    max_attempts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
 
 
 @dataclass
@@ -44,12 +76,14 @@ class RecoveryReport:
 
     full_handshakes: int = 0
     resumptions: int = 0
+    resume_attempts: int = 0
     suite_fallbacks: int = 0
     handshake_link_failures: int = 0
     mac_failures: int = 0
     rehandshakes_after_mac: int = 0
     link_failures: int = 0
     redeliveries: int = 0
+    reconnect_deadline_exceeded: int = 0
     failures: List[str] = field(default_factory=list)
 
 
@@ -77,7 +111,9 @@ class ResilientSession:
                  endpoint_factory: Optional[EndpointFactory] = None,
                  session_rng: Optional[DeterministicDRBG] = None,
                  max_handshake_attempts: int = 4,
-                 cache_capacity: int = 32) -> None:
+                 cache_capacity: int = 32,
+                 reconnect_policy: Optional[ReconnectPolicy] = None,
+                 clock: Optional[VirtualClock] = None) -> None:
         self.client = client
         self.server = server
         self._factory = endpoint_factory or _default_factory
@@ -85,6 +121,9 @@ class ResilientSession:
         self.max_handshake_attempts = max_handshake_attempts
         self.client_cache = SessionCache(capacity=cache_capacity)
         self.server_cache = SessionCache(capacity=cache_capacity)
+        self.reconnect_policy = reconnect_policy
+        self.clock = clock if clock is not None else VirtualClock()
+        self._backoff_rng = DeterministicDRBG("resilient-backoff")
         self.report = RecoveryReport()
         self._client_conn: Optional[SecureConnection] = None
         self._server_conn: Optional[SecureConnection] = None
@@ -141,28 +180,60 @@ class ResilientSession:
 
         Tries the abbreviated resumption handshake first (no public-key
         work — the §3.2 economics); falls back to a full handshake when
-        either side has lost the cached session.  Returns which path
-        ran: ``"resumed"`` or ``"full"``.
+        either side has lost the cached session.  With a
+        :class:`ReconnectPolicy`, failed resumes retry under
+        exponential backoff with seeded jitter on the virtual clock
+        until the per-reconnect deadline or attempt budget runs out
+        (``report.reconnect_deadline_exceeded`` counts deadline
+        exits).  Returns which path ran: ``"resumed"`` or ``"full"``.
         """
         if self._session_id is not None:
+            attempts = (1 if self.reconnect_policy is None
+                        else self.reconnect_policy.max_attempts)
+            if self._try_resume(attempts):
+                return "resumed"
+        self.establish()
+        return "full"
+
+    def _try_resume(self, max_attempts: int) -> bool:
+        policy = self.reconnect_policy
+        started = self.clock.now
+        backoff = policy.base_backoff_s if policy is not None else 0.0
+        for attempt in range(max_attempts):
+            if (policy is not None
+                    and self.clock.now - started >= policy.deadline_s):
+                self.report.reconnect_deadline_exceeded += 1
+                self.report.failures.append(
+                    f"resume: deadline {policy.deadline_s}s exceeded "
+                    f"after {attempt} attempts")
+                probe.event("recovery.reconnect-deadline",
+                            attempts=attempt,
+                            deadline_s=policy.deadline_s)
+                return False
+            self.report.resume_attempts += 1
             endpoints = self._factory()
             try:
-                with probe.span("recovery.reconnect", path="resume"):
+                with probe.span("recovery.reconnect", path="resume",
+                                attempt=attempt):
                     client_session, server_session = resume(
                         self.client, self.server,
                         self.client_cache, self.server_cache,
                         self._session_id, endpoints=endpoints)
             except (HandshakeFailure, ChannelClosed) as exc:
-                self.report.failures.append(f"resume: {exc}")
+                self.report.failures.append(f"resume[{attempt}]: {exc}")
+                if policy is not None:
+                    pause = min(backoff, policy.max_backoff_s)
+                    pause += self._backoff_rng.random() * policy.jitter_s
+                    self.clock.advance_to(self.clock.now + pause)
+                    backoff *= policy.backoff_factor
             else:
                 self.report.resumptions += 1
                 self._client_conn = SecureConnection(
                     client_session, endpoints[0])
                 self._server_conn = SecureConnection(
                     server_session, endpoints[1])
-                return "resumed"
-        self.establish()
-        return "full"
+                return True
+        return False
 
     def teardown(self) -> None:
         """Alert-driven teardown: the session is no longer trustworthy.

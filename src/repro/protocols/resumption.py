@@ -45,20 +45,50 @@ class CachedSession:
 
 @dataclass
 class SessionCache:
-    """A bounded FIFO cache of resumable sessions."""
+    """A bounded cache of resumable sessions.
+
+    Two defences keep fleet-shared resumption state from growing (or
+    aging) without limit — the same discipline the DoS responder
+    applies to its pending-handshake table:
+
+    * **bounded capacity with seeded eviction** — beyond ``capacity``
+      a victim is evicted; with an ``eviction_rng`` the victim is
+      *seeded-random* (deterministic per run, unpredictable to an
+      adversary trying to pin a chosen entry for eviction), otherwise
+      the historical FIFO order applies.  Every eviction counts.
+    * **rotation GC** — :meth:`rotate` advances a generation counter;
+      with ``generation_limit`` set, entries not re-stored within the
+      last ``generation_limit`` generations are expired.  Tickets
+      therefore have a bounded lifetime measured in rotation epochs.
+    """
 
     capacity: int = 32
     _entries: Dict[bytes, CachedSession] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
+    rotations: int = 0
+    expired: int = 0
+    eviction_rng: Optional[DeterministicDRBG] = None
+    generation_limit: int = 0
+    _generation: int = 0
+    _generations: Dict[bytes, int] = field(default_factory=dict)
 
     def store(self, entry: CachedSession) -> None:
-        """Insert, evicting the oldest entry beyond capacity."""
+        """Insert, evicting one victim beyond capacity."""
         if len(self._entries) >= self.capacity and \
                 entry.session_id not in self._entries:
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
+            if self.eviction_rng is not None:
+                victims = sorted(self._entries)
+                victim = victims[
+                    self.eviction_rng.randrange(len(victims))]
+            else:
+                victim = next(iter(self._entries))
+            del self._entries[victim]
+            self._generations.pop(victim, None)
+            self.evictions += 1
         self._entries[entry.session_id] = entry
+        self._generations[entry.session_id] = self._generation
 
     def lookup(self, session_id: bytes) -> Optional[CachedSession]:
         """Fetch a cached session, counting hit/miss."""
@@ -72,6 +102,31 @@ class SessionCache:
     def invalidate(self, session_id: bytes) -> None:
         """Drop one session (e.g. after a Finished failure)."""
         self._entries.pop(session_id, None)
+        self._generations.pop(session_id, None)
+
+    def touch(self, session_id: bytes) -> None:
+        """Refresh an entry's generation (it was used recently)."""
+        if session_id in self._entries:
+            self._generations[session_id] = self._generation
+
+    def rotate(self) -> int:
+        """Advance one GC epoch; expire entries older than the limit.
+
+        Returns how many entries expired.  With ``generation_limit``
+        of zero, rotation only advances the epoch (GC disabled).
+        """
+        self._generation += 1
+        self.rotations += 1
+        if self.generation_limit <= 0:
+            return 0
+        cutoff = self._generation - self.generation_limit
+        stale = [session_id for session_id, born
+                 in self._generations.items() if born < cutoff]
+        for session_id in stale:
+            del self._entries[session_id]
+            del self._generations[session_id]
+        self.expired += len(stale)
+        return len(stale)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -178,6 +233,10 @@ def resume(client: ClientConfig, server: ServerConfig,
         client_cache.invalidate(session_id)
         raise HandshakeFailure("resume server Finished mismatch")
 
+    # A successful resumption refreshes both entries' GC generation:
+    # live sessions survive rotation, abandoned ones age out.
+    client_cache.touch(session_id)
+    server_cache.touch(offered_id)
     return client_session, server_session
 
 

@@ -1,0 +1,111 @@
+"""Checkpoint journal: framing, torn tails, bounded seeded eviction."""
+
+from repro.fleet import CheckpointJournal, SessionSnapshot
+
+
+def snap(session_id: str, mutation: int = 0,
+         enc_sequence: int = 7) -> SessionSnapshot:
+    return SessionSnapshot(
+        session_id=session_id, suite_name="RSA_WITH_AES_128_CBC_SHA",
+        enc_key=b"k" * 16, enc_mac_key=b"m" * 20, enc_iv=b"i" * 8,
+        enc_sequence=enc_sequence,
+        dec_key=b"K" * 16, dec_mac_key=b"M" * 20, dec_iv=b"I" * 8,
+        dec_highest_sequence=5, dec_received=4, dec_seen=(1, 2, 4, 5),
+        discarded=1, ticket=b"t" * 16,
+        battery_remaining_uj=4_321_000, mutation=mutation)
+
+
+class TestRoundTrip:
+    def test_latest_durable_frame_per_session_wins(self):
+        journal = CheckpointJournal("shard-0")
+        journal.append(snap("a", mutation=0, enc_sequence=1))
+        journal.append(snap("b", mutation=0, enc_sequence=2))
+        journal.append(snap("a", mutation=1, enc_sequence=9))
+        recovered, torn = journal.recover()
+        assert torn == 0
+        assert sorted(recovered) == ["a", "b"]
+        assert recovered["a"].enc_sequence == 9
+        assert recovered["a"].mutation == 1
+        assert journal.checkpoints_written == 3
+
+    def test_recovered_snapshot_is_byte_faithful(self):
+        journal = CheckpointJournal("shard-0")
+        original = snap("a", mutation=3)
+        journal.append(original)
+        recovered, _ = journal.recover()
+        assert recovered["a"] == original
+        assert recovered["a"].to_bytes() == original.to_bytes()
+
+    def test_forget_and_reset(self):
+        journal = CheckpointJournal("shard-0")
+        journal.append(snap("a"))
+        journal.forget("a")
+        assert journal.recover()[0] == {}
+        journal.append(snap("b"))
+        journal.reset()
+        assert len(journal) == 0
+        assert journal.recover() == ({}, 0)
+
+
+class TestTornTail:
+    def test_torn_final_frame_is_dropped_earlier_frames_survive(self):
+        journal = CheckpointJournal("shard-0")
+        journal.append(snap("a", mutation=0, enc_sequence=1))
+        journal.append(snap("a", mutation=1, enc_sequence=9))
+        assert journal.tear_tail(3) == 3
+        recovered, torn = journal.recover()
+        assert torn == 1
+        # The torn frame never became durable; the previous one wins.
+        assert recovered["a"].enc_sequence == 1
+        assert journal.torn_records == 1
+
+    def test_tear_beyond_buffer_is_clamped(self):
+        journal = CheckpointJournal("shard-0")
+        journal.append(snap("a"))
+        lost = journal.tear_tail(10 ** 9)
+        assert lost == len(snap("a").to_bytes()) + 8
+        # The whole log vanished: nothing durable, no partial frame.
+        assert journal.recover() == ({}, 0)
+
+    def test_tear_of_nothing_is_zero(self):
+        journal = CheckpointJournal("shard-0")
+        assert journal.tear_tail(16) == 0
+        assert journal.tear_tail(0) == 0
+
+    def test_frame_sizes_track_durable_frames(self):
+        journal = CheckpointJournal("shard-0")
+        journal.append(snap("a"))
+        journal.append(snap("b"))
+        sizes = journal.frame_sizes()
+        assert len(sizes) == 2
+        assert sum(sizes) == len(journal)
+
+
+class TestBoundedIndex:
+    def test_seeded_eviction_beyond_limit(self):
+        journal = CheckpointJournal("shard-0", seed=11, index_limit=4)
+        for index in range(10):
+            journal.append(snap(f"s{index}"))
+        assert journal.tracked_sessions() == 4
+        assert journal.evictions == 6
+        recovered, _ = journal.recover()
+        # Evicted sessions' frames are untrusted history.
+        assert len(recovered) == 4
+
+    def test_eviction_is_seed_deterministic(self):
+        def survivors(seed):
+            journal = CheckpointJournal("shard-0", seed=seed, index_limit=3)
+            for index in range(8):
+                journal.append(snap(f"s{index}"))
+            return sorted(journal.recover()[0])
+
+        assert survivors(7) == survivors(7)
+
+    def test_rewriting_an_indexed_session_never_evicts(self):
+        journal = CheckpointJournal("shard-0", index_limit=2)
+        journal.append(snap("a"))
+        journal.append(snap("b"))
+        for mutation in range(5):
+            journal.append(snap("a", mutation=mutation))
+        assert journal.evictions == 0
+        assert journal.tracked_sessions() == 2

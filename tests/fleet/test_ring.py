@@ -1,0 +1,50 @@
+"""Consistent-hash ring: determinism, minimal movement, eligibility."""
+
+import pytest
+
+from repro.fleet import ConsistentRing
+
+SHARDS = ["shard-0", "shard-1", "shard-2", "shard-3"]
+KEYS = [f"handset-{index:02d}" for index in range(64)]
+
+
+def test_owner_is_deterministic():
+    left = ConsistentRing(SHARDS)
+    right = ConsistentRing(SHARDS)
+    assert [left.owner(key) for key in KEYS] == \
+        [right.owner(key) for key in KEYS]
+
+
+def test_every_shard_owns_something():
+    spread = ConsistentRing(SHARDS).spread(KEYS)
+    assert set(spread) == set(SHARDS)
+    assert all(count > 0 for count in spread.values())
+    assert sum(spread.values()) == len(KEYS)
+
+
+def test_failover_moves_only_the_dead_shards_keys():
+    ring = ConsistentRing(SHARDS)
+    before = {key: ring.owner(key) for key in KEYS}
+    survivors = [name for name in SHARDS if name != "shard-1"]
+    after = {key: ring.owner(key, eligible=survivors) for key in KEYS}
+    for key in KEYS:
+        if before[key] != "shard-1":
+            # Consistent hashing: surviving placements never move.
+            assert after[key] == before[key]
+        else:
+            assert after[key] in survivors
+
+
+def test_single_survivor_takes_everything():
+    ring = ConsistentRing(SHARDS)
+    assert all(ring.owner(key, eligible=["shard-2"]) == "shard-2"
+               for key in KEYS)
+
+
+def test_empty_inputs_rejected():
+    with pytest.raises(ValueError):
+        ConsistentRing([])
+    with pytest.raises(ValueError):
+        ConsistentRing(SHARDS, vnodes=0)
+    with pytest.raises(ValueError):
+        ConsistentRing(SHARDS).owner("key", eligible=[])

@@ -1,0 +1,166 @@
+"""Satellite fixes riding the fleet PR.
+
+* the bounded resumption cache: seeded eviction and rotation GC;
+* :class:`~repro.protocols.recovery.ReconnectPolicy`: the reconnect
+  path honours a per-attempt virtual-time deadline with exponential
+  backoff and seeded jitter, surfacing ``reconnect_deadline_exceeded``
+  instead of hammering resumption forever.
+"""
+
+import pytest
+
+from repro.crypto.rng import DeterministicDRBG
+from repro.protocols.recovery import ReconnectPolicy, ResilientSession
+from repro.protocols.reliable import VirtualClock
+from repro.protocols.resumption import CachedSession, SessionCache
+from repro.protocols.transport import DuplexChannel
+
+
+def entry(tag: int) -> CachedSession:
+    return CachedSession(session_id=bytes([tag]) * 16,
+                         suite_name="RSA_WITH_AES_128_CBC_SHA",
+                         master=bytes(48))
+
+
+class TestBoundedSessionCache:
+    def test_fifo_eviction_without_rng(self):
+        cache = SessionCache(capacity=2)
+        for tag in range(4):
+            cache.store(entry(tag))
+        assert len(cache) == 2
+        assert cache.evictions == 2
+        assert cache.lookup(entry(0).session_id) is None
+        assert cache.lookup(entry(3).session_id) is not None
+
+    def test_seeded_eviction_is_deterministic(self):
+        def survivors(seed):
+            cache = SessionCache(
+                capacity=3,
+                eviction_rng=DeterministicDRBG(f"evict-{seed}"))
+            for tag in range(8):
+                cache.store(entry(tag))
+            return sorted(cache._entries)
+
+        assert survivors(5) == survivors(5)
+        assert SessionCache(capacity=3).evictions == 0
+
+    def test_restoring_an_existing_id_never_evicts(self):
+        cache = SessionCache(capacity=2)
+        cache.store(entry(0))
+        cache.store(entry(1))
+        cache.store(entry(0))
+        assert cache.evictions == 0
+        assert len(cache) == 2
+
+    def test_rotation_expires_untouched_entries(self):
+        cache = SessionCache(capacity=8, generation_limit=2)
+        cache.store(entry(0))
+        cache.rotate()
+        cache.store(entry(1))
+        cache.rotate()
+        # entry(0) was born 2 epochs ago; the third rotation passes the
+        # limit and expires it, while entry(1) survives one more.
+        expired = cache.rotate()
+        assert expired == 1
+        assert cache.expired == 1
+        assert cache.rotations == 3
+        assert cache.lookup(entry(0).session_id) is None
+        assert cache.lookup(entry(1).session_id) is not None
+
+    def test_touch_refreshes_the_generation(self):
+        cache = SessionCache(capacity=8, generation_limit=1)
+        cache.store(entry(0))
+        cache.rotate()
+        cache.touch(entry(0).session_id)
+        assert cache.rotate() == 0
+        assert len(cache) == 1
+
+    def test_rotation_without_limit_only_advances_the_epoch(self):
+        cache = SessionCache(capacity=8)
+        cache.store(entry(0))
+        for _ in range(5):
+            assert cache.rotate() == 0
+        assert len(cache) == 1
+
+
+class TestReconnectPolicy:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ReconnectPolicy(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            ReconnectPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            ReconnectPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            ReconnectPolicy(base_backoff_s=-1.0)
+
+    def test_legacy_path_makes_exactly_one_resume_attempt(
+            self, client_config, server_config):
+        session = ResilientSession(client_config, server_config)
+        session.establish()
+        session.server_cache.invalidate(session.session_id)
+        assert session.reconnect() == "full"
+        assert session.report.resume_attempts == 1
+        assert session.report.reconnect_deadline_exceeded == 0
+
+    def test_deadline_exceeded_is_surfaced_and_falls_back_to_full(
+            self, client_config, server_config):
+        clock = VirtualClock()
+        session = ResilientSession(
+            client_config, server_config, clock=clock,
+            reconnect_policy=ReconnectPolicy(
+                deadline_s=0.5, base_backoff_s=1.0, max_attempts=10))
+        session.establish()
+        session.server_cache.invalidate(session.session_id)
+        assert session.reconnect() == "full"
+        # One failed resume, then the backoff (capped at the default
+        # max_backoff_s of 0.8) blows the 0.5 s deadline before
+        # attempt two.
+        assert session.report.resume_attempts == 1
+        assert session.report.reconnect_deadline_exceeded == 1
+        assert session.report.full_handshakes == 2
+        assert clock.now >= 0.8
+        assert any("deadline" in failure
+                   for failure in session.report.failures)
+
+    def test_backoff_retries_until_the_link_comes_back(
+            self, client_config, server_config):
+        clock = VirtualClock()
+        calls = {"n": 0}
+
+        def flaky_factory():
+            calls["n"] += 1
+            channel = DuplexChannel()
+            if calls["n"] in (2, 3):     # the two resume tries that fail
+                channel.close()
+            return channel.endpoint_a(), channel.endpoint_b()
+
+        session = ResilientSession(
+            client_config, server_config,
+            endpoint_factory=flaky_factory, clock=clock,
+            reconnect_policy=ReconnectPolicy(
+                deadline_s=10.0, base_backoff_s=0.1, backoff_factor=2.0,
+                jitter_s=0.01, max_attempts=5))
+        session.establish()              # factory call 1
+        assert session.reconnect() == "resumed"
+        assert session.report.resume_attempts == 3
+        assert session.report.resumptions == 1
+        assert session.report.reconnect_deadline_exceeded == 0
+        # Two backoffs elapsed on the virtual clock (0.1 + 0.2 plus
+        # seeded jitter, bounded by jitter_s per attempt).
+        assert 0.3 <= clock.now <= 0.32
+
+    def test_backoff_and_jitter_are_deterministic(
+            self, client_config, server_config):
+        def run():
+            clock = VirtualClock()
+            session = ResilientSession(
+                client_config, server_config, clock=clock,
+                reconnect_policy=ReconnectPolicy(
+                    deadline_s=5.0, base_backoff_s=0.05, max_attempts=3))
+            session.establish()
+            session.server_cache.invalidate(session.session_id)
+            session.reconnect()
+            return clock.now, session.report.resume_attempts
+
+        assert run() == run()

@@ -1,0 +1,138 @@
+"""Batched event scheduler: ordering, batching, sources, recurrence."""
+
+import pytest
+
+from repro.fleet import EventScheduler
+from repro.protocols.reliable import VirtualClock
+
+
+class FakeSource:
+    """A scripted work source: events at fixed times, in order."""
+
+    def __init__(self, times):
+        self.times = list(times)
+        self.stepped_at = []
+
+    def next_event_time(self):
+        return self.times[0] if self.times else None
+
+    def step(self):
+        if not self.times:
+            return False
+        self.stepped_at.append(self.times.pop(0))
+        return True
+
+
+class TestControlEvents:
+    def test_fires_in_time_then_schedule_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.at(2.0, lambda now: fired.append("late"))
+        sched.at(1.0, lambda now: fired.append("early-a"))
+        sched.at(1.0, lambda now: fired.append("early-b"))
+        sched.run()
+        assert fired == ["early-a", "early-b", "late"]
+
+    def test_same_tick_events_cost_one_batch(self):
+        sched = EventScheduler()
+        fired = []
+        for index in range(5):
+            sched.at(1.0, lambda now, i=index: fired.append(i))
+        assert sched.run() == 1
+        assert fired == [0, 1, 2, 3, 4]
+        assert sched.batches == 1
+        assert sched.events_fired == 5
+
+    def test_past_times_clamp_to_now(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        sched = EventScheduler(clock)
+        seen = []
+        sched.at(1.0, lambda now: seen.append(now))
+        sched.run()
+        assert seen == [5.0]
+
+    def test_cancelled_event_never_fires(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.at(1.0, lambda now: fired.append("no"))
+        sched.at(1.0, lambda now: fired.append("yes"))
+        event.cancel()
+        sched.run()
+        assert fired == ["yes"]
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            sched.after(-0.1, lambda now: None)
+
+
+class TestRecurring:
+    def test_recurring_rearms_until_cancelled(self):
+        sched = EventScheduler()
+        ticks = []
+
+        def tick(now):
+            ticks.append(round(now, 6))
+            if len(ticks) == 3:
+                handle.cancel()
+
+        handle = sched.every(0.5, tick)
+        sched.run()
+        assert ticks == [0.5, 1.0, 1.5]
+
+    def test_recurring_excluded_from_pending_oneshot(self):
+        sched = EventScheduler()
+        sched.every(1.0, lambda now: None)
+        assert sched.pending_oneshot() == 0
+        sched.at(2.0, lambda now: None)
+        assert sched.pending_oneshot() == 1
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().every(0.0, lambda now: None)
+
+
+class TestSources:
+    def test_interleaves_sources_with_control_events(self):
+        sched = EventScheduler()
+        source = FakeSource([0.5, 1.5])
+        sched.add_source(source)
+        fired = []
+        sched.at(1.0, lambda now: fired.append(now))
+        sched.run()
+        assert source.stepped_at == [0.5, 1.5]
+        assert fired == [1.0]
+        assert sched.clock.now == 1.5
+
+    def test_sources_step_in_registration_order(self):
+        sched = EventScheduler()
+        order = []
+
+        class Tagged(FakeSource):
+            def __init__(self, tag, times):
+                super().__init__(times)
+                self.tag = tag
+
+            def step(self):
+                order.append(self.tag)
+                return super().step()
+
+        sched.add_source(Tagged("a", [1.0]))
+        sched.add_source(Tagged("b", [1.0]))
+        sched.run()
+        assert order == ["a", "b"]
+
+    def test_idle_scheduler_reports_done(self):
+        sched = EventScheduler()
+        assert sched.next_time() is None
+        assert sched.run_batch() is False
+        assert sched.run() == 0
+
+    def test_stop_predicate_halts_the_loop(self):
+        sched = EventScheduler()
+        fired = []
+        sched.at(1.0, lambda now: fired.append(1))
+        sched.at(2.0, lambda now: fired.append(2))
+        sched.run(stop=lambda: bool(fired))
+        assert fired == [1]

@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Standalone failover-scenario runner for CI and local checks.
+
+Thin wrapper over ``python -m repro failover`` that works without
+installing the package: it puts ``src/`` on ``sys.path`` itself, so CI
+jobs and developers can run it from the repository root with no
+environment setup:
+
+    python tools/run_failover.py --seed 2003 --report report.json
+
+The JSON report is byte-stable per parameter set (sorted keys, rounded
+floats, virtual-clock timestamps only), so the CI job runs it twice
+and ``cmp``s the outputs — any hidden nondeterminism in the sharded
+fleet (crash injection, checkpoint restore, migration ordering) fails
+the build.  Exit status 0 when the end-to-end energy reconciliation
+holds against the handset battery ledgers, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.__main__ import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["failover", *sys.argv[1:]]))
