@@ -25,6 +25,12 @@ Gives the reproduction a front door:
   restores, resumption / re-handshake cold recovery, structured
   ``recovering`` sheds, exact energy reconciliation, byte-stable
   JSON report (the CI two-run ``cmp`` gate).
+* ``fleetwatch``     — the same failover run with the fleet
+  observability plane riding along: cross-shard journey traces
+  stitched through crash/re-home/restore, windowed goodput/latency/
+  energy series, and SLO burn-rate alerting — one byte-stable ops
+  report, plus optional fleet-scope JSONL / Prometheus / folded
+  flamegraph exports.
 """
 
 from __future__ import annotations
@@ -246,6 +252,40 @@ def _cmd_failover(args: argparse.Namespace) -> int:
     return 0 if result.reconciliation.ok else 1
 
 
+def _cmd_fleetwatch(args: argparse.Namespace) -> int:
+    from .analysis.fleetwatch import build_report, format_report
+    from .observability.export import (
+        fleet_flamegraph_folds,
+        fleet_jsonl,
+        prometheus_text,
+    )
+    from .observability.fleetwatch import run_fleetwatch
+
+    result = run_fleetwatch(
+        sessions=args.sessions,
+        shards=args.shards,
+        requests_per_session=args.requests,
+        interarrival_s=args.interarrival,
+        seed=args.seed,
+    )
+    text = format_report(build_report(result))
+    print(text, end="")
+    telemetry = result.failover.telemetry
+    if args.report:
+        with open(args.report, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(text)
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(fleet_jsonl(telemetry, result.store))
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(prometheus_text(telemetry))
+    if args.folded:
+        with open(args.folded, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(fleet_flamegraph_folds(telemetry, result.store))
+    return 0 if result.failover.reconciliation.ok else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -314,6 +354,23 @@ def main(argv=None) -> int:
     failover.add_argument("--report", metavar="PATH", default=None,
                           help="also write the JSON report here")
 
+    fleetwatch = sub.add_parser(
+        "fleetwatch",
+        help="watched failover run: traces + windows + SLO burn alerts")
+    fleetwatch.add_argument("--sessions", type=int, default=24)
+    fleetwatch.add_argument("--shards", type=int, default=4)
+    fleetwatch.add_argument("--requests", type=int, default=6)
+    fleetwatch.add_argument("--interarrival", type=float, default=0.35)
+    fleetwatch.add_argument("--seed", type=int, default=2003)
+    fleetwatch.add_argument("--report", metavar="PATH", default=None,
+                            help="also write the JSON ops report here")
+    fleetwatch.add_argument("--jsonl", metavar="PATH", default=None,
+                            help="write the fleet-scope JSONL trace log")
+    fleetwatch.add_argument("--metrics", metavar="PATH", default=None,
+                            help="write the final Prometheus scrape")
+    fleetwatch.add_argument("--folded", metavar="PATH", default=None,
+                            help="write shard-rooted folded flame stacks")
+
     args = parser.parse_args(argv)
     handlers = {
         "figures": _cmd_figures,
@@ -326,6 +383,7 @@ def main(argv=None) -> int:
         "conformance": _cmd_conformance,
         "survivability": _cmd_survivability,
         "failover": _cmd_failover,
+        "fleetwatch": _cmd_fleetwatch,
     }
     return handlers[args.command](args)
 

@@ -83,6 +83,10 @@ class SurvivabilityResult:
     reconciliation: EnergyReconciliation
     leftover_discarded: int = 0
     params: Dict[str, object] = field(default_factory=dict)
+    #: Windowed attacker-vs-user battery-drain split (mJ per window),
+    #: present only when ``energy_window_s`` was passed — the default
+    #: run (and its byte-stable report) is unchanged.
+    energy_split: Optional[Dict[str, object]] = None
 
     @property
     def benign_goodput(self) -> float:
@@ -146,7 +150,8 @@ def run_survivability(sessions: int = 32, requests_per_session: int = 4,
                       fault_rate: float = 0.0, seed: int = 2003,
                       battery_capacity_j: float = 5.0,
                       attacker_battery_j: float = 2.0,
-                      config: Optional[RuntimeConfig] = None
+                      config: Optional[RuntimeConfig] = None,
+                      energy_window_s: Optional[float] = None
                       ) -> SurvivabilityResult:
     """One seeded mixed benign/attack run on a single virtual clock.
 
@@ -156,6 +161,12 @@ def run_survivability(sessions: int = 32, requests_per_session: int = 4,
     ``attacker_fraction`` of total traffic.  Every benign request is
     answered (served / degraded / structured shed), every millijoule
     reconciles, and the whole run is a pure function of its parameters.
+
+    ``energy_window_s`` (opt-in) additionally tracks the
+    attacker-vs-user battery-drain split as windowed series
+    (``result.energy_split`` with ``user_mj`` / ``attacker_mj``
+    :class:`~repro.observability.timeseries.WindowedSeries`); the run
+    itself — and the default survivability report — is unchanged.
     """
     if not 0.0 <= attacker_fraction < 1.0:
         raise ValueError("attacker fraction must be in [0, 1)")
@@ -218,6 +229,30 @@ def run_survivability(sessions: int = 32, requests_per_session: int = 4,
 
         runtime.add_ticker(rotate)
 
+        energy_split: Optional[Dict[str, object]] = None
+        if energy_window_s is not None:
+            from ..observability.timeseries import WindowedSeries
+            energy_split = {
+                "user_mj": WindowedSeries("user_mj", energy_window_s),
+                "attacker_mj": WindowedSeries("attacker_mj",
+                                              energy_window_s),
+            }
+            drained = {"user": 0.0, "attacker": 0.0}
+
+            def sample_energy(now: float) -> None:
+                user = sum((b.capacity_j - b.remaining_j) * 1000.0
+                           for b in batteries.values())
+                attacker = sum(
+                    (a.battery.capacity_j - a.battery.remaining_j) * 1000.0
+                    for a in population.adversaries)
+                energy_split["user_mj"].inc(now, user - drained["user"])
+                energy_split["attacker_mj"].inc(
+                    now, attacker - drained["attacker"])
+                drained["user"] = user
+                drained["attacker"] = attacker
+
+            runtime.add_ticker(sample_energy)
+
         session_ids = sorted(handsets)
         for round_index in range(requests_per_session):
             for slot, session_id in enumerate(session_ids):
@@ -250,6 +285,8 @@ def run_survivability(sessions: int = 32, requests_per_session: int = 4,
             runtime.sessions[sid].conn.discarded
             for sid in session_ids) - leftover_before
         population.finish(clock.now)
+        if energy_split is not None:
+            sample_energy(clock.now)  # final flush into the last window
 
         replies: List[str] = []
         for session_id in session_ids:
@@ -281,4 +318,5 @@ def run_survivability(sessions: int = 32, requests_per_session: int = 4,
             "battery_capacity_j": battery_capacity_j,
             "attacker_battery_j": attacker_battery_j,
         },
+        energy_split=energy_split,
     )

@@ -42,6 +42,8 @@ from ..crypto.rng import DeterministicDRBG
 from ..hardware.battery import Battery, BatteryEmpty
 from ..hardware.energy import EnergyModel
 from ..observability import probe
+from ..observability.metrics import quantile_of
+from ..observability.tracecontext import TraceContext, attach, baggage_attrs
 from ..protocols.alerts import HandshakeFailure
 from ..protocols.certificates import CertificateAuthority
 from ..protocols.gateway_runtime import (
@@ -167,20 +169,13 @@ class FleetStats:
     recovery_latencies: List[float] = field(default_factory=list)
 
     def recovery_p95_s(self) -> float:
-        """p95 virtual-time session recovery latency (crash->migrated)."""
-        if not self.recovery_latencies:
-            return 0.0
-        ordered = sorted(self.recovery_latencies)
-        index = min(len(ordered) - 1,
-                    int(0.95 * (len(ordered) - 1) + 0.5))
-        return ordered[index]
+        """p95 virtual-time session recovery latency (crash->migrated),
+        via the shared fixed-bucket interpolation estimator."""
+        return quantile_of(self.recovery_latencies, 0.95)
 
     def recovery_p50_s(self) -> float:
         """Median virtual-time session recovery latency."""
-        if not self.recovery_latencies:
-            return 0.0
-        ordered = sorted(self.recovery_latencies)
-        return ordered[len(ordered) // 2]
+        return quantile_of(self.recovery_latencies, 0.5)
 
 
 class _Shard:
@@ -198,6 +193,7 @@ class _Shard:
         self.detected = False
         self.misses = 0
         self.crash_time = 0.0
+        self.detected_time = 0.0
         self.crash_count = 0
         self.heartbeat: Optional[Event] = None
         # Stats ledgers of previous incarnations (a restart replaces
@@ -274,6 +270,14 @@ class ShardedFleet:
         self.client_configs: Dict[str, ClientConfig] = {}
         self.client_caches: Dict[str, SessionCache] = {}
         self.tickets: Dict[str, bytes] = {}
+        #: The per-session journey context (trace id + baggage); warm
+        #: restores re-read it from the checkpoint, cold tiers from
+        #: here — the fleet-memory propagation path.
+        self.trace_contexts: Dict[str, TraceContext] = {}
+        #: ``to_bytes()`` cache — contexts change only at attach and
+        #: migration, so checkpoints reuse the serialized form instead
+        #: of re-encoding on every answered request.
+        self._ctx_bytes: Dict[str, bytes] = {}
         self.mutations: Dict[str, int] = {}
         self.unanswered: Dict[str, Deque[str]] = {}
         self.reply_buffer: Dict[str, List[bytes]] = {}
@@ -297,6 +301,7 @@ class ShardedFleet:
         runtime = GatewayRuntime(
             gateway, config=self.config.runtime, clock=self.clock)
         runtime.answer_hook = self._on_answer
+        runtime.shard_label = name
         journal = CheckpointJournal(
             name, seed=self.seed,
             index_limit=self.config.journal_index_limit)
@@ -321,8 +326,20 @@ class ShardedFleet:
         client = ClientConfig(
             rng=DeterministicDRBG((session_id, self.seed).__repr__()),
             ca=self.ca, expected_server=GATEWAY_NAME)
-        handset_conn, gateway_conn, client_session = _fleet_connect(
-            client, owner.gateway.gateway_config, channel)
+        handset_class = (f"{battery.capacity_j:g}J" if battery is not None
+                         else "unpowered")
+        ctx = TraceContext.root(
+            "session-journey", session_id, self.seed,
+            session=session_id, handset_class=handset_class,
+            shard=owner.name)
+        self.trace_contexts[session_id] = ctx
+        self._ctx_bytes[session_id] = ctx.to_bytes()
+        with probe.span("fleet.attach", shard=owner.name,
+                        session=session_id) as span:
+            if span is not None:
+                attach(span, ctx)
+            handset_conn, gateway_conn, client_session = _fleet_connect(
+                client, owner.gateway.gateway_config, channel)
         owner.runtime.adopt_session(session_id, gateway_conn, battery)
         self.placement[session_id] = owner.name
         self.channels[session_id] = channel
@@ -389,7 +406,8 @@ class ShardedFleet:
             session_id, conn, ticket=self.tickets[session_id],
             battery_remaining_mj=(
                 battery.remaining_j * 1000.0 if battery else 0.0),
-            mutation=self.mutations[session_id])
+            mutation=self.mutations[session_id],
+            trace_ctx=self._ctx_bytes.get(session_id, b""))
         self.mutations[session_id] += 1
         shard.journal.append(snapshot)
 
@@ -419,8 +437,27 @@ class ShardedFleet:
         if sizes and self._crash_rng.random() < 0.5:
             torn = self._crash_rng.randrange(1, sizes[-1] + 1)
             self.stats.journal_bytes_torn += shard.journal.tear_tail(torn)
+        # Span-stack hygiene: anything the dead shard left open must
+        # not stay on the stack for the next shard's spans to nest
+        # under — abort it (``aborted=true``) at the crash instant.
+        telemetry = probe.active
+        if telemetry is not None:
+            telemetry.abort_where(
+                lambda span: span.attrs.get("shard") == shard.name,
+                abort_reason="shard-crash")
         probe.event("fleet.crash", shard=shard.name, at_s=round(now, 6),
                     sessions=len(shard.runtime.sessions))
+        if telemetry is not None:
+            # One orphan milestone per session, stamped with the
+            # journey context so the crash joins the stitched trace.
+            for session_id in sorted(
+                    sid for sid, owner in self.placement.items()
+                    if owner == shard.name):
+                ctx = self.trace_contexts.get(session_id)
+                attrs = baggage_attrs(ctx) if ctx is not None else {}
+                attrs.update(session=session_id, shard=shard.name,
+                             at_s=round(now, 6))
+                telemetry.event("fleet.session_orphaned", **attrs)
 
     def _make_heartbeat(self, shard: _Shard) -> Callable[[float], None]:
         def beat(now: float) -> None:
@@ -434,6 +471,7 @@ class ShardedFleet:
             if shard.misses >= self.config.heartbeat_miss_threshold \
                     and not shard.detected:
                 shard.detected = True
+                shard.detected_time = now
                 self.stats.detections += 1
                 probe.event("fleet.crash_detected", shard=shard.name,
                             at_s=round(now, 6))
@@ -478,42 +516,70 @@ class ShardedFleet:
         for session_id in orphans:
             crashed.journal.forget(session_id)
 
+    def _session_context(self, session_id: str, snapshot) -> TraceContext:
+        """The journey context for a migrating session: a *warm*
+        restore reads it from the durable checkpoint (the propagation
+        path a real fleet would use — supervisor memory dies with the
+        supervisor); the cold tiers fall back to fleet memory, the way
+        they fall back to the shared ticket store."""
+        if snapshot is not None and getattr(snapshot, "trace_ctx", b""):
+            try:
+                return TraceContext.from_bytes(snapshot.trace_ctx)
+            except ValueError:
+                pass
+        return self.trace_contexts[session_id]
+
     def _migrate_session(self, session_id: str, crashed: _Shard,
                          target: _Shard, snapshot, now: float) -> None:
         channel = self.channels[session_id]
         battery = self.batteries[session_id]
-        if snapshot is not None:
-            # Warm: rebuild from the durable checkpoint, leapfrogging
-            # any reply sequence the dead shard may have consumed
-            # after its last durable frame.
-            self._black_hole_inbound(session_id, channel)
-            conn = restore_connection(
-                snapshot, channel.endpoint_b(),
-                sequence_skip=self.config.sequence_skip)
-            target.runtime.adopt_session(session_id, conn, battery)
-            self.stats.migrations_warm += 1
-            self.stats.checkpoints_restored += 1
-            path = "warm"
-        else:
-            path = self._cold_recover(session_id, target, channel, battery)
-        self.placement[session_id] = target.name
-        self.stats.sessions_migrated += 1
-        self.stats.recovery_latencies.append(now - crashed.crash_time)
-        probe.event("fleet.session_migrated", session=session_id,
-                    from_shard=crashed.name, to_shard=target.name,
-                    path=path)
-        # Everything the handset is still waiting on was lost with the
-        # shard: answer each with a structured recovering shed (charged
-        # like any reply) instead of leaving silence.
-        pending = len(self.unanswered[session_id])
-        for _ in range(pending):
-            self.stats.shed_recovering += 1
-            target.runtime.send_control_reply(
-                session_id,
-                busy_reply("recovering",
-                           retry_after_s=self.config.failover_delay_s),
-                shed_reason="recovering")
-        self._checkpoint(session_id)
+        ctx = self._session_context(session_id, snapshot)
+        with probe.span("fleet.recover", shard=target.name,
+                        session=session_id, from_shard=crashed.name,
+                        crashed_at_s=round(crashed.crash_time, 6),
+                        detected_at_s=round(crashed.detected_time, 6)
+                        ) as span:
+            if span is not None:
+                attach(span, ctx)
+            if snapshot is not None:
+                # Warm: rebuild from the durable checkpoint,
+                # leapfrogging any reply sequence the dead shard may
+                # have consumed after its last durable frame.
+                self._black_hole_inbound(session_id, channel)
+                conn = restore_connection(
+                    snapshot, channel.endpoint_b(),
+                    sequence_skip=self.config.sequence_skip)
+                target.runtime.adopt_session(session_id, conn, battery)
+                self.stats.migrations_warm += 1
+                self.stats.checkpoints_restored += 1
+                path = "warm"
+            else:
+                path = self._cold_recover(session_id, target, channel,
+                                          battery)
+            self.placement[session_id] = target.name
+            moved = ctx.with_baggage(shard=target.name)
+            self.trace_contexts[session_id] = moved
+            self._ctx_bytes[session_id] = moved.to_bytes()
+            self.stats.sessions_migrated += 1
+            self.stats.recovery_latencies.append(now - crashed.crash_time)
+            if span is not None:
+                span.set(tier=path,
+                         recovery_s=round(now - crashed.crash_time, 6))
+            probe.event("fleet.session_migrated", session=session_id,
+                        from_shard=crashed.name, to_shard=target.name,
+                        path=path)
+            # Everything the handset is still waiting on was lost with
+            # the shard: answer each with a structured recovering shed
+            # (charged like any reply) instead of leaving silence.
+            pending = len(self.unanswered[session_id])
+            for _ in range(pending):
+                self.stats.shed_recovering += 1
+                target.runtime.send_control_reply(
+                    session_id,
+                    busy_reply("recovering",
+                               retry_after_s=self.config.failover_delay_s),
+                    shed_reason="recovering")
+            self._checkpoint(session_id)
 
     def _black_hole_inbound(self, session_id: str,
                             channel: DuplexChannel) -> None:

@@ -17,6 +17,7 @@ back is the acceptance ledger for the crash-fault-tolerance plane:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -70,13 +71,26 @@ def run_failover(sessions: int = 24, shards: int = 4,
                  crash_spacing_s: Optional[float] = None,
                  seed: int = 2003,
                  battery_capacity_j: float = 5.0,
-                 config: Optional[FleetConfig] = None) -> FailoverResult:
+                 config: Optional[FleetConfig] = None,
+                 instrument=None,
+                 probe_enabled: bool = True) -> FailoverResult:
     """One seeded multi-shard crash run with telemetry on.
 
     The crash plan is a staggered sweep killing every shard exactly
     once (so migrations always have survivors) spread across the
     request window; shards restart between crashes, so later crashes
     migrate sessions onto earlier casualties.
+
+    ``instrument`` is the observability seam: called with
+    ``(fleet, telemetry)`` after the fleet is built but before any
+    session attaches, it may return a finisher callable invoked after
+    the run loop drains (still inside the probe activation) — the
+    fleetwatch layer hooks its window sampler and final flush here
+    without forking the scenario.  ``probe_enabled=False`` runs the
+    identical scenario with the probe seam dark (no spans, no
+    activation — the zero-overhead baseline the observability bench
+    compares against); the returned reconciliation is then vacuous,
+    since nothing attributes energy.
     """
     if config is None:
         # Size the bounded stores *below* the per-shard session count:
@@ -104,9 +118,13 @@ def run_failover(sessions: int = 24, shards: int = 4,
         crash_spacing_s = max(
             horizon_s / max(1, shards),
             config.restart_delay_s + config.heartbeat_interval_s)
-    with probe.activate(telemetry):
+    activation = (probe.activate(telemetry) if probe_enabled
+                  else contextlib.nullcontext())
+    with activation:
         fleet = ShardedFleet(config=config, seed=seed, clock=clock)
-        export_fleet(telemetry.registry, fleet)
+        if probe_enabled:
+            export_fleet(telemetry.registry, fleet)
+        finisher = instrument(fleet, telemetry) if instrument else None
         session_ids = sorted(batteries)
         for session_id in session_ids:
             fleet.attach_session(session_id, battery=batteries[session_id])
@@ -122,6 +140,8 @@ def run_failover(sessions: int = 24, shards: int = 4,
                     when, session_id, ORIGIN_NAME,
                     f"req-{session_id}-{round_index}".encode())
         stats = fleet.run()
+        if finisher is not None:
+            finisher()
         counts = {"served": 0, "degraded": 0, "shed": 0}
         shed_reasons: Dict[str, int] = {}
         per_session: Dict[str, int] = {}

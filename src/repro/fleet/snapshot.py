@@ -39,7 +39,10 @@ from ..protocols.wtls import (
     WTLSRecordEncoder,
 )
 
-SNAPSHOT_VERSION = 1
+#: v1 had no trace context; v2 appends one length-prefixed
+#: ``trace_ctx`` field.  ``from_bytes`` accepts both, so journals
+#: written before the observability plane still recover.
+SNAPSHOT_VERSION = 2
 
 
 def _pack_bytes(out: List[bytes], blob: bytes) -> None:
@@ -94,6 +97,10 @@ class SessionSnapshot:
     ticket: bytes
     battery_remaining_uj: int
     mutation: int
+    #: Serialized :class:`~repro.observability.tracecontext.TraceContext`
+    #: (empty when tracing is off) — the checkpoint propagation path of
+    #: the fleet-wide journey trace.
+    trace_ctx: bytes = b""
 
     def to_bytes(self) -> bytes:
         """Versioned binary form (input to the checkpoint journal)."""
@@ -114,6 +121,7 @@ class SessionSnapshot:
         _pack_bytes(out, self.ticket)
         out.append(struct.pack(">q", self.battery_remaining_uj))
         out.append(struct.pack(">I", self.mutation))
+        _pack_bytes(out, self.trace_ctx)
         return b"".join(out)
 
     @classmethod
@@ -121,7 +129,7 @@ class SessionSnapshot:
         """Decode one snapshot; raises ``ValueError`` on damage."""
         reader = _Reader(raw)
         version = reader.take(1)[0]
-        if version != SNAPSHOT_VERSION:
+        if version not in (1, SNAPSHOT_VERSION):
             raise ValueError(f"unknown snapshot version {version}")
         session_id = reader.take_bytes().decode("ascii")
         suite_name = reader.take_bytes().decode("ascii")
@@ -140,6 +148,7 @@ class SessionSnapshot:
         ticket = reader.take_bytes()
         battery_remaining_uj = reader.take_i64()
         mutation = reader.take_u32()
+        trace_ctx = reader.take_bytes() if version >= 2 else b""
         if reader.pos != len(raw):
             raise ValueError("snapshot has trailing bytes")
         return cls(
@@ -149,13 +158,15 @@ class SessionSnapshot:
             dec_key=dec_key, dec_mac_key=dec_mac_key, dec_iv=dec_iv,
             dec_highest_sequence=dec_highest, dec_received=dec_received,
             dec_seen=seen, discarded=discarded, ticket=ticket,
-            battery_remaining_uj=battery_remaining_uj, mutation=mutation)
+            battery_remaining_uj=battery_remaining_uj, mutation=mutation,
+            trace_ctx=trace_ctx)
 
 
 def capture_connection(session_id: str, conn: WTLSConnection,
                        ticket: bytes = b"",
                        battery_remaining_mj: float = 0.0,
-                       mutation: int = 0) -> SessionSnapshot:
+                       mutation: int = 0,
+                       trace_ctx: bytes = b"") -> SessionSnapshot:
     """Snapshot one gateway-side connection's transferable state."""
     encoder = conn.encoder
     decoder = conn.decoder
@@ -170,7 +181,7 @@ def capture_connection(session_id: str, conn: WTLSConnection,
         dec_seen=tuple(sorted(decoder._seen)),
         discarded=conn.discarded, ticket=ticket,
         battery_remaining_uj=int(round(battery_remaining_mj * 1000.0)),
-        mutation=mutation)
+        mutation=mutation, trace_ctx=trace_ctx)
 
 
 def restore_connection(snapshot: SessionSnapshot, endpoint: Endpoint,

@@ -36,9 +36,25 @@ __all__ = [
     "prometheus_text",
     "span_tree",
     "flamegraph_folds",
+    "fleet_jsonl",
+    "fleet_flamegraph_folds",
     "rollup_table",
     "run_gateway_chaos",
     "ChaosTelemetryResult",
+    "TraceContext",
+    "FleetTraceStore",
+    "Journey",
+    "WindowedSeries",
+    "QuantileSketch",
+    "register_series",
+    "SloSpec",
+    "SloEngine",
+    "BurnRatePolicy",
+    "Alert",
+    "FleetWatch",
+    "FleetWatchConfig",
+    "FleetwatchResult",
+    "run_fleetwatch",
 ]
 
 _LAZY = {
@@ -64,9 +80,25 @@ _LAZY = {
     "prometheus_text": "export",
     "span_tree": "export",
     "flamegraph_folds": "export",
+    "fleet_jsonl": "export",
+    "fleet_flamegraph_folds": "export",
     "rollup_table": "export",
     "run_gateway_chaos": "scenario",
     "ChaosTelemetryResult": "scenario",
+    "TraceContext": "tracecontext",
+    "FleetTraceStore": "tracecontext",
+    "Journey": "tracecontext",
+    "WindowedSeries": "timeseries",
+    "QuantileSketch": "timeseries",
+    "register_series": "timeseries",
+    "SloSpec": "slo",
+    "SloEngine": "slo",
+    "BurnRatePolicy": "slo",
+    "Alert": "slo",
+    "FleetWatch": "fleetwatch",
+    "FleetWatchConfig": "fleetwatch",
+    "FleetwatchResult": "fleetwatch",
+    "run_fleetwatch": "fleetwatch",
 }
 
 

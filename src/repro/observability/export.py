@@ -94,6 +94,56 @@ def write_jsonl(telemetry: Telemetry, path) -> None:
         handle.write(to_jsonl(telemetry))
 
 
+def fleet_jsonl(telemetry: Telemetry, store) -> str:
+    """Fleet-scope JSONL: spans in the merged per-shard-stream order.
+
+    Same line schema as :func:`to_jsonl` except the header line is
+    ``type: "fleet"`` (stream inventory included) and every span line
+    carries its owning ``stream`` — spans appear in the
+    :meth:`~repro.observability.tracecontext.FleetTraceStore.merged`
+    ``(start_s, stream, span_id)`` order rather than creation order,
+    so the log reads as one interleaved fleet timeline.
+    """
+    merged = store.merged()
+    lines: List[str] = []
+    lines.append(_dumps({
+        "type": "fleet",
+        "trace_id": telemetry.trace_id,
+        "label": telemetry.label,
+        "streams": store.streams(),
+        "spans": len(merged),
+        "events": len(telemetry.events),
+        "energy_mj": telemetry.total_energy_mj(),
+        "unattributed_mj": telemetry.unattributed_mj,
+    }))
+    for start_s, stream, span_id, span in merged:
+        lines.append(_dumps({
+            "type": "span",
+            "id": span_id,
+            "stream": stream,
+            "parent": span.parent_id,
+            "name": span.name,
+            "start_s": start_s,
+            "end_s": span.end_s,
+            "attrs": {str(k): _scalar(v) for k, v in span.attrs.items()},
+            "events": [_event_dict(e) for e in span.events],
+            "energy_mj": span.energy_mj,
+            "cycles": span.cycles,
+        }))
+    for event in telemetry.events:
+        payload = _event_dict(event)
+        payload["type"] = "event"
+        lines.append(_dumps(payload))
+    for name, key, value in telemetry.registry.samples():
+        lines.append(_dumps({
+            "type": "metric",
+            "name": name,
+            "labels": {k: v for k, v in key},
+            "value": value,
+        }))
+    return "\n".join(lines) + "\n"
+
+
 def prometheus_text(telemetry: Telemetry) -> str:
     """The final metrics scrape in Prometheus exposition format."""
     return telemetry.registry.render()
@@ -148,6 +198,32 @@ def flamegraph_folds(telemetry: Telemetry) -> str:
         while node.parent_id is not None:
             node = by_id[node.parent_id]
             frames.append(node.name)
+        stack = ";".join(reversed(frames))
+        weights[stack] = weights.get(stack, 0.0) + span.energy_mj
+    lines = [f"{stack} {int(round(weights[stack] * 1000.0))}"
+             for stack in sorted(weights) if weights[stack] > 0.0]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def fleet_flamegraph_folds(telemetry: Telemetry, store) -> str:
+    """Folded stacks rooted at the owning shard stream.
+
+    Same weighting as :func:`flamegraph_folds`, but every stack is
+    prefixed with the stream the span belongs to in the fleet trace
+    store — the flamegraph reads per-shard first, then per-path, so
+    recovery energy shows up under the shard that paid for it.
+    """
+    by_id = {span.span_id: span for span in telemetry.spans}
+    stream_of = {span_id: stream
+                 for _start, stream, span_id, _span in store.merged()}
+    weights: Dict[str, float] = {}
+    for span in telemetry.spans:
+        frames = [span.name]
+        node = span
+        while node.parent_id is not None:
+            node = by_id[node.parent_id]
+            frames.append(node.name)
+        frames.append(stream_of.get(span.span_id, "fleet"))
         stack = ";".join(reversed(frames))
         weights[stack] = weights.get(stack, 0.0) + span.energy_mj
     lines = [f"{stack} {int(round(weights[stack] * 1000.0))}"

@@ -32,6 +32,58 @@ LabelKey = Tuple[Tuple[str, str], ...]
 #: Default histogram buckets (virtual seconds / generic magnitudes).
 DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, float("inf"))
 
+#: Finer-grained buckets for request/recovery latencies: the quantile
+#: interpolation below is only as sharp as the bucket grid, and the
+#: gateway's virtual-time latencies cluster between 5 ms and a few
+#: seconds of failover delay.
+LATENCY_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75,
+                   1.0, 1.5, 2.5, 5.0, 10.0, float("inf"))
+
+
+def interpolate_quantile(bounds: Sequence[float], counts: Sequence[int],
+                         q: float) -> float:
+    """The quantile of a fixed-bucket histogram, Prometheus-style.
+
+    Walks cumulative bucket counts to the bucket containing rank
+    ``q * total`` and linearly interpolates within it (lower edge of
+    the first bucket is 0.0).  An answer landing in the ``+Inf``
+    bucket clamps to the highest finite bound — the distribution's
+    tail is unknowable beyond the grid.  Deterministic: pure integer
+    walk plus one division, no sampling.
+    """
+    q = min(1.0, max(0.0, q))
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    lower = 0.0
+    for bound, count in zip(bounds, counts):
+        if count > 0 and cumulative + count >= target:
+            if bound == float("inf"):
+                return lower
+            fraction = (target - cumulative) / count
+            return lower + (bound - lower) * min(1.0, max(0.0, fraction))
+        cumulative += count
+        if bound != float("inf"):
+            lower = bound
+    return lower
+
+
+def quantile_of(values: Sequence[float], q: float,
+                buckets: Sequence[float] = LATENCY_BUCKETS) -> float:
+    """One-shot bucketed quantile of a raw value list (the shared
+    implementation behind the failover/survivability percentile
+    fields — no more ad-hoc sorted-index math per ledger)."""
+    bounds = tuple(buckets)
+    counts = [0] * len(bounds)
+    for value in values:
+        for index, bound in enumerate(bounds):
+            if value <= bound:
+                counts[index] += 1
+                break
+    return interpolate_quantile(bounds, counts, q)
+
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
     """Canonical, hashable, sorted form of a label set."""
@@ -149,6 +201,24 @@ class Histogram:
     def sum(self, **labels) -> float:
         """Sum of observations for one label set."""
         return self._sums.get(_label_key(labels), 0.0)
+
+    def quantile(self, q: float, **labels) -> float:
+        """Deterministic quantile estimate for one label set: linear
+        interpolation within the fixed buckets (see
+        :func:`interpolate_quantile` for the clamping rules)."""
+        counts = self._counts.get(_label_key(labels))
+        if counts is None:
+            return 0.0
+        return interpolate_quantile(self.buckets, counts, q)
+
+    def percentiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99),
+                    **labels) -> Dict[str, float]:
+        """A ``{"p50": ..., "p95": ...}`` map for one label set."""
+        out: Dict[str, float] = {}
+        for q in qs:
+            label = f"p{q * 100:g}".replace(".", "_")
+            out[label] = self.quantile(q, **labels)
+        return out
 
     def samples(self) -> List[Tuple[str, LabelKey, float]]:
         """Bucket/sum/count series, deterministically ordered."""
@@ -501,6 +571,19 @@ def export_fleet(registry: MetricsRegistry, fleet) -> None:
             out.append(("repro_fleet_journal_torn_records",
                         "torn frames seen during recovery", labels,
                         float(journal.torn_records)))
+            # Answer ledger summed across incarnations (restarts swap
+            # the live stats object; the retired ones still count).
+            ledgers = list(shard.retired_stats) + [shard.runtime.stats]
+            for field_name, help_text in (
+                    ("served", "requests served across incarnations"),
+                    ("degraded", "degraded answers across incarnations"),
+                    ("shed", "requests shed across incarnations"),
+                    ("energy_mj",
+                     "airlink energy charged across incarnations (mJ)")):
+                total = sum(getattr(stats, field_name)
+                            for stats in ledgers)
+                out.append((f"repro_fleet_shard_{field_name}",
+                            help_text, labels, float(total)))
         return out
 
     def collect_recovery():

@@ -144,12 +144,50 @@ class Telemetry:
         return span
 
     def end_span(self, span: Span) -> None:
-        """Close ``span``; enforces strict stack discipline."""
+        """Close ``span``; enforces strict stack discipline.
+
+        A span already force-closed by :meth:`abort_span` is a silent
+        no-op — the owning ``with`` block may still unwind after a
+        crash handler aborted the stack out from under it.
+        """
+        if span.end_s is not None and span.attrs.get("aborted") \
+                and span not in self._stack:
+            return
         if not self._stack or self._stack[-1] is not span:
             raise RuntimeError(
                 f"span {span.name!r} is not the innermost open span")
         self._stack.pop()
         span.end_s = float(self.clock.now)
+
+    def abort_span(self, span: Span, **attrs) -> List[Span]:
+        """Force-close ``span`` and everything nested inside it.
+
+        The crash-hygiene primitive: a shard killed mid-span cannot
+        unwind its own ``with`` blocks, and leaving its spans on the
+        stack would make the *next* shard's spans nest under a dead
+        owner.  Every popped span is stamped ``aborted=True`` (plus
+        any extra ``attrs``) and closed at the current virtual time.
+        Returns the aborted spans, outermost last.
+        """
+        if span not in self._stack:
+            raise RuntimeError(f"span {span.name!r} is not open")
+        aborted: List[Span] = []
+        while self._stack:
+            top = self._stack.pop()
+            top.end_s = float(self.clock.now)
+            top.set(aborted=True, **attrs)
+            aborted.append(top)
+            if top is span:
+                break
+        return aborted
+
+    def abort_where(self, predicate, **attrs) -> List[Span]:
+        """Abort the outermost open span matching ``predicate`` (and
+        everything nested inside it); returns ``[]`` if none match."""
+        for span in self._stack:
+            if predicate(span):
+                return self.abort_span(span, **attrs)
+        return []
 
     @contextlib.contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span]:

@@ -247,12 +247,10 @@ class RuntimeStats:
         return self.served + self.degraded + self.shed
 
     def p95_latency_s(self) -> float:
-        """p95 virtual-time latency of served+degraded requests."""
-        if not self.latencies:
-            return 0.0
-        ordered = sorted(self.latencies)
-        index = min(len(ordered) - 1, int(0.95 * (len(ordered) - 1) + 0.5))
-        return ordered[index]
+        """p95 virtual-time latency of served+degraded requests, via
+        the shared fixed-bucket interpolation estimator."""
+        from ..observability.metrics import quantile_of
+        return quantile_of(self.latencies, 0.95)
 
     def energy_per_served_mj(self) -> float:
         """Radio energy per successfully served request."""
@@ -330,6 +328,11 @@ class GatewayRuntime:
         #: submitted requests have been answered without reading the
         #: shard's internals (which vanish when the shard crashes).
         self.answer_hook: Optional[Callable[[str, bytes], None]] = None
+        #: Set by the sharded fleet so this runtime's telemetry spans
+        #: carry a ``shard`` attribute — the stream key the fleet
+        #: trace store partitions on.  ``None`` (standalone runtime)
+        #: adds nothing.
+        self.shard_label: Optional[str] = None
 
     # -- session management --------------------------------------------------
 
@@ -479,8 +482,11 @@ class GatewayRuntime:
         if telemetry is None:
             self._admit_inner(arrival)
             return
-        with telemetry.span("gateway.admit", session=arrival.session_id,
-                            origin=arrival.destination) as span:
+        attrs = {"session": arrival.session_id,
+                 "origin": arrival.destination}
+        if self.shard_label is not None:
+            attrs["shard"] = self.shard_label
+        with telemetry.span("gateway.admit", **attrs) as span:
             span.set(verdict=self._admit_inner(arrival))
 
     def _admit_inner(self, arrival: _Arrival) -> str:
@@ -536,7 +542,9 @@ class GatewayRuntime:
         if telemetry is None:
             self._serve_one_inner()
             return
-        with telemetry.span("gateway.serve") as span:
+        attrs = ({} if self.shard_label is None
+                 else {"shard": self.shard_label})
+        with telemetry.span("gateway.serve", **attrs) as span:
             session_id, outcome = self._serve_one_inner()
             span.set(session=session_id, outcome=outcome)
 

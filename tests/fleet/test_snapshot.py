@@ -94,6 +94,37 @@ class TestCodec:
             SessionSnapshot.from_bytes(raw)
 
 
+class TestVersionCompat:
+    def test_v2_carries_trace_context(self):
+        channel = DuplexChannel()
+        _, gateway = _make_world(RSA_WITH_AES_SHA, channel)
+        snapshot = capture_connection(
+            "s-00", gateway, trace_ctx=b"\x01ctx-bytes")
+        decoded = SessionSnapshot.from_bytes(snapshot.to_bytes())
+        assert decoded.trace_ctx == b"\x01ctx-bytes"
+
+    def test_v1_journals_still_decode(self):
+        # A v1 frame is a v2 frame minus the trailing length-prefixed
+        # trace_ctx field, with the version byte rolled back.
+        channel = DuplexChannel()
+        handset, gateway = _make_world(RSA_WITH_AES_SHA, channel)
+        _exchange(handset, gateway, b"warm-up")
+        snapshot = _snap(gateway, mutation=2)
+        assert snapshot.trace_ctx == b""
+        v2 = snapshot.to_bytes()
+        v1 = bytes([1]) + v2[1:-2]
+        decoded = SessionSnapshot.from_bytes(v1)
+        assert decoded == snapshot
+
+    def test_v1_frame_with_trailing_bytes_rejected(self):
+        channel = DuplexChannel()
+        _, gateway = _make_world(RSA_WITH_AES_SHA, channel)
+        v2 = _snap(gateway).to_bytes()
+        v1 = bytes([1]) + v2[1:-2]
+        with pytest.raises(ValueError):
+            SessionSnapshot.from_bytes(v1 + b"\x00\x00")
+
+
 class TestCrashEquivalence:
     @pytest.mark.parametrize("suite", ALL_SUITES, ids=lambda s: s.name)
     @pytest.mark.parametrize("path", ["fast", "reference"])

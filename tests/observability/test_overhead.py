@@ -60,6 +60,26 @@ def test_disabled_probes_within_budget():
         "doing real work while telemetry is off")
 
 
+def test_disabled_probe_fleet_path_within_budget():
+    """The fleet scenario with the probe seam dark must stay cheap:
+    the tracing / checkpoint-context plumbing added for fleetwatch is
+    behind the same single-``if`` contract as every other probe
+    point, so a dark failover run has the same generous budget."""
+    from repro.fleet.scenario import run_failover
+
+    assert probe.active is None
+    start = time.perf_counter()
+    result = run_failover(sessions=12, shards=3, requests_per_session=4,
+                          seed=11, probe_enabled=False)
+    elapsed = time.perf_counter() - start
+
+    assert result.telemetry.spans == []
+    assert elapsed < BUDGET_SECONDS, (
+        f"dark fleet run took {elapsed:.1f}s (budget {BUDGET_SECONDS}s); "
+        "the fleet instrumentation has likely regressed to doing real "
+        "work while telemetry is off")
+
+
 def test_disabled_record_path_records_nothing():
     encoder, decoder = _record_pair()
     record = encoder.encode(CONTENT_APPLICATION, b"quiet")

@@ -1,0 +1,152 @@
+"""SLO specs, burn-rate math, and the latched multi-window alerting."""
+
+import pytest
+
+from repro.observability.slo import (
+    BURN_CAP,
+    Alert,
+    BurnRatePolicy,
+    SloEngine,
+    SloSpec,
+)
+
+
+class TestSloSpec:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind="uptime")
+
+    def test_objective_must_be_fraction(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                SloSpec(name="x", kind="availability", objective=bad)
+
+    def test_latency_and_energy_need_threshold(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind="latency_quantile")
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind="energy_budget")
+
+    def test_burn_rate_math(self):
+        spec = SloSpec(name="a", kind="availability", objective=0.95)
+        assert spec.error_budget == pytest.approx(0.05)
+        assert spec.burn(good=100, total=100) == 0.0
+        # 5% bad at a 5% budget burns at exactly 1x sustainable.
+        assert spec.burn(good=95, total=100) == pytest.approx(1.0)
+        assert spec.burn(good=50, total=100) == pytest.approx(10.0)
+        assert spec.burn(good=0, total=0) == 0.0
+
+    def test_burn_capped(self):
+        spec = SloSpec(name="a", kind="availability", objective=0.999999)
+        assert spec.burn(good=0, total=100) == BURN_CAP
+
+    def test_energy_burn(self):
+        spec = SloSpec(name="e", kind="energy_budget", threshold=2.0)
+        assert spec.burn_budget(consumed=4.0, served=4) == pytest.approx(0.5)
+        assert spec.burn_budget(consumed=0.0, served=0) == 0.0
+        # Spending with zero served requests is infinitely over budget.
+        assert spec.burn_budget(consumed=1.0, served=0) == BURN_CAP
+
+    def test_burn_budget_only_for_energy(self):
+        spec = SloSpec(name="a", kind="availability")
+        with pytest.raises(ValueError):
+            spec.burn_budget(1.0, 1.0)
+
+
+class TestBurnRatePolicy:
+    def test_window_ordering_validated(self):
+        with pytest.raises(ValueError):
+            BurnRatePolicy(fast_windows=0)
+        with pytest.raises(ValueError):
+            BurnRatePolicy(fast_windows=4, slow_windows=2)
+        with pytest.raises(ValueError):
+            BurnRatePolicy(fast_burn=0.0)
+
+
+def _engine(policies=None):
+    return SloEngine(
+        [SloSpec(name="avail", kind="availability", objective=0.95)],
+        policies if policies is not None else
+        [BurnRatePolicy(name="page", fast_windows=1, slow_windows=3,
+                        fast_burn=10.0, slow_burn=2.0)])
+
+
+class TestSloEngine:
+    def test_duplicate_names_rejected(self):
+        specs = [SloSpec(name="a", kind="availability"),
+                 SloSpec(name="a", kind="availability")]
+        with pytest.raises(ValueError):
+            SloEngine(specs)
+
+    def test_fast_alone_does_not_fire(self):
+        engine = _engine()
+        # One terrible window after two perfect ones: fast burn is
+        # huge but the slow (3-window) average stays at 2/3 * 20 / 3.
+        engine.record_window("avail", 0.0, 1.0, good=100, total=100)
+        engine.record_window("avail", 1.0, 2.0, good=100, total=100)
+        engine.record_window("avail", 2.0, 3.0, good=97, total=100)
+        assert engine.alerts == []
+        assert not engine.ever_fired("avail")
+
+    def test_fires_when_fast_and_slow_exceeded(self):
+        engine = _engine()
+        engine.record_window("avail", 0.0, 1.0, good=40, total=100)
+        alerts = engine.alerts
+        assert len(alerts) == 1
+        assert alerts[0].state == "firing"
+        assert alerts[0].at_s == 1.0
+        assert alerts[0].burn_fast == pytest.approx(12.0)
+        assert engine.ever_fired("avail")
+
+    def test_clear_latched_not_rewritten(self):
+        engine = _engine()
+        engine.record_window("avail", 0.0, 1.0, good=40, total=100)
+        engine.record_window("avail", 1.0, 2.0, good=100, total=100)
+        states = [alert.state for alert in engine.alerts]
+        assert states == ["firing", "cleared"]
+        # A second incident appends; the first stays in the ledger.
+        engine.record_window("avail", 2.0, 3.0, good=100, total=100)
+        engine.record_window("avail", 3.0, 4.0, good=0, total=100)
+        states = [alert.state for alert in engine.alerts]
+        assert states == ["firing", "cleared", "firing"]
+
+    def test_no_duplicate_firing_while_already_firing(self):
+        engine = _engine()
+        engine.record_window("avail", 0.0, 1.0, good=0, total=100)
+        engine.record_window("avail", 1.0, 2.0, good=0, total=100)
+        assert [alert.state for alert in engine.alerts] == ["firing"]
+
+    def test_multiple_policies_independent(self):
+        engine = _engine(policies=[
+            BurnRatePolicy(name="page", fast_windows=1, slow_windows=2,
+                           fast_burn=10.0, slow_burn=2.0,
+                           severity="page"),
+            BurnRatePolicy(name="ticket", fast_windows=1, slow_windows=2,
+                           fast_burn=2.0, slow_burn=0.5,
+                           severity="ticket"),
+        ])
+        engine.record_window("avail", 0.0, 1.0, good=80, total=100)
+        # burn 4: the ticket fires, the page does not.
+        assert [(a.policy, a.state) for a in engine.alerts] == [
+            ("ticket", "firing")]
+
+    def test_summary_shape_and_rounding(self):
+        engine = _engine()
+        engine.record_window("avail", 0.0, 1.0, good=40, total=100)
+        summary = engine.summary()
+        spec = summary["specs"]["avail"]
+        assert spec["windows"] == 1
+        assert spec["attainment"] == pytest.approx(0.4)
+        assert spec["max_burn"] == pytest.approx(12.0)
+        assert spec["ever_fired"] is True
+        assert summary["policies"][0]["name"] == "page"
+        assert summary["alerts"][0]["state"] == "firing"
+        assert isinstance(summary["alerts"][0], dict)
+
+    def test_alert_as_dict_rounded(self):
+        alert = Alert(at_s=1.23456789, slo="a", policy="p",
+                      severity="page", state="firing",
+                      burn_fast=1.000000049, burn_slow=2.0)
+        d = alert.as_dict()
+        assert d["at_s"] == 1.234568
+        assert d["burn_fast"] == 1.0

@@ -1,0 +1,145 @@
+"""Windowed series, the mergeable quantile sketch, and the registry feed."""
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.timeseries import (
+    QuantileSketch,
+    WindowedSeries,
+    register_series,
+)
+
+
+class TestQuantileSketch:
+    def test_quantiles_interpolated(self):
+        sketch = QuantileSketch(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            sketch.observe(value)
+        assert sketch.total == 4
+        assert sketch.sum == 6.5
+        # p100 inside the (2, 4] bucket interpolates to its top edge.
+        assert sketch.quantile(1.0) == pytest.approx(4.0)
+        assert sketch.quantile(0.0) == 0.0
+        assert 0.0 < sketch.quantile(0.5) <= 2.0
+
+    def test_empty_sketch_quantile_zero(self):
+        assert QuantileSketch().quantile(0.95) == 0.0
+
+    def test_merge_adds_counts(self):
+        a = QuantileSketch(bounds=(1.0, 2.0))
+        b = QuantileSketch(bounds=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.total == 3
+        assert a.sum == pytest.approx(7.0)
+        # Merging is count addition: quantiles match a one-shot sketch.
+        direct = QuantileSketch(bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            direct.observe(value)
+        for q in (0.25, 0.5, 0.95):
+            assert a.quantile(q) == direct.quantile(q)
+
+    def test_merge_grid_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(bounds=(1.0,)).merge(
+                QuantileSketch(bounds=(2.0,)))
+
+    def test_count_le_is_strict(self):
+        sketch = QuantileSketch(bounds=(0.1, 0.25, 0.5))
+        for value in (0.05, 0.2, 0.3, 0.9):
+            sketch.observe(value)
+        # 0.3 lands in the (0.25, 0.5] bucket, whose top edge exceeds
+        # the threshold — strict counting excludes the whole bucket.
+        assert sketch.count_le(0.25) == 2
+        assert sketch.count_le(0.5) == 3
+
+
+class TestWindowedSeries:
+    def test_slide_must_divide_width(self):
+        with pytest.raises(ValueError):
+            WindowedSeries("x", 1.0, slide_s=0.3)
+        with pytest.raises(ValueError):
+            WindowedSeries("x", 1.0, slide_s=2.0)
+        with pytest.raises(ValueError):
+            WindowedSeries("x", 0.0)
+
+    def test_tumbling_covers_gaps(self):
+        series = WindowedSeries("x", 1.0)
+        series.inc(0.2, 5.0)
+        series.inc(3.7, 2.0)  # windows 1 and 2 are silent, not absent
+        windows = series.tumbling()
+        assert [w.start_s for w in windows] == [0.0, 1.0, 2.0, 3.0]
+        assert [w.sum for w in windows] == [5.0, 0.0, 0.0, 2.0]
+
+    def test_sliding_merges_adjacent_sub_buckets(self):
+        series = WindowedSeries("x", 1.0, slide_s=0.5)
+        series.inc(0.1, 1.0)
+        series.inc(0.6, 2.0)
+        series.inc(1.1, 4.0)
+        sums = [w.sum for w in series.sliding()]
+        # Windows starting at 0.0, 0.5, 1.0 (each one second wide).
+        assert sums == [3.0, 6.0, 4.0]
+
+    def test_window_lookup_requires_alignment(self):
+        series = WindowedSeries("x", 1.0, slide_s=0.5)
+        series.inc(0.7, 1.0)
+        assert series.window(0.0).sum == 1.0
+        with pytest.raises(ValueError):
+            series.window(0.5)  # sub-bucket boundary, not a window start
+
+    def test_boundary_observation_joins_starting_window(self):
+        series = WindowedSeries("x", 1.0)
+        series.inc(1.0, 3.0)
+        assert series.window(1.0).sum == 3.0
+        assert series.window(0.0).sum == 0.0
+
+    def test_quantile_tracking_per_window(self):
+        series = WindowedSeries("lat", 1.0, track_quantiles=True)
+        for value in (0.02, 0.04, 0.2):
+            series.observe(0.5, value)
+        window = series.window(0.0)
+        assert window.sketch.total == 3
+        assert window.sketch.quantile(0.5) > 0.0
+        d = window.as_dict()
+        assert set(d) >= {"start_s", "end_s", "count", "sum",
+                          "p50", "p95", "p99"}
+
+    def test_ring_evicts_lowest_index_first(self):
+        series = WindowedSeries("x", 1.0, capacity=2)
+        series.inc(0.5, 1.0)
+        series.inc(1.5, 1.0)
+        series.inc(2.5, 1.0)
+        assert series.evicted_buckets == 1
+        assert [w.start_s for w in series.tumbling()] == [1.0, 2.0]
+
+    def test_inc_zero_is_skipped(self):
+        series = WindowedSeries("x", 1.0)
+        series.inc(0.5, 0.0)
+        assert series.observations == 0
+        assert series.tumbling() == []
+
+    def test_deterministic_same_feed_same_windows(self):
+        def build():
+            series = WindowedSeries("x", 1.0, slide_s=0.5,
+                                    track_quantiles=True)
+            for step in range(40):
+                series.observe(step * 0.13, (step % 7) * 0.01)
+            return [w.as_dict() for w in series.tumbling()]
+
+        assert build() == build()
+
+
+class TestRegistryFeed:
+    def test_series_collector_exports_latest_window(self):
+        registry = MetricsRegistry()
+        series = WindowedSeries("fleet.served", 1.0)
+        register_series(registry, [series])
+        series.inc(0.2, 4.0)
+        series.inc(1.3, 2.0)
+        samples = {(name, key): value
+                   for name, key, value in registry.samples()}
+        key = (("series", "fleet.served"), ("window_start_s", "1.000000"))
+        assert samples[("repro_window_sum", key)] == 2.0
+        assert samples[("repro_window_count", key)] == 1.0

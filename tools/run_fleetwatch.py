@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Standalone fleetwatch runner for CI and local checks.
+
+Thin wrapper over ``python -m repro fleetwatch`` that works without
+installing the package: it puts ``src/`` on ``sys.path`` itself, so CI
+jobs and developers can run it from the repository root with no
+environment setup:
+
+    python tools/run_fleetwatch.py --seed 2003 --report ops.json
+
+The ops report — stitched cross-shard journey traces, windowed
+goodput/latency/energy series, and the latched SLO burn-rate alert
+ledger over the canonical failover chaos run — is byte-stable per
+parameter set, so the CI job runs it twice and ``cmp``s the outputs.
+Exit status 0 when the end-to-end energy reconciliation holds against
+the handset battery ledgers, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.__main__ import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["fleetwatch", *sys.argv[1:]]))
