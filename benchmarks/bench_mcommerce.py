@@ -1,0 +1,127 @@
+"""M-commerce transaction economics: mJ/transaction by suite and
+battery class.
+
+The workload plane (DESIGN.md §13) drives browse/authenticate/purchase
+sessions over the sharded fleet with the lightweight stream family
+negotiated per battery class.  This bench records what §2's motivating
+transaction actually costs: virtual transactions per second, airlink
+bytes, and millijoules per transaction broken out by negotiated suite
+and by handset battery class — the measured form of the paper's
+"without exhausting the battery" requirement.
+
+Runs two ways:
+
+* ``PYTHONPATH=src python benchmarks/bench_mcommerce.py`` — full
+  scale; writes ``BENCH_mcommerce.json`` next to the repo root and
+  prints it;
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_mcommerce.py`` —
+  smoke mode: smaller world, asserts the structural floors (every
+  request answered, energy reconciled, the lightweight suites cheaper
+  per compute-byte than the legacy block suites, dual-signature
+  bindings all holding).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+from repro.analysis.mcommerce import build_report
+from repro.workloads import run_mcommerce
+
+SEED = 2003
+
+
+def measure(sessions: int = 27, shards: int = 3,
+            duration_s: float = 1.2, seed: int = SEED) -> Dict[str, object]:
+    """One full workload run, folded to the bench document shape."""
+    result = run_mcommerce(sessions=sessions, shards=shards, seed=seed,
+                           duration_s=duration_s)
+    report = build_report(result)
+    by_suite = {}
+    for name, row in report["by_suite"].items():
+        by_suite[name] = {
+            "sessions": row["sessions"],
+            "transactions": row["transactions"],
+            "wire_bytes": row["wire_bytes"],
+            "compute_mj": row["compute_mj"],
+            "mj_per_transaction": row["mj_per_transaction"],
+        }
+    return {
+        "_meta": {
+            "sessions": sessions,
+            "shards": shards,
+            "duration_s": duration_s,
+            "seed": seed,
+            "unit": "mJ per answered transaction, virtual clock",
+        },
+        "traffic": {
+            "transactions": report["traffic"]["transactions"],
+            "transactions_per_s": report["traffic"]["transactions_per_s"],
+            "answer_rate": report["traffic"]["answer_rate"],
+            "session_mix": report["traffic"]["session_mix"],
+        },
+        "by_suite": by_suite,
+        "by_battery_class": report["by_battery_class"],
+        "payments": {
+            "purchases": report["payments"]["purchases"],
+            "bindings_hold": report["payments"]["bindings_hold"],
+        },
+        "energy": report["energy"],
+    }
+
+
+# -- smoke-mode assertions (pytest entry point) -----------------------------
+
+
+def _compute_per_byte(row: Dict[str, object]) -> float:
+    return row["compute_mj"] / row["wire_bytes"] if row["wire_bytes"] else 0.0
+
+
+def test_mcommerce_smoke():
+    document = measure(sessions=18, duration_s=0.8)
+    assert document["traffic"]["answer_rate"] == 1.0
+    assert document["energy"]["reconciled"]
+    assert document["payments"]["bindings_hold"]
+    by_suite = document["by_suite"]
+    # The §3 batching story holds end to end: Trivium's 64-step batch
+    # beats AES-CBC per compute-byte through the whole stack.
+    trivium = by_suite["RSA_WITH_TRIVIUM_SHA"]
+    aes = by_suite["RSA_WITH_AES_128_CBC_SHA"]
+    assert _compute_per_byte(trivium) < _compute_per_byte(aes)
+
+
+def test_committed_bench_document():
+    """The committed JSON is the acceptance artifact: full scale,
+    everything answered, energy reconciled, every battery class and
+    the whole lightweight family represented."""
+    path = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_mcommerce.json")
+    with open(path, encoding="ascii") as handle:
+        document = json.load(handle)
+    assert document["traffic"]["answer_rate"] == 1.0
+    assert document["energy"]["reconciled"] is True
+    assert document["payments"]["bindings_hold"] is True
+    assert {"coin", "standard", "extended"} == \
+        set(document["by_battery_class"])
+    assert {"RSA_WITH_A51_228_SHA", "RSA_WITH_GRAIN_V1_SHA",
+            "RSA_WITH_TRIVIUM_SHA"} <= set(document["by_suite"])
+    for row in document["by_suite"].values():
+        assert row["transactions"] > 0
+        assert row["mj_per_transaction"] > 0.0
+
+
+def main() -> None:
+    results = measure()
+    out = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_mcommerce.json")
+    document = json.dumps(results, indent=2, sort_keys=True)
+    with open(out, "w", encoding="ascii") as handle:
+        handle.write(document + "\n")
+    print(document)
+    print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main()

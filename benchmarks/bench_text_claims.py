@@ -10,7 +10,11 @@
 import pytest
 
 from repro.core.battery_life import battery_gap_series
-from repro.crypto.registry import aes_rollout, default_registry
+from repro.crypto.registry import (
+    aes_rollout,
+    default_registry,
+    lightweight_rollout,
+)
 from repro.hardware.cycles import (
     bulk_mips_demand,
     handshake_cost,
@@ -95,6 +99,7 @@ class TestT10Flexibility:
             full = {s.name for s in ALL_SUITES if s.cipher != "NULL"}
             registry = default_registry()
             aes_rollout(registry)
+            lightweight_rollout(registry)
             flexible = {s.name for s in suites_for_registry(registry)}
             registry2 = default_registry()
             registry2.deprecate("RC4")

@@ -25,6 +25,11 @@ Gives the reproduction a front door:
   restores, resumption / re-handshake cold recovery, structured
   ``recovering`` sheds, exact energy reconciliation, byte-stable
   JSON report (the CI two-run ``cmp`` gate).
+* ``mcommerce``      — the §2 m-commerce workload over a healthy
+  fleet: battery-class handsets negotiating the lightweight stream
+  suites, heavy-tailed browse/authenticate/purchase traffic, SET
+  dual-signature purchases, and millijoules-per-transaction by suite
+  and battery class, energy-reconciled and byte-stable.
 * ``fleetwatch``     — the same failover run with the fleet
   observability plane riding along: cross-shard journey traces
   stitched through crash/re-home/restore, windowed goodput/latency/
@@ -252,6 +257,26 @@ def _cmd_failover(args: argparse.Namespace) -> int:
     return 0 if result.reconciliation.ok else 1
 
 
+def _cmd_mcommerce(args: argparse.Namespace) -> int:
+    from .analysis.mcommerce import build_report, format_report
+    from .workloads import run_mcommerce
+
+    result = run_mcommerce(
+        sessions=args.sessions,
+        shards=args.shards,
+        seed=args.seed,
+        duration_s=args.duration,
+    )
+    text = format_report(build_report(result))
+    print(text, end="")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(text)
+    ok = (result.reconciliation.ok
+          and all(p["binding_holds"] for p in result.payments))
+    return 0 if ok else 1
+
+
 def _cmd_fleetwatch(args: argparse.Namespace) -> int:
     from .analysis.fleetwatch import build_report, format_report
     from .observability.export import (
@@ -354,6 +379,17 @@ def main(argv=None) -> int:
     failover.add_argument("--report", metavar="PATH", default=None,
                           help="also write the JSON report here")
 
+    mcommerce = sub.add_parser(
+        "mcommerce",
+        help="m-commerce workload over the fleet -> byte-stable report")
+    mcommerce.add_argument("--sessions", type=int, default=18)
+    mcommerce.add_argument("--shards", type=int, default=3)
+    mcommerce.add_argument("--duration", type=float, default=1.2,
+                           help="virtual arrival window in seconds")
+    mcommerce.add_argument("--seed", type=int, default=2003)
+    mcommerce.add_argument("--report", metavar="PATH", default=None,
+                           help="also write the JSON report here")
+
     fleetwatch = sub.add_parser(
         "fleetwatch",
         help="watched failover run: traces + windows + SLO burn alerts")
@@ -383,6 +419,7 @@ def main(argv=None) -> int:
         "conformance": _cmd_conformance,
         "survivability": _cmd_survivability,
         "failover": _cmd_failover,
+        "mcommerce": _cmd_mcommerce,
         "fleetwatch": _cmd_fleetwatch,
     }
     return handlers[args.command](args)

@@ -19,6 +19,7 @@ from .population import (
     CookieFloodAdversary,
     DowngradeAdversary,
     FuzzInjectionAdversary,
+    StreamStripAdversary,
     TimingProbeAdversary,
 )
 from .scenario import SurvivabilityResult, run_survivability
@@ -31,6 +32,7 @@ __all__ = [
     "CookieFloodAdversary",
     "DowngradeAdversary",
     "FuzzInjectionAdversary",
+    "StreamStripAdversary",
     "TimingProbeAdversary",
     "SurvivabilityResult",
     "run_survivability",

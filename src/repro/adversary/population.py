@@ -26,7 +26,11 @@ from ..hardware.energy import EnergyModel
 from ..observability import probe
 from ..protocols.alerts import HandshakeFailure, ProtocolAlert
 from ..protocols.certificates import CertificateAuthority
-from ..protocols.ciphersuites import NULL_WITH_SHA
+from ..protocols.ciphersuites import (
+    ALL_SUITES,
+    LIGHTWEIGHT_SUITES,
+    NULL_WITH_SHA,
+)
 from ..protocols.dos import CookieProtectedResponder
 from ..protocols.faults import FaultyChannel
 from ..protocols.handshake import ClientConfig, ServerConfig, run_handshake
@@ -192,7 +196,7 @@ class DowngradeAdversary(Adversary):
                 except ProtocolAlert:  # pragma: no cover - hello is valid
                     pass
                 else:
-                    hello.suite_names = [NULL_WITH_SHA.name]
+                    self._rewrite_hello(hello)
                     frame = hello.to_bytes()
             sent["bytes"] += len(frame)
             return frame
@@ -201,7 +205,8 @@ class DowngradeAdversary(Adversary):
         client = ClientConfig(
             rng=DeterministicDRBG(
                 ("downgrade-client", self.seed, self.events).__repr__()),
-            ca=self.ca, expected_server=self.expected_server)
+            ca=self.ca, expected_server=self.expected_server,
+            suites=self._client_suites())
         try:
             run_handshake(client, self.server_config,
                           channel.endpoint_a(), channel.endpoint_b())
@@ -212,9 +217,45 @@ class DowngradeAdversary(Adversary):
         # The MITM pays to retransmit every frame it forwarded.
         self._spend(sent["bytes"])
 
+    def _rewrite_hello(self, hello: ClientHello) -> None:
+        """The tamper itself: force the weakest suite."""
+        hello.suite_names = [NULL_WITH_SHA.name]
+
+    def _client_suites(self) -> List:
+        """The victim's suite preference list (overridable)."""
+        return list(ALL_SUITES)
+
     def _extra_snapshot(self) -> Dict[str, object]:
         return {"downgrades_blocked": self.downgrades_blocked,
                 "downgrades_succeeded": self.downgrades_succeeded}
+
+
+class StreamStripAdversary(DowngradeAdversary):
+    """Downgrade variant for the lightweight suite family: instead of
+    forcing NULL, the MITM *strips* the stream suites from a handset
+    that prefers them, leaving only the legacy block suites.
+
+    Negotiation then quietly completes on a legacy suite — which is
+    exactly why this is the more dangerous shape: nothing fails until
+    the dual-transcript Finished, where the client's transcript (its
+    genuine hello) diverges from the server's (the stripped one).
+    Every attempt must land in ``downgrades_blocked``;
+    ``downgrades_succeeded == 0`` is the acceptance bar."""
+
+    kind = "stream-strip"
+
+    def _rewrite_hello(self, hello: ClientHello) -> None:
+        lightweight = {suite.name for suite in LIGHTWEIGHT_SUITES}
+        stripped = [name for name in hello.suite_names
+                    if name not in lightweight]
+        hello.suite_names = stripped or [NULL_WITH_SHA.name]
+
+    def _client_suites(self) -> List:
+        # A victim that actually prefers the lightweight family, with
+        # legacy fallbacks behind it.
+        return LIGHTWEIGHT_SUITES + [
+            suite for suite in ALL_SUITES
+            if suite not in LIGHTWEIGHT_SUITES]
 
 
 class TimingProbeAdversary(Adversary):

@@ -36,7 +36,7 @@ from ..crypto.sha1 import sha1
 from ..hardware.engine_program import EngineContext, EngineFault, stock_engine
 from ..protocols.alerts import ProtocolAlert
 from ..protocols.certificates import Certificate
-from ..protocols.ciphersuites import RSA_WITH_3DES_SHA
+from ..protocols.ciphersuites import RSA_WITH_3DES_SHA, RSA_WITH_TRIVIUM_SHA
 from ..protocols.ipsec import make_tunnel
 from ..protocols.messages import (
     ClientHello,
@@ -129,6 +129,23 @@ def _wtls_record_parse(blob: bytes):
     return decoder.decode(blob)
 
 
+def _wtls_stream_record_seed() -> bytes:
+    from ..protocols.wtls import WTLSRecordEncoder
+
+    encoder = WTLSRecordEncoder(
+        RSA_WITH_TRIVIUM_SHA, bytes(20), bytes(20), b"")
+    return encoder.encode(b"fuzz seed purchase")
+
+
+def _wtls_stream_record_parse(blob: bytes):
+    """The lightweight-suite record path: the per-record re-keyed
+    stream decoder (key XOR sequence landing in the IV bytes) must
+    reject every mutation with a declared alert, never a crash."""
+    decoder = WTLSRecordDecoder(
+        RSA_WITH_TRIVIUM_SHA, bytes(20), bytes(20), b"")
+    return decoder.decode(blob)
+
+
 def _esp_seed() -> bytes:
     sender, _ = make_tunnel(0xC0DE, seed=5)
     return sender.encapsulate(b"fuzz seed datagram")
@@ -185,6 +202,8 @@ def default_targets() -> List[FuzzTarget]:
                    (_tls_record_seed(),)),
         FuzzTarget("wtls_record", _wtls_record_parse, ALERTS_ONLY,
                    (_wtls_record_seed(),)),
+        FuzzTarget("wtls_stream_record", _wtls_stream_record_parse,
+                   ALERTS_ONLY, (_wtls_stream_record_seed(),)),
         FuzzTarget("esp_packet", _esp_parse, ALERTS_ONLY, (_esp_seed(),)),
         FuzzTarget("wep_frame", _wep_parse, ALERTS_ONLY, (_wep_seed(),)),
         FuzzTarget("engine_esp_decap", _engine_parse("esp-decap"),

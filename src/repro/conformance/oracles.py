@@ -358,6 +358,149 @@ def record_batch_oracle() -> List[CheckResult]:
     return results
 
 
+def stream_suite_oracle() -> List[CheckResult]:
+    """The lightweight-stream-suite contract, across every stream suite.
+
+    Stream suites carry decoder state beyond sequence numbers — the
+    keystream position — so they get their own oracle on top of the
+    generic record oracles:
+
+    * **three-way agreement** — one ``encode_batch`` call, N sequential
+      single-record ``encode`` calls, and a mixed-dispatch-path
+      sequence (records alternately fast/reference encoded) must all
+      produce byte-identical wire bytes, and each must decode on the
+      opposite arrangement: the keystream position advances identically
+      whichever API or kernel produced a record;
+    * **tamper rejection** with the transactional keystream pin —
+      after a damaged mid-stream record raises
+      :class:`~repro.protocols.alerts.BadRecordMAC`, a retransmission
+      of the *genuine* record must decode, which is only possible if
+      the failed attempt rolled the keystream position back exactly;
+    * **WTLS damaged-datagram continuation** — with ``skip_damaged``,
+      records after a damaged one must still open (the per-record
+      ``key XOR sequence`` rekey localises the damage).
+    """
+    from ..protocols.records_batch import BatchRecordError
+
+    results = []
+    stream_suites = [suite for suite in ALL_SUITES
+                     if suite.cipher_kind == "stream" and suite.cipher != "NULL"]
+    payloads = [_material(f"stream-payload-{i}", n)
+                for i, n in enumerate((3, 96, 1, 257))]
+    for suite in stream_suites:
+        # Three-way agreement: batch == sequential == mixed-path.
+        (tls_seq_enc, _), _ = _record_pairs(suite, "stream-3way")
+        (tls_batch_enc, _), _ = _record_pairs(suite, "stream-3way")
+        (tls_mixed_enc, tls_mixed_dec), _ = _record_pairs(
+            suite, "stream-3way")
+        with fastpath.force(True):
+            sequential = [tls_seq_enc.encode(CONTENT_APPLICATION, payload)
+                          for payload in payloads]
+            batch = tls_batch_enc.encode_batch(
+                [(CONTENT_APPLICATION, payload) for payload in payloads])
+        mixed = []
+        for i, payload in enumerate(payloads):
+            with fastpath.force(i % 2 == 0):
+                mixed.append(tls_mixed_enc.encode(CONTENT_APPLICATION,
+                                                  payload))
+        detail = ""
+        if batch != b"".join(sequential):
+            detail = "batch encode diverges from sequential encode"
+        elif mixed != sequential:
+            detail = "mixed-path encode diverges from single-path encode"
+        else:
+            opened = []
+            for i, record in enumerate(sequential):
+                with fastpath.force(i % 2 == 1):  # opposite arrangement
+                    opened.append(tls_mixed_dec.decode(record)[1])
+            if opened != payloads:
+                detail = "mixed-path decode corrupted a payload"
+        results.append(_result(
+            "stream-suite", f"{suite.name}-three-way", detail))
+
+        # Transactional keystream rollback, single-record path: a
+        # tampered record must not consume keystream.
+        (tls_enc, tls_dec), _ = _record_pairs(suite, "stream-rollback")
+        records = [tls_enc.encode(CONTENT_APPLICATION, payload)
+                   for payload in payloads]
+        tls_dec.decode(records[0])
+        tampered = bytearray(records[1])
+        tampered[len(tampered) // 2] ^= 0x80
+        detail = ""
+        for attempt in range(2):  # two failed attempts, then recovery
+            try:
+                tls_dec.decode(bytes(tampered))
+            except BadRecordMAC:
+                pass
+            except Exception as exc:  # noqa: BLE001 - oracle boundary
+                detail = (f"tamper attempt {attempt} raised "
+                          f"{type(exc).__name__}, want BadRecordMAC")
+                break
+            else:
+                detail = f"tampered record accepted on attempt {attempt}"
+                break
+        if not detail:
+            try:
+                opened = [tls_dec.decode(record)[1]
+                          for record in records[1:]]
+            except Exception as exc:  # noqa: BLE001 - oracle boundary
+                detail = (f"keystream not rolled back: genuine record "
+                          f"raised {type(exc).__name__} after tampering")
+            else:
+                if opened != payloads[1:]:
+                    detail = ("keystream position drifted: genuine "
+                              "records decoded to wrong plaintext")
+        results.append(_result(
+            "stream-suite", f"{suite.name}-keystream-rollback", detail))
+
+        # Batched path: the damaged record pins its index and leaves
+        # the decoder able to accept the retransmission.
+        (tls_enc, tls_dec), (wtls_enc, wtls_dec) = _record_pairs(
+            suite, "stream-batch-damage")
+        records = [tls_enc.encode(CONTENT_APPLICATION, payload)
+                   for payload in payloads[:3]]
+        damaged_middle = bytearray(records[1])
+        damaged_middle[-1] ^= 0x04
+        detail = ""
+        try:
+            tls_dec.decode_batch(
+                records[0] + bytes(damaged_middle) + records[2])
+        except BatchRecordError as exc:
+            if exc.index != 1:
+                detail = f"damage flagged at index {exc.index}, want 1"
+            else:
+                try:
+                    recovered = [tls_dec.decode(record)[1]
+                                 for record in records[1:]]
+                except Exception as exc2:  # noqa: BLE001 - oracle boundary
+                    detail = (f"batched damage poisoned keystream: "
+                              f"{type(exc2).__name__}")
+                else:
+                    if recovered != payloads[1:3]:
+                        detail = "post-damage retransmission decoded wrong"
+        else:
+            detail = "damaged batch accepted"
+        results.append(_result(
+            "stream-suite", f"{suite.name}-batch-damage", detail))
+
+        # WTLS datagram discipline: damage is localised per record.
+        wire = [wtls_enc.encode(payload) for payload in payloads]
+        damaged_middle = bytearray(wire[2])
+        damaged_middle[-1] ^= 0x40
+        opened, damaged = wtls_dec.decode_batch(
+            wire[0] + wire[1] + bytes(damaged_middle) + wire[3],
+            skip_damaged=True)
+        detail = ""
+        if [payload for _, payload in opened] != [
+                payloads[0], payloads[1], payloads[3]]:
+            detail = "WTLS records after the damaged one did not open"
+        elif len(damaged) != 1:
+            detail = f"{len(damaged)} records flagged damaged, want 1"
+        results.append(_result(
+            "stream-suite", f"{suite.name}-wtls-damage", detail))
+    return results
+
+
 #: The oracle registry the runner iterates, in report order.
 ORACLES: Dict[str, Callable[[], List[CheckResult]]] = {
     "hash-vs-hashlib": hash_oracle,
@@ -365,6 +508,7 @@ ORACLES: Dict[str, Callable[[], List[CheckResult]]] = {
     "cipher-roundtrip": roundtrip_oracle,
     "record-agreement": record_layer_oracle,
     "record-batch": record_batch_oracle,
+    "stream-suite": stream_suite_oracle,
 }
 
 

@@ -28,8 +28,10 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..crypto import fastpath
+from ..crypto.a51 import A51
 from ..crypto.aes import AES
 from ..crypto.des import DES
+from ..crypto.grain import Grain
 from ..crypto.hmac import hmac
 from ..crypto.md5 import md5
 from ..crypto.modmath import modexp, modexp_ladder, modexp_sqm
@@ -37,6 +39,7 @@ from ..crypto.rc2 import RC2
 from ..crypto.rc4 import RC4
 from ..crypto.rsa import RSAPrivateKey, RSAPublicKey
 from ..crypto.sha1 import sha1
+from ..crypto.trivium import Trivium
 
 #: Default corpus location: ``<repo>/tests/vectors``.
 CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "vectors"
@@ -144,24 +147,42 @@ def _check_block(vector: dict, algorithm: str) -> str:
     return ""
 
 
+_STREAM_FACTORIES = {
+    "RC4": RC4, "A51": A51, "GRAIN": Grain, "TRIVIUM": Trivium,
+}
+
+
 def _check_stream(vector: dict, algorithm: str) -> str:
-    if algorithm != "RC4":
-        raise ValueError(f"unknown stream algorithm {algorithm!r}")
+    try:
+        factory = _STREAM_FACTORIES[algorithm]
+    except KeyError:
+        raise ValueError(f"unknown stream algorithm {algorithm!r}") from None
     key = bytes.fromhex(vector["key"])
+    if "a_to_b" in vector:
+        # The A5/1 GSM frame discipline: 228-bit dual burst for one
+        # (key, frame) pair — the published pedagogical vector's shape.
+        a_to_b, b_to_a = A51.burst(key, int(vector["frame"], 16))
+        expected_ab = bytes.fromhex(vector["a_to_b"])
+        expected_ba = bytes.fromhex(vector["b_to_a"])
+        if a_to_b != expected_ab:
+            return f"a_to_b: got {a_to_b.hex()}, want {expected_ab.hex()}"
+        if b_to_a != expected_ba:
+            return f"b_to_a: got {b_to_a.hex()}, want {expected_ba.hex()}"
+        return ""
     if "keystream" in vector:
         offset = vector.get("offset", 0)
         expected = bytes.fromhex(vector["keystream"])
-        got = RC4(key).keystream(offset + len(expected))[offset:]
+        got = factory(key).keystream(offset + len(expected))[offset:]
         if got != expected:
             return (f"keystream@{offset}: got {got.hex()}, "
                     f"want {expected.hex()}")
         return ""
     plaintext = bytes.fromhex(vector["plaintext"])
     ciphertext = bytes.fromhex(vector["ciphertext"])
-    got = RC4(key).process(plaintext)
+    got = factory(key).process(plaintext)
     if got != ciphertext:
         return f"encrypt: got {got.hex()}, want {ciphertext.hex()}"
-    back = RC4(key).process(ciphertext)
+    back = factory(key).process(ciphertext)
     if back != plaintext:
         return f"decrypt: got {back.hex()}, want {plaintext.hex()}"
     return ""

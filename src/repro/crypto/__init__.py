@@ -10,6 +10,7 @@ physical measurement bench.
 """
 
 from . import fastpath
+from .a51 import A51
 from .aes import AES
 from .des import DES
 from .dh import DHGroup, DHParty
@@ -24,6 +25,7 @@ from .errors import (
     RandomnessError,
     SignatureError,
 )
+from .grain import Grain
 from .hmac import HMAC, hmac, hmac_verify
 from .kea import KEAKeyPair, KEAParty
 from .md5 import MD5, md5
@@ -31,16 +33,24 @@ from .modes import CBC, CTR, ECB
 from .modmath import OperationTimer, modexp, modexp_ladder, modexp_sqm
 from .rc2 import RC2
 from .rc4 import RC4
-from .registry import AlgorithmInfo, AlgorithmRegistry, aes_rollout, default_registry
+from .registry import (
+    AlgorithmInfo,
+    AlgorithmRegistry,
+    aes_rollout,
+    default_registry,
+    lightweight_rollout,
+)
 from .rng import DeterministicDRBG, HardwareTRNG
 from .rsa import RSAPrivateKey, RSAPublicKey, generate_keypair
 from .sha1 import SHA1, sha1
 from .tdes import TripleDES
 from .trace import TraceRecorder, TraceSample
+from .trivium import Trivium
 
 __all__ = [
     "fastpath",
     "AES", "DES", "TripleDES", "RC2", "RC4", "MD5", "SHA1", "HMAC",
+    "A51", "Grain", "Trivium",
     "md5", "sha1", "hmac", "hmac_verify",
     "ECB", "CBC", "CTR",
     "DHGroup", "DHParty", "KEAParty", "KEAKeyPair",
@@ -49,6 +59,7 @@ __all__ = [
     "DeterministicDRBG", "HardwareTRNG",
     "TraceRecorder", "TraceSample",
     "AlgorithmRegistry", "AlgorithmInfo", "default_registry", "aes_rollout",
+    "lightweight_rollout",
     "CryptoError", "DecryptionError", "IntegrityError", "InvalidBlockSize",
     "InvalidKeyLength", "PaddingError", "ParameterError", "RandomnessError",
     "SignatureError",

@@ -1,0 +1,155 @@
+"""Grain v1 — the eSTREAM low-footprint NFSR/LFSR stream cipher.
+
+The third lightweight design from Pourghasem et al.'s m-commerce
+motivation (PAPERS.md): Hell, Johansson and Meier's Grain v1, an
+80-bit-key cipher built from one linear and one nonlinear 80-bit
+feedback shift register joined by a boolean filter — the smallest
+hardware footprint in the eSTREAM portfolio and therefore the extreme
+low-energy point of our suite family.
+
+Implementation shape
+--------------------
+
+Both registers live in Python ints with spec bit ``b_i``/``s_i`` at
+int bit ``i`` (LSB-first), so loading is just
+``int.from_bytes(..., "little")`` and a spec step is ``>> 1`` with the
+feedback bit inserted at bit 79.  The fast path batches 16 spec steps:
+every tap index is at most 64, so all sixteen steps read windows of
+pre-batch state bits (the 16-step validity bound ``64 + 15 <= 79``),
+and one batched step computes 16 keystream bits with shifted windows —
+Grain's own designers describe exactly this x16 speedup as the
+hardware trade-off.
+
+Both dispatch paths advance in whole 16-bit (2-byte) chunks and buffer
+the leftover byte, so :meth:`save_state` snapshots are byte-identical
+whichever path produced them.
+
+Conventions (frozen by the KAT corpus): key/IV bits load LSB-first
+within each byte (``b_0`` is bit 0 of ``key[0]``), keystream bits pack
+LSB-first within each output byte.  The suite key blob is
+``key[10] || iv[8]``; the LFSR's top 16 bits are filled with ones per
+the spec.
+"""
+
+from __future__ import annotations
+
+from . import fastpath
+from .errors import InvalidKeyLength
+
+_M16 = 0xFFFF
+_M80 = (1 << 80) - 1
+_INIT_STEPS = 160
+
+
+class Grain:
+    """Grain v1 keystream generator with the RC4-compatible interface.
+
+    The key blob is either 10 bytes (key alone, zero IV) or the
+    suite's 18 bytes (``key || iv``).
+    """
+
+    name = "GRAIN"
+    block_size = 1
+    key_size = 18
+
+    def __init__(self, key: bytes) -> None:
+        key = bytes(key)
+        if len(key) == 10:
+            iv = b"\x00" * 8
+        elif len(key) == 18:
+            key, iv = key[:10], key[10:]
+        else:
+            raise InvalidKeyLength("GRAIN", len(key), "10 or 18")
+        self.recorder = None
+        self._b = int.from_bytes(key, "little")            # NFSR b0..b79
+        self._s = int.from_bytes(iv, "little") | (_M16 << 64)  # LFSR s0..s79
+        self._buffer = b""
+        self._warm_up()
+
+    # -- the two registers and the filter ------------------------------------
+
+    def _step(self, count: int, mask: int, feed_z: bool) -> int:
+        """``count`` spec steps batched (count is 1 or 16; every tap
+        index is <= 64 so both window widths are valid).  Returns the
+        keystream bits, step i at bit i; with ``feed_z`` the output is
+        folded back into both feedbacks (initialisation mode)."""
+        b, s = self._b, self._s
+        # Filter h(x0..x4) on (s3, s25, s46, s64, b63).
+        x0, x1, x2 = s >> 3, s >> 25, s >> 46
+        x3, x4 = s >> 64, b >> 63
+        h = (x1 ^ x4 ^ (x0 & x3) ^ (x2 & x3) ^ (x3 & x4)
+             ^ (x0 & x1 & x2) ^ (x0 & x2 & x3) ^ (x0 & x2 & x4)
+             ^ (x1 & x2 & x4) ^ (x2 & x3 & x4))
+        z = ((b >> 1) ^ (b >> 2) ^ (b >> 4) ^ (b >> 10) ^ (b >> 31)
+             ^ (b >> 43) ^ (b >> 56) ^ h) & mask
+        # LFSR feedback f: s_{i+80} = s62+s51+s38+s23+s13+s0.
+        ns = ((s >> 62) ^ (s >> 51) ^ (s >> 38) ^ (s >> 23) ^ (s >> 13) ^ s) & mask
+        # NFSR feedback g (masked input s0 added per the spec).
+        nb = (s ^ (b >> 62) ^ (b >> 60) ^ (b >> 52) ^ (b >> 45) ^ (b >> 37)
+              ^ (b >> 33) ^ (b >> 28) ^ (b >> 21) ^ (b >> 14) ^ (b >> 9) ^ b
+              ^ ((b >> 63) & (b >> 60))
+              ^ ((b >> 37) & (b >> 33))
+              ^ ((b >> 15) & (b >> 9))
+              ^ ((b >> 60) & (b >> 52) & (b >> 45))
+              ^ ((b >> 33) & (b >> 28) & (b >> 21))
+              ^ ((b >> 63) & (b >> 45) & (b >> 28) & (b >> 9))
+              ^ ((b >> 60) & (b >> 52) & (b >> 37) & (b >> 33))
+              ^ ((b >> 63) & (b >> 60) & (b >> 21) & (b >> 15))
+              ^ ((b >> 63) & (b >> 60) & (b >> 52) & (b >> 45) & (b >> 37))
+              ^ ((b >> 33) & (b >> 28) & (b >> 21) & (b >> 15) & (b >> 9))
+              ^ ((b >> 52) & (b >> 45) & (b >> 37) & (b >> 33) & (b >> 28)
+                 & (b >> 21))) & mask
+        if feed_z:
+            ns ^= z
+            nb ^= z
+        self._s = ((s >> count) | (ns << (80 - count))) & _M80
+        self._b = ((b >> count) | (nb << (80 - count))) & _M80
+        return z
+
+    def _warm_up(self) -> None:
+        """The 160 initialisation clocks with the output fed back."""
+        if self.recorder is None and fastpath.enabled():
+            for _ in range(_INIT_STEPS // 16):
+                self._step(16, _M16, feed_z=True)
+        else:
+            for _ in range(_INIT_STEPS):
+                self._step(1, 1, feed_z=True)
+
+    def _chunk(self) -> bytes:
+        """The next 2 keystream bytes (16 steps on either path)."""
+        if self.recorder is None and fastpath.enabled():
+            z = self._step(16, _M16, feed_z=False)
+        else:
+            z = 0
+            for i in range(16):
+                z |= self._step(1, 1, feed_z=False) << i
+        return z.to_bytes(2, "little")
+
+    # -- the RC4-compatible surface -----------------------------------------
+
+    def keystream(self, length: int) -> bytes:
+        """Produce the next ``length`` keystream bytes."""
+        buffered = self._buffer
+        while len(buffered) < length:
+            buffered += self._chunk()
+        self._buffer = buffered[length:]
+        return buffered[:length]
+
+    def process(self, data) -> bytes:
+        """Encrypt or decrypt ``data`` (XOR with keystream)."""
+        data = bytes(data)
+        if not data:
+            return b""
+        stream = self.keystream(len(data))
+        return (
+            int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+        ).to_bytes(len(data), "big")
+
+    def save_state(self):
+        """Snapshot (NFSR, LFSR, leftover chunk bytes) for the record
+        decoder's tamper rollback."""
+        return self._b, self._s, self._buffer
+
+    def restore_state(self, snapshot) -> None:
+        """Rewind to a :meth:`save_state` snapshot."""
+        self._b, self._s, self._buffer = snapshot

@@ -15,14 +15,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
+from .a51 import A51
 from .aes import AES
 from .des import DES
 from .errors import CryptoError
+from .grain import Grain
 from .md5 import MD5
 from .rc2 import RC2
 from .rc4 import RC4
 from .sha1 import SHA1
 from .tdes import TripleDES
+from .trivium import Trivium
 
 
 class UnknownAlgorithm(CryptoError):
@@ -129,6 +132,10 @@ def default_registry() -> AlgorithmRegistry:
         year_introduced=1987,
         notes="SSL/WEP stream cipher; weak as used by WEP"))
     registry.register(AlgorithmInfo(
+        "A51", "stream", A51, key_bytes=11, strength_bits=54,
+        year_introduced=1999,
+        notes="GSM majority-clocked LFSR triple; in every 2003 handset"))
+    registry.register(AlgorithmInfo(
         "SHA1", "hash", SHA1, key_bytes=0, strength_bits=80,
         year_introduced=1995, notes="FIPS 180-1 MAC hash"))
     registry.register(AlgorithmInfo(
@@ -143,3 +150,17 @@ def aes_rollout(registry: AlgorithmRegistry) -> None:
         "AES", "block", AES, key_bytes=16, strength_bits=128,
         year_introduced=2001,
         notes="FIPS 197; added to TLS June 2002 (paper Figure 2)"))
+
+
+def lightweight_rollout(registry: AlgorithmRegistry) -> None:
+    """Register the eSTREAM-era lightweight stream ciphers
+    post-deployment — the m-commerce firmware update that brings the
+    Pourghasem et al. suite family to a fielded handset."""
+    registry.register(AlgorithmInfo(
+        "GRAIN", "stream", Grain, key_bytes=18, strength_bits=80,
+        year_introduced=2005,
+        notes="Grain v1; eSTREAM hardware portfolio, smallest footprint"))
+    registry.register(AlgorithmInfo(
+        "TRIVIUM", "stream", Trivium, key_bytes=20, strength_bits=80,
+        year_introduced=2005,
+        notes="eSTREAM hardware portfolio; 288-bit cascade"))

@@ -35,7 +35,7 @@ targets — is seeded, so two same-seed runs are byte-identical.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..crypto.rng import DeterministicDRBG
@@ -314,10 +314,15 @@ class ShardedFleet:
     # -- sessions ------------------------------------------------------------
 
     def attach_session(self, session_id: str,
-                       battery: Optional[Battery] = None) -> WTLSConnection:
+                       battery: Optional[Battery] = None,
+                       suites=None) -> WTLSConnection:
         """Handshake one handset onto its ring-placed shard; returns
         the handset-side connection (the fleet tracks replacements —
-        prefer :meth:`handset` over holding this reference)."""
+        prefer :meth:`handset` over holding this reference).
+
+        ``suites`` overrides the handset's cipher-suite preference list
+        (the m-commerce workload plane uses it to model battery-class
+        suite policies); ``None`` keeps the stack default."""
         if session_id in self.placement:
             raise ValueError(f"session {session_id!r} already attached")
         owner = self._by_name[self.ring.owner(
@@ -326,6 +331,8 @@ class ShardedFleet:
         client = ClientConfig(
             rng=DeterministicDRBG((session_id, self.seed).__repr__()),
             ca=self.ca, expected_server=GATEWAY_NAME)
+        if suites is not None:
+            client = replace(client, suites=list(suites))
         handset_class = (f"{battery.capacity_j:g}J" if battery is not None
                          else "unpowered")
         ctx = TraceContext.root(

@@ -40,12 +40,23 @@ AES_IPB = 100.0          # table-driven AES on 32-bit
 RC4_IPB = 12.0           # byte-swap PRGA, famously cheap
 RC2_IPB = 120.0          # 16-bit MIX/MASH rounds
 
+# The lightweight stream family (Pourghasem et al., PAPERS.md):
+# bit-serial designs whose software cost is the clocking loop.  A5/1
+# pays the majority-clock branch per bit; Grain batches x16 and
+# Trivium x64 per word, so the per-byte cost falls in that order.
+A51_IPB = 18.0           # 8 majority-clocked LFSR steps per byte
+GRAIN_IPB = 14.0         # 16-step batched NFSR/LFSR word updates
+TRIVIUM_IPB = 9.0        # 64-step batched cascade, cheapest of all
+
 BULK_IPB: Dict[str, float] = {
     "DES": DES_IPB,
     "3DES": TDES_IPB,
     "AES": AES_IPB,
     "RC4": RC4_IPB,
     "RC2": RC2_IPB,
+    "A51": A51_IPB,
+    "GRAIN": GRAIN_IPB,
+    "TRIVIUM": TRIVIUM_IPB,
     "SHA1": SHA1_IPB,
     "MD5": MD5_IPB,
     "NULL": 0.0,

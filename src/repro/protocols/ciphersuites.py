@@ -18,14 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from ..crypto.a51 import A51
 from ..crypto.aes import AES
 from ..crypto.des import DES
+from ..crypto.grain import Grain
 from ..crypto.md5 import MD5
 from ..crypto.rc2 import RC2
 from ..crypto.rc4 import RC4
 from ..crypto.registry import AlgorithmRegistry
 from ..crypto.sha1 import SHA1
 from ..crypto.tdes import TripleDES
+from ..crypto.trivium import Trivium
 
 
 @dataclass(frozen=True)
@@ -57,6 +60,7 @@ class CipherSuite:
         factories = {
             "DES": DES, "3DES": TripleDES, "AES": AES,
             "RC4": RC4, "RC2": RC2,
+            "A51": A51, "GRAIN": Grain, "TRIVIUM": Trivium,
         }
         if self.cipher == "NULL":
             return None
@@ -87,10 +91,27 @@ KEA_WITH_3DES_SHA = CipherSuite(
 NULL_WITH_SHA = CipherSuite(
     "NULL_WITH_SHA", "RSA", "NULL", "stream", 0, 0, "SHA1", 20)
 
+# The lightweight m-commerce family (Pourghasem et al., PAPERS.md).
+# Stream suites carry no separate IV: the key blob is key || frame/IV,
+# so the WTLS per-record rekey (key XOR sequence) lands in the
+# trailing bytes — the GSM frame-number discipline for A5/1, a
+# per-record re-IV for Grain/Trivium.
+RSA_WITH_A51_228_SHA = CipherSuite(
+    "RSA_WITH_A51_228_SHA", "RSA", "A51", "stream", 11, 0, "SHA1", 20)
+RSA_WITH_GRAIN_V1_SHA = CipherSuite(
+    "RSA_WITH_GRAIN_V1_SHA", "RSA", "GRAIN", "stream", 18, 0, "SHA1", 20)
+RSA_WITH_TRIVIUM_SHA = CipherSuite(
+    "RSA_WITH_TRIVIUM_SHA", "RSA", "TRIVIUM", "stream", 20, 0, "SHA1", 20)
+
 ALL_SUITES: List[CipherSuite] = [
     RSA_WITH_3DES_SHA, RSA_WITH_3DES_MD5, RSA_WITH_RC4_SHA, RSA_WITH_RC4_MD5,
     RSA_WITH_DES_SHA, RSA_WITH_RC2_MD5, RSA_WITH_AES_SHA, DH_WITH_3DES_SHA,
     KEA_WITH_3DES_SHA, NULL_WITH_SHA,
+    RSA_WITH_A51_228_SHA, RSA_WITH_GRAIN_V1_SHA, RSA_WITH_TRIVIUM_SHA,
+]
+
+LIGHTWEIGHT_SUITES: List[CipherSuite] = [
+    RSA_WITH_A51_228_SHA, RSA_WITH_GRAIN_V1_SHA, RSA_WITH_TRIVIUM_SHA,
 ]
 
 SUITES_BY_NAME = {suite.name: suite for suite in ALL_SUITES}

@@ -1,0 +1,31 @@
+"""Application workload planes driving the protocol stacks.
+
+The paper frames the appliance problem around *workloads*: §2's
+m-commerce transaction is the canonical one ("a secure transaction
+needs to be executed within a reasonable amount of time, without
+exhausting the battery").  This package turns that sentence into
+seeded, replayable traffic — session mixes, heavy-tailed arrivals,
+handset battery classes — aimed at the sharded gateway fleet.
+"""
+
+from .mcommerce import (
+    BATTERY_CLASSES,
+    SESSION_KINDS,
+    BatteryClass,
+    HandsetPlan,
+    MCommerceResult,
+    SessionKind,
+    plan_workload,
+    run_mcommerce,
+)
+
+__all__ = [
+    "BATTERY_CLASSES",
+    "SESSION_KINDS",
+    "BatteryClass",
+    "HandsetPlan",
+    "MCommerceResult",
+    "SessionKind",
+    "plan_workload",
+    "run_mcommerce",
+]

@@ -11,6 +11,7 @@ from repro.adversary.population import (
     CookieFloodAdversary,
     DowngradeAdversary,
     FuzzInjectionAdversary,
+    StreamStripAdversary,
     TimingProbeAdversary,
 )
 from repro.conformance.fuzzcorpus import default_targets, mutation_stream
@@ -125,6 +126,39 @@ class TestDowngrade:
         assert mitm.downgrades_blocked == mitm.events
         assert mitm.downgrades_succeeded == 0
         assert mitm.energy_spent_mj > 0.0
+
+
+class TestStreamStrip:
+    def test_stripping_lightweight_suites_is_always_blocked(self):
+        """The m-commerce downgrade shape: a MITM strips the lightweight
+        stream suites from a handset that prefers them.  Negotiation
+        quietly lands on a legacy suite, so the block has to come from
+        the dual-transcript Finished — and it must, every time."""
+        ca, server = _gateway_credentials()
+        mitm = StreamStripAdversary(
+            "s", 40.0, seed=7, server_config=server, ca=ca,
+            expected_server="gateway.operator")
+        mitm.tick(0.2)
+        assert mitm.events > 0
+        assert mitm.downgrades_blocked == mitm.events
+        assert mitm.downgrades_succeeded == 0
+
+    def test_strip_leaves_only_legacy_suites_in_the_hello(self):
+        from repro.protocols.ciphersuites import LIGHTWEIGHT_SUITES
+        from repro.protocols.messages import ClientHello
+
+        ca, server = _gateway_credentials()
+        mitm = StreamStripAdversary(
+            "s", 40.0, seed=7, server_config=server, ca=ca,
+            expected_server="gateway.operator")
+        preferred = mitm._client_suites()
+        # The victim really does lead with the lightweight family.
+        assert preferred[:len(LIGHTWEIGHT_SUITES)] == LIGHTWEIGHT_SUITES
+        hello = ClientHello(b"\x00" * 16, [s.name for s in preferred])
+        mitm._rewrite_hello(hello)
+        lightweight = {s.name for s in LIGHTWEIGHT_SUITES}
+        assert hello.suite_names  # never empties the offer
+        assert not lightweight & set(hello.suite_names)
 
 
 class TestTimingProbe:

@@ -7,7 +7,7 @@ from repro.conformance.oracles import ORACLES, run_oracles
 
 EXPECTED_ORACLES = {
     "hash-vs-hashlib", "hmac-vs-stdlib", "cipher-roundtrip",
-    "record-agreement", "record-batch",
+    "record-agreement", "record-batch", "stream-suite",
 }
 
 
@@ -53,6 +53,21 @@ def test_record_batch_covers_every_suite_and_both_paths():
         for tail in ("tls-fast", "tls-reference", "wtls-fast",
                      "wtls-reference", "transactional"):
             assert f"{suite.name}-{tail}" in ids
+
+
+def test_stream_suite_oracle_covers_every_stream_suite():
+    from repro.protocols.ciphersuites import ALL_SUITES
+
+    results = ORACLES["stream-suite"]()
+    stream_names = {s.name for s in ALL_SUITES
+                    if s.cipher_kind == "stream" and s.cipher != "NULL"}
+    for name in stream_names:
+        for tail in ("three-way", "keystream-rollback", "batch-damage",
+                     "wtls-damage"):
+            assert f"{name}-{tail}" in {r.vector_id for r in results}
+    # The lightweight family is in the sweep.
+    assert {"RSA_WITH_A51_228_SHA", "RSA_WITH_GRAIN_V1_SHA",
+            "RSA_WITH_TRIVIUM_SHA"} <= stream_names
 
 
 def test_record_agreement_covers_every_suite():

@@ -17,6 +17,7 @@ from repro.conformance.vectors import (
 EXPECTED_FILES = {
     "aes_fips197", "des_fips46_3", "hmac_rfc2202", "md5_rfc1321",
     "rc2_rfc2268", "rc4_rfc6229", "rsa_dh_pairs", "sha1_rfc3174",
+    "a51_bgw_pedagogical", "grain_v1_frozen_pins", "trivium_frozen_pins",
 }
 
 
@@ -78,6 +79,27 @@ def test_negative_control_detects_corruption(vector_corpus):
         result = check_vector(file, vector, path)
         assert not result.ok
         assert "encrypt" in result.detail
+
+
+@pytest.mark.parametrize("name,field", [
+    ("a51_bgw_pedagogical", "a_to_b"),
+    ("grain_v1_frozen_pins", "keystream"),
+    ("trivium_frozen_pins", "keystream"),
+])
+def test_negative_control_detects_stream_corruption(vector_corpus, name,
+                                                    field):
+    """The lightweight-stream files get their own vacuous-green guard:
+    flipping a nibble of the pinned keystream/burst must fail on both
+    dispatch paths."""
+    file = vector_corpus.files[name]
+    vector = next(v for v in file.vectors if field in v)
+    vector = dict(vector)
+    good = vector[field]
+    vector[field] = ("0" if good[0] != "0" else "1") + good[1:]
+    for path in PATHS:
+        result = check_vector(file, vector, path)
+        assert not result.ok
+        assert field in result.detail
 
 
 def test_negative_control_detects_crash(vector_corpus):

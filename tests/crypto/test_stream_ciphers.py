@@ -1,0 +1,202 @@
+"""The lightweight stream-cipher family: A5/1, Grain v1, Trivium.
+
+Four layers of assurance, matching the conformance plane's policy:
+
+* the published A5/1 pedagogical vector (Briceno/Goldberg/Wagner) on
+  both dispatch paths (the corpus files themselves run through
+  ``tests/conformance/test_vectors.py``);
+* a dual-implementation cross-check — the spec-indexed bit-list
+  implementations inside ``tools/gen_stream_vectors.py`` (the corpus
+  generator) against the packed-integer production ciphers, on fresh
+  inputs the frozen pins never saw;
+* hypothesis properties: round-trip identity, fast/reference state
+  equality under arbitrary read-length schedules, save/restore
+  mid-stream, and corruption visibility;
+* interface contracts the record layers rely on (memoryview inputs,
+  key-blob splitting, invalid key lengths).
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import fastpath
+from repro.crypto.a51 import A51
+from repro.crypto.errors import InvalidKeyLength
+from repro.crypto.grain import Grain
+from repro.crypto.trivium import Trivium
+
+_TOOL = pathlib.Path(__file__).resolve().parents[2] / "tools" / \
+    "gen_stream_vectors.py"
+_spec = importlib.util.spec_from_file_location("gen_stream_vectors", _TOOL)
+gen = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gen)
+
+CIPHERS = [
+    pytest.param(A51, 8, 3, id="a51"),
+    pytest.param(Grain, 10, 8, id="grain"),
+    pytest.param(Trivium, 10, 10, id="trivium"),
+]
+
+
+def _blob(factory, key_bytes, iv_bytes, fill=0x5C):
+    key = bytes((fill + i) % 256 for i in range(key_bytes))
+    iv = bytes((fill ^ i) % 256 for i in range(iv_bytes))
+    return key, iv
+
+
+class TestPublishedVector:
+    """The one citable byte-level anchor: the BGW A5/1 vector."""
+
+    KEY = bytes.fromhex("1223456789abcdef")
+
+    @pytest.mark.parametrize("path", ["fast", "reference"])
+    def test_bgw_burst(self, path):
+        with fastpath.force(path == "fast"):
+            a_to_b, b_to_a = A51.burst(self.KEY, 0x134)
+        assert a_to_b.hex() == "534eaa582fe8151ab6e1855a728c00"
+        assert b_to_a.hex() == "24fd35a35d5fb6526d32f906df1ac0"
+
+    def test_continuous_keystream_extends_the_burst(self):
+        """The record-layer keystream starts exactly where the GSM
+        A→B burst starts — the published vector anchors both forms."""
+        blob = self.KEY + (0x134).to_bytes(3, "big")
+        a_to_b, _ = A51.burst(self.KEY, 0x134)
+        assert A51(blob).keystream(14) == a_to_b[:14]
+
+
+class TestDualImplementation:
+    """Production vs the generator's bit-list implementations, on
+    inputs distinct from every frozen corpus pin."""
+
+    @pytest.mark.parametrize("path", ["fast", "reference"])
+    def test_a51(self, path):
+        key = bytes.fromhex("fedcba9876543210")
+        frame = 0x2AAAAA
+        want = gen.independent_a51_keystream(key, frame, 64)
+        with fastpath.force(path == "fast"):
+            got = A51(key + frame.to_bytes(3, "big")).keystream(64)
+        assert got == want
+
+    @pytest.mark.parametrize("path", ["fast", "reference"])
+    def test_trivium(self, path):
+        key = bytes(range(0x30, 0x3A))
+        iv = bytes(range(0xF6, 0x100))
+        want = gen.independent_trivium(key, iv, 64)
+        with fastpath.force(path == "fast"):
+            got = Trivium(key + iv).keystream(64)
+        assert got == want
+
+    @pytest.mark.parametrize("path", ["fast", "reference"])
+    def test_grain(self, path):
+        key = bytes(range(0x30, 0x3A))
+        iv = bytes(range(0xA0, 0xA8))
+        want = gen.independent_grain(key, iv, 64)
+        with fastpath.force(path == "fast"):
+            got = Grain(key + iv).keystream(64)
+        assert got == want
+
+
+class TestProperties:
+    @pytest.mark.parametrize("factory,key_bytes,iv_bytes", CIPHERS)
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=300), seed=st.integers(0, 255))
+    def test_round_trip_identity(self, factory, key_bytes, iv_bytes, data,
+                                 seed):
+        key, iv = _blob(factory, key_bytes, iv_bytes, seed)
+        assert factory(key + iv).process(
+            factory(key + iv).process(data)) == data
+
+    @pytest.mark.parametrize("factory,key_bytes,iv_bytes", CIPHERS)
+    @settings(max_examples=10, deadline=None)
+    @given(lengths=st.lists(st.integers(0, 65), min_size=1, max_size=6),
+           flips=st.lists(st.booleans(), min_size=6, max_size=6))
+    def test_paths_agree_under_any_read_schedule(self, factory, key_bytes,
+                                                 iv_bytes, lengths, flips):
+        """Fast and reference keystreams — and their saved states —
+        must agree after an arbitrary sequence of read lengths, even
+        when the dispatch switch flips between reads (a traced cipher
+        mid-connection must not lose its keystream position)."""
+        key, iv = _blob(factory, key_bytes, iv_bytes)
+        with fastpath.force(True):
+            fast = factory(key + iv)
+        with fastpath.force(False):
+            reference = factory(key + iv)
+        mixed = factory(key + iv)
+        for i, length in enumerate(lengths):
+            with fastpath.force(True):
+                chunk_fast = fast.keystream(length)
+            with fastpath.force(False):
+                chunk_ref = reference.keystream(length)
+            with fastpath.force(flips[i % len(flips)]):
+                chunk_mixed = mixed.keystream(length)
+            assert chunk_fast == chunk_ref == chunk_mixed
+        assert fast.save_state() == reference.save_state() == \
+            mixed.save_state()
+
+    @pytest.mark.parametrize("factory,key_bytes,iv_bytes", CIPHERS)
+    @settings(max_examples=10, deadline=None)
+    @given(prefix=st.integers(0, 100), replay=st.integers(1, 80))
+    def test_save_restore_replays_exactly(self, factory, key_bytes,
+                                          iv_bytes, prefix, replay):
+        key, iv = _blob(factory, key_bytes, iv_bytes)
+        cipher = factory(key + iv)
+        cipher.keystream(prefix)
+        snapshot = cipher.save_state()
+        first = cipher.keystream(replay)
+        cipher.restore_state(snapshot)
+        assert cipher.keystream(replay) == first
+
+    @pytest.mark.parametrize("factory,key_bytes,iv_bytes", CIPHERS)
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=120),
+           bit=st.integers(0, 7))
+    def test_corruption_is_visible(self, factory, key_bytes, iv_bytes,
+                                   data, bit):
+        """Stream ciphers provide no integrity: flipping a ciphertext
+        bit flips exactly that plaintext bit — the property the record
+        layer's MAC exists to catch."""
+        key, iv = _blob(factory, key_bytes, iv_bytes)
+        ciphertext = bytearray(factory(key + iv).process(data))
+        ciphertext[0] ^= 1 << bit
+        garbled = factory(key + iv).process(bytes(ciphertext))
+        assert garbled[0] == data[0] ^ (1 << bit)
+        assert garbled[1:] == data[1:]
+
+
+class TestInterface:
+    @pytest.mark.parametrize("factory,key_bytes,iv_bytes", CIPHERS)
+    def test_short_blob_means_zero_iv(self, factory, key_bytes, iv_bytes):
+        key, _ = _blob(factory, key_bytes, iv_bytes)
+        assert factory(key).keystream(24) == \
+            factory(key + bytes(iv_bytes)).keystream(24)
+
+    @pytest.mark.parametrize("factory,key_bytes,iv_bytes", CIPHERS)
+    def test_invalid_key_length_rejected(self, factory, key_bytes, iv_bytes):
+        with pytest.raises(InvalidKeyLength):
+            factory(bytes(key_bytes + iv_bytes + 1))
+
+    @pytest.mark.parametrize("factory,key_bytes,iv_bytes", CIPHERS)
+    def test_memoryview_process(self, factory, key_bytes, iv_bytes):
+        """The zero-copy record plane hands ciphers memoryviews."""
+        key, iv = _blob(factory, key_bytes, iv_bytes)
+        data = bytes(range(64))
+        assert factory(key + iv).process(memoryview(data)) == \
+            factory(key + iv).process(data)
+
+    @pytest.mark.parametrize("factory,key_bytes,iv_bytes", CIPHERS)
+    def test_distinct_ivs_give_distinct_streams(self, factory, key_bytes,
+                                                iv_bytes):
+        """The WTLS per-record rekey (key XOR sequence) lands in the
+        IV/frame bytes; it must actually change the keystream."""
+        key, iv = _blob(factory, key_bytes, iv_bytes)
+        other = bytes(iv[:-1]) + bytes([iv[-1] ^ 1])
+        assert factory(key + iv).keystream(24) != \
+            factory(key + other).keystream(24)
+
+    def test_a51_burst_requires_raw_key(self):
+        with pytest.raises(InvalidKeyLength):
+            A51.burst(bytes(11), 0)

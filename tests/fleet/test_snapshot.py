@@ -14,7 +14,12 @@ from hypothesis import strategies as st
 from repro.crypto import fastpath
 from repro.fleet import SessionSnapshot, capture_connection, restore_connection
 from repro.protocols.alerts import ReplayError
-from repro.protocols.ciphersuites import ALL_SUITES, RSA_WITH_AES_SHA
+from repro.protocols.ciphersuites import (
+    ALL_SUITES,
+    LIGHTWEIGHT_SUITES,
+    RSA_WITH_AES_SHA,
+    RSA_WITH_RC4_SHA,
+)
 from repro.protocols.kdf import KeyBlock
 from repro.protocols.transport import DuplexChannel
 from repro.protocols.wtls import (
@@ -165,7 +170,46 @@ class TestCrashEquivalence:
         assert handset_c.decoder.records_lost == 0
 
 
-class TestSequenceSkip:
+class TestKeystreamOffset:
+    """Stream suites re-key every WTLS record from ``key XOR
+    sequence``, so the snapshot's sequence counters *are* the
+    keystream offset.  The pin: after restore, the next outbound
+    record must decrypt under a cipher derived independently from the
+    snapshot's ``enc_sequence`` — off by one record, and every later
+    record would run against the wrong keystream."""
+
+    @pytest.mark.parametrize(
+        "suite", LIGHTWEIGHT_SUITES + [RSA_WITH_RC4_SHA],
+        ids=lambda s: s.name)
+    def test_snapshot_pins_keystream_position(self, suite):
+        channel = DuplexChannel()
+        handset, gateway = _make_world(suite, channel)
+        for i in range(3):
+            _exchange(handset, gateway, bytes([i]) * 20)
+        snapshot = _snap(gateway)
+        assert snapshot.enc_sequence == gateway.encoder._sequence
+        del gateway
+        restored = restore_connection(
+            SessionSnapshot.from_bytes(snapshot.to_bytes()),
+            channel.endpoint_b())
+
+        handset.send(b"after-restore")
+        assert restored.receive() == b"after-restore"
+        reply = b"keystream-offset-pin"
+        restored.send(reply)
+
+        # Open the raw datagram with a cipher derived from the
+        # *snapshot*, not from the live encoder: the gateway-side
+        # (server) cipher key XOR the wire sequence number.
+        raw = handset.endpoint.receive()
+        sequence = int.from_bytes(raw[:4], "big")
+        assert sequence == snapshot.enc_sequence  # no skip requested
+        keys = _key_block(suite)
+        key_int = int.from_bytes(keys.server_cipher_key, "big")
+        stream = suite.make_cipher(
+            (key_int ^ sequence).to_bytes(suite.cipher_key_bytes, "big"))
+        opened = stream.process(raw[6:])
+        assert opened[:len(reply)] == reply
     """The torn-tail compensation: a stale checkpoint must leapfrog
     sequences the dead shard consumed after its last durable frame."""
 

@@ -8,8 +8,14 @@ link reset — including over a lossy, ARQ-protected link.
 
 import pytest
 
+from dataclasses import replace
+
 from repro.protocols.alerts import HandshakeFailure
-from repro.protocols.ciphersuites import ALL_SUITES
+from repro.protocols.ciphersuites import (
+    ALL_SUITES,
+    LIGHTWEIGHT_SUITES,
+    RSA_WITH_TRIVIUM_SHA,
+)
 from repro.protocols.faults import FaultModel, FaultyChannel
 from repro.protocols.recovery import ResilientSession
 from repro.protocols.reliable import ReliableLink
@@ -100,6 +106,41 @@ class TestHandshakeFallback:
         assert log.link_failures == 1
         assert log.suite_fallbacks == 0
         assert client_conn.suite_name == ALL_SUITES[0].name
+
+    def test_legacy_server_walks_past_lightweight_preference(
+            self, client_config, server_config):
+        """ISSUE 10 regression: a handset leading with the lightweight
+        stream family must still converge with a gateway that predates
+        the rollout — negotiation skips the unsupported suites and the
+        handshake lands on the first shared legacy suite, first try."""
+        legacy = [s for s in ALL_SUITES if s not in LIGHTWEIGHT_SUITES]
+        client = replace(client_config,
+                         suites=list(LIGHTWEIGHT_SUITES) + legacy)
+        server = replace(server_config, suites=list(legacy))
+        client_conn, server_conn, log = connect_with_fallback(client, server)
+        assert log.attempts == 1
+        assert log.suite_fallbacks == 0
+        assert client_conn.suite_name == legacy[0].name
+        client_conn.send(b"legacy gateway, lightweight handset")
+        assert server_conn.receive() == \
+            b"legacy gateway, lightweight handset"
+
+    def test_failed_lightweight_attempt_falls_back_to_legacy(
+            self, client_config, server_config):
+        """When the lightweight attempt itself dies (corrupted
+        Finished), the retry walk drops the stream suite and lands on
+        the next legacy preference."""
+        legacy = [s for s in ALL_SUITES if s not in LIGHTWEIGHT_SUITES]
+        client = replace(client_config,
+                         suites=[RSA_WITH_TRIVIUM_SHA] + legacy)
+        client_conn, server_conn, log = connect_with_fallback(
+            client, server_config,
+            endpoint_factory=_corrupting_factory(fail_attempts=1))
+        assert log.attempts == 2
+        assert log.suite_fallbacks == 1
+        assert client_conn.suite_name == legacy[0].name
+        client_conn.send(b"fell back")
+        assert server_conn.receive() == b"fell back"
 
     def test_exhausted_attempts_raise(self, client_config, server_config):
         with pytest.raises(HandshakeFailure):

@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Standalone m-commerce workload runner for CI and local checks.
+
+Thin wrapper over ``python -m repro mcommerce`` that works without
+installing the package: it puts ``src/`` on ``sys.path`` itself, so CI
+jobs and developers can run it from the repository root with no
+environment setup:
+
+    python tools/run_mcommerce.py --seed 2003 --report report.json
+
+The JSON report is byte-stable per parameter set (sorted keys, rounded
+floats, virtual-clock timestamps only), so the CI job runs it twice
+and ``cmp``s the outputs — any hidden nondeterminism in the workload
+plane (heavy-tail sampling, suite negotiation, the SET payment flow,
+energy attribution) fails the build.  Exit status 0 when the energy
+reconciliation holds and every dual-signature binding verifies, 1
+otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.__main__ import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["mcommerce", *sys.argv[1:]]))
